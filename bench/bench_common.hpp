@@ -1,0 +1,41 @@
+// Shared helpers for the experiment binaries.  Each bench reproduces one
+// experiment from DESIGN.md's per-experiment index (E1..E14) and prints a
+// paper-style table; pass --csv for machine-readable output and --help
+// for the parameters.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lb/graph/generators.hpp"
+#include "lb/util/options.hpp"
+#include "lb/util/table.hpp"
+
+namespace lb::bench {
+
+/// The topology suite most experiments sweep over.
+inline std::vector<std::string> default_families() {
+  return {"path", "cycle", "torus2d", "hypercube", "debruijn", "regular", "star",
+          "complete"};
+}
+
+/// Print a table in text or CSV form.
+inline void emit(const util::Table& table, const std::string& caption, bool csv) {
+  if (csv) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout, caption);
+  }
+}
+
+/// Header line every experiment prints first.
+inline void banner(const std::string& experiment, const std::string& claim,
+                   std::uint64_t seed) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("seed: %llu\n\n", static_cast<unsigned long long>(seed));
+}
+
+}  // namespace lb::bench

@@ -1,0 +1,141 @@
+// E14: engineering microbenchmarks (google-benchmark) for the library's
+// hot kernels — diffusion round throughput, SpMV, λ2 computation, matching
+// generation, and the sequentialization ledger.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/core/sequential.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/graph/matching.hpp"
+#include "lb/linalg/lanczos.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/util/rng.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+lb::graph::Graph torus_of(std::size_t n) {
+  const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  return lb::graph::make_torus2d(side, side);
+}
+
+void BM_DiffusionRoundContinuous(benchmark::State& state) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  lb::util::Rng rng(1);
+  auto load = lb::workload::uniform_random<double>(
+      g.num_nodes(), 1000.0 * static_cast<double>(g.num_nodes()), rng);
+  lb::core::ContinuousDiffusion alg;
+  for (auto _ : state) {
+    alg.step(g, load, rng);
+    benchmark::DoNotOptimize(load.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_DiffusionRoundContinuous)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_DiffusionRoundDiscrete(benchmark::State& state) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  lb::util::Rng rng(2);
+  auto load = lb::workload::uniform_random<std::int64_t>(
+      g.num_nodes(), 1000 * static_cast<std::int64_t>(g.num_nodes()), rng);
+  lb::core::DiscreteDiffusion alg;
+  for (auto _ : state) {
+    alg.step(g, load, rng);
+    benchmark::DoNotOptimize(load.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_DiffusionRoundDiscrete)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_RandomPartnerRound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  lb::util::Rng rng(3);
+  auto load = lb::workload::uniform_random<double>(
+      n, 1000.0 * static_cast<double>(n), rng);
+  const auto dummy = lb::graph::make_complete(2);
+  lb::core::ContinuousRandomPartner alg;
+  for (auto _ : state) {
+    alg.step(dummy, load, rng);
+    benchmark::DoNotOptimize(load.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RandomPartnerRound)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_SpmvLaplacian(benchmark::State& state) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  const auto l = lb::linalg::laplacian_csr(g);
+  lb::util::Rng rng(4);
+  lb::linalg::Vector x(g.num_nodes());
+  for (double& v : x) v = rng.next_double();
+  lb::linalg::Vector y;
+  for (auto _ : state) {
+    l.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(l.nonzeros()));
+}
+BENCHMARK(BM_SpmvLaplacian)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_Lambda2Lanczos(benchmark::State& state) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // Force the sparse Lanczos path regardless of size.
+    benchmark::DoNotOptimize(lb::linalg::lambda2(g, /*dense_cutoff=*/2));
+  }
+}
+BENCHMARK(BM_Lambda2Lanczos)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Lambda2Dense(benchmark::State& state) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::linalg::lambda2(g, /*dense_cutoff=*/100000));
+  }
+}
+BENCHMARK(BM_Lambda2Dense)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_GmRandomMatching(benchmark::State& state) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  lb::util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::graph::gm_random_matching(g, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_GmRandomMatching)->Arg(1024)->Arg(16384);
+
+void BM_SequentializeRound(benchmark::State& state) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  lb::util::Rng rng(6);
+  const auto load = lb::workload::uniform_random<double>(
+      g.num_nodes(), 1000.0 * static_cast<double>(g.num_nodes()), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::core::sequentialize_round(g, load));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SequentializeRound)->Arg(1024)->Arg(16384);
+
+void BM_GraphConstructionTorus(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(torus_of(n));
+  }
+}
+BENCHMARK(BM_GraphConstructionTorus)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E7 (Lemma 9): under random partner choice, a fixed link's endpoints
+// both have at most 5 partners with probability > 1/2.
+//
+// Monte-Carlo over n; also reports the full distribution of
+// max(d_i, d_j) and the marginal Pr[d_i > 5], Pr[d_j > 5] whose union
+// bound the paper uses (0.05 + 0.25).
+#include "bench_common.hpp"
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/util/stats.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "E7 / Lemma 9: Pr[max(d_i,d_j) <= 5 | (i,j) in E] > 0.5 under random partners");
+  opts.add_int("trials", 40000, "Monte-Carlo trials per n")
+      .add_int("seed", 42, "RNG seed")
+      .add_flag("csv", "emit CSV instead of a table");
+  opts.parse(argc, argv);
+
+  const int trials = static_cast<int>(opts.get_int("trials"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  lb::bench::banner("E7: Lemma 9 (random-partner degree bound)",
+                    "for a fixed link (i,j): Pr[max(d_i,d_j) <= 5] > 1/2; "
+                    "proof uses Pr[d_i>5] < 0.05 and Pr[d_j>5] < 0.25",
+                    seed);
+
+  lb::util::Table table({"n", "trials", "P[max<=5]", "bound", "holds",
+                         "P[d_i>5]", "P[d_j>5]", "mean d_i", "mean d_j"});
+
+  lb::util::Rng rng(seed);
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    int good = 0, di_over = 0, dj_over = 0;
+    lb::util::RunningStats di_stats, dj_stats;
+    for (int t = 0; t < trials; ++t) {
+      const auto links = lb::core::sample_partner_links(n, rng);
+      // Audit the link built by node 0 — a "fixed link" in the lemma's
+      // conditioning.
+      const auto j = links.partner[0];
+      const auto di = links.degree[0];
+      const auto dj = links.degree[j];
+      if (std::max(di, dj) <= 5) ++good;
+      if (di > 5) ++di_over;
+      if (dj > 5) ++dj_over;
+      di_stats.add(di);
+      dj_stats.add(dj);
+    }
+    const double p = static_cast<double>(good) / trials;
+    table.row()
+        .add(static_cast<std::int64_t>(n))
+        .add(static_cast<std::int64_t>(trials))
+        .add(p, 4)
+        .add(lb::core::bounds::kLemma9Probability, 2)
+        .add(p > lb::core::bounds::kLemma9Probability ? "yes" : "NO")
+        .add(static_cast<double>(di_over) / trials, 4)
+        .add(static_cast<double>(dj_over) / trials, 4)
+        .add(di_stats.mean(), 4)
+        .add(dj_stats.mean(), 4);
+  }
+  lb::bench::emit(table, "Lemma 9 Monte-Carlo (link built by node 0)",
+                  opts.get_flag("csv"));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E16 (ablation): how much of dimension exchange's slowness is the
+// matching?  Compare the GM local protocol (the [12] comparator), greedy
+// maximal matchings (denser), and round-robin dimension sweeps (the
+// classic hypercube schedule) against Algorithm 1 — plus the async
+// variants of Algorithm 1 to bridge between the two regimes.
+#include "bench_common.hpp"
+
+#include "lb/core/async.hpp"
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/load.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+std::size_t rounds_to_eps(lb::core::DiscreteBalancer& alg, const lb::graph::Graph& g,
+                          double eps, std::uint64_t seed) {
+  auto load = lb::workload::spike<std::int64_t>(
+      g.num_nodes(), 100000 * static_cast<std::int64_t>(g.num_nodes()));
+  const double phi0 = lb::core::potential(load);
+  lb::core::EngineConfig cfg;
+  cfg.max_rounds = 500000;
+  cfg.target_potential = eps * phi0;
+  cfg.record_trace = false;
+  cfg.stall_rounds = 200;
+  cfg.seed = seed;
+  const auto result = lb::core::run_static(alg, g, load, cfg);
+  return result.reached_target ? result.rounds : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "E16: matching-strategy and activation ablation (discrete, rounds to eps)");
+  opts.add_double("eps", 1e-5, "target potential fraction")
+      .add_int("seed", 42, "RNG seed")
+      .add_flag("csv", "emit CSV instead of a table");
+  opts.parse(argc, argv);
+
+  const double eps = opts.get_double("eps");
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  lb::bench::banner("E16: matching & activation ablation",
+                    "diffusion uses every edge every round; matchings throttle to "
+                    "<= 1 edge per node; async diffusion interpolates",
+                    seed);
+
+  lb::util::Table table({"topology", "diffusion", "async p=0.5", "async p=0.25",
+                         "dimexch GM", "dimexch maximal", "dimexch RR"});
+
+  lb::util::Rng rng(seed);
+  std::vector<lb::graph::Graph> graphs;
+  graphs.push_back(lb::graph::make_hypercube(8));
+  graphs.push_back(lb::graph::make_torus2d(16, 16));
+  graphs.push_back(lb::graph::make_named("regular", 256, rng));
+  graphs.push_back(lb::graph::make_chordal_ring(256, {16}));
+  graphs.push_back(lb::graph::make_cube_connected_cycles(6));
+
+  for (const auto& g : graphs) {
+    lb::core::DiscreteDiffusion diffusion;
+    lb::core::DiscreteAsyncDiffusion async50(0.5), async25(0.25);
+    lb::core::DiscreteDimensionExchange gm(
+        lb::core::MatchingStrategy::kGhoshMuthukrishnan);
+    lb::core::DiscreteDimensionExchange maximal(
+        lb::core::MatchingStrategy::kRandomMaximal);
+
+    const bool is_hypercube = g.name().rfind("hypercube", 0) == 0;
+    std::size_t rr_rounds = 0;
+    if (is_hypercube) {
+      lb::core::DiscreteDimensionExchange rr(
+          lb::core::MatchingStrategy::kHypercubeRoundRobin);
+      rr_rounds = rounds_to_eps(rr, g, eps, seed);
+    }
+
+    table.row()
+        .add(g.name())
+        .add(static_cast<std::int64_t>(rounds_to_eps(diffusion, g, eps, seed)))
+        .add(static_cast<std::int64_t>(rounds_to_eps(async50, g, eps, seed)))
+        .add(static_cast<std::int64_t>(rounds_to_eps(async25, g, eps, seed)))
+        .add(static_cast<std::int64_t>(rounds_to_eps(gm, g, eps, seed)))
+        .add(static_cast<std::int64_t>(rounds_to_eps(maximal, g, eps, seed)))
+        .add(is_hypercube ? std::to_string(rr_rounds) : std::string("n/a"));
+  }
+  lb::bench::emit(table,
+                  "Rounds to eps-balance, discrete algorithms (0 = did not reach)",
+                  opts.get_flag("csv"));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E1 (Lemma 1): per-edge sequential activations drop the potential by at
+// least w_ij·|ℓ_i − ℓ_j|.
+//
+// For each topology x workload instance the table reports the number of
+// edge activations audited, how many satisfied the certificate, the
+// minimum drop/bound ratio observed (>= 1 means the lemma holds with
+// margin), and the Lemma-2 round bound versus the actual round drop.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
+#include "lb/core/sequential.hpp"
+#include "lb/workload/initial.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "E1 / Lemma 1: per-edge potential-drop certificates of the "
+      "sequentialization ledger");
+  opts.add_int("n", 256, "nodes per topology")
+      .add_int("seed", 42, "base RNG seed")
+      .add_int("rounds", 5, "rounds audited per instance (ledger re-derived each round)")
+      .add_flag("csv", "emit CSV instead of a table");
+  opts.parse(argc, argv);
+
+  const std::size_t n = static_cast<std::size_t>(opts.get_int("n"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  const std::size_t rounds = static_cast<std::size_t>(opts.get_int("rounds"));
+
+  lb::bench::banner("E1: Lemma 1 certificates",
+                    "every sequential edge activation k satisfies "
+                    "dPhi_k >= w_ij * |l_i - l_j|",
+                    seed);
+
+  lb::util::Table table({"topology", "workload", "activations", "certified",
+                         "min drop/bound", "lemma2 bound", "round drop",
+                         "drop/bound"});
+
+  for (const std::string& family : lb::bench::default_families()) {
+    for (const std::string workload : {"spike", "uniform", "bimodal", "zipf"}) {
+      lb::util::Rng rng(seed);
+      const auto g = lb::graph::make_named(family, n, rng);
+      auto load = lb::workload::make_named<double>(
+          workload, g.num_nodes(), 1000.0 * static_cast<double>(g.num_nodes()), rng);
+
+      std::size_t activations = 0, certified = 0;
+      double min_ratio = 1e300;
+      double lemma2_bound_first = 0.0, round_drop_first = 0.0;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        const auto ledger = lb::core::sequentialize_round(g, load);
+        if (r == 0) {
+          lemma2_bound_first = ledger.lemma2_bound;
+          round_drop_first = ledger.total_drop;
+        }
+        for (const auto& act : ledger.activations) {
+          if (act.weight <= 0.0) continue;
+          ++activations;
+          certified += act.certified ? 1 : 0;
+          if (act.lemma1_bound > 0.0) {
+            min_ratio = std::min(min_ratio, act.potential_drop / act.lemma1_bound);
+          }
+        }
+        // Advance the load to the post-round state for the next audit.
+        lb::core::ContinuousDiffusion alg;
+        alg.step(g, load, rng);
+      }
+      table.row()
+          .add(g.name())
+          .add(workload)
+          .add(static_cast<std::int64_t>(activations))
+          .add(static_cast<std::int64_t>(certified))
+          .add(activations > 0 ? min_ratio : 1.0, 4)
+          .add_sci(lemma2_bound_first)
+          .add_sci(round_drop_first)
+          .add(lb::core::safe_ratio(round_drop_first, lemma2_bound_first), 4);
+    }
+  }
+  lb::bench::emit(table, "Lemma 1 / Lemma 2 certificates (continuous Algorithm 1)",
+                  opts.get_flag("csv"));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E8+E9 (Lemma 10, Lemma 11, Theorem 12): Algorithm 2, continuous case.
+//
+// Part 1 verifies the exact Lemma-10 identity Σ_ij(ℓ_i−ℓ_j)² = 2n·Φ(L).
+// Part 2 measures the expected one-round drop factor against Lemma 11's
+// 19/20 and the rounds to e^{-c} against Theorem 12's 120·c·lnΦ — across
+// n, with no network parameter anywhere (the paper's headline for §6).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/stats.hpp"
+#include "lb/workload/initial.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "E8+E9 / Lemmas 10-11, Theorem 12: random balancing partners, continuous");
+  opts.add_int("trials", 200, "independent one-round trials for the Lemma-11 mean")
+      .add_int("seed", 42, "RNG seed")
+      .add_double("c", 1.0, "Theorem-12 constant c")
+      .add_flag("csv", "emit CSV instead of a table");
+  opts.parse(argc, argv);
+
+  const int trials = static_cast<int>(opts.get_int("trials"));
+  const double c = opts.get_double("c");
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  lb::bench::banner("E8: Lemma 10 identity",
+                    "sum_i sum_j (l_i - l_j)^2 == 2n * Phi(L), exactly", seed);
+  {
+    lb::util::Table table({"n", "workload", "lhs", "2n*Phi", "rel err"});
+    lb::util::Rng rng(seed);
+    for (std::size_t n : {16u, 256u, 4096u}) {
+      for (const std::string workload : {"spike", "uniform", "zipf"}) {
+        const auto load = lb::workload::make_named<double>(
+            workload, n, 100.0 * static_cast<double>(n), rng);
+        const double lhs = lb::core::pairwise_square_sum(load);
+        const double rhs = 2.0 * static_cast<double>(n) * lb::core::potential(load);
+        table.row()
+            .add(static_cast<std::int64_t>(n))
+            .add(workload)
+            .add_sci(lhs)
+            .add_sci(rhs)
+            .add_sci(std::fabs(lhs - rhs) / std::max(1.0, std::fabs(rhs)));
+      }
+    }
+    lb::bench::emit(table, "Lemma 10 identity check", opts.get_flag("csv"));
+  }
+
+  lb::bench::banner("E9: Lemma 11 + Theorem 12",
+                    "E[Phi^{t+1}] <= (19/20) Phi^t; Phi <= e^{-c} after "
+                    "T = 120*c*ln(Phi) rounds, independent of any topology",
+                    seed);
+
+  // Algorithm 2 ignores the network; a placeholder satisfies the API.
+  const auto dummy = lb::graph::make_complete(2);
+
+  lb::util::Table table({"n", "E[drop factor]", "95% CI", "Lemma11 bound", "holds",
+                         "T bound", "T measured", "meas/bound"});
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    // Lemma 11: mean one-round ratio from a spike.
+    const auto start =
+        lb::workload::spike<double>(n, 100.0 * static_cast<double>(n));
+    const double phi0 = lb::core::potential(start);
+    lb::util::Rng rng(seed + n);
+    lb::util::RunningStats ratio;
+    for (int t = 0; t < trials; ++t) {
+      auto load = start;
+      lb::core::ContinuousRandomPartner alg;
+      alg.step(dummy, load, rng);
+      ratio.add(lb::core::potential(load) / phi0);
+    }
+
+    // Theorem 12: measured rounds until Φ <= e^{-c}.
+    const double bound_T = lb::core::bounds::theorem12_rounds(c, phi0);
+    auto load = start;
+    lb::core::ContinuousRandomPartner alg;
+    std::size_t measured = 0;
+    const auto budget = static_cast<std::size_t>(std::ceil(bound_T));
+    for (std::size_t round = 1; round <= budget; ++round) {
+      alg.step(dummy, load, rng);
+      if (lb::core::potential(load) <= std::exp(-c)) {
+        measured = round;
+        break;
+      }
+    }
+
+    table.row()
+        .add(static_cast<std::int64_t>(n))
+        .add(ratio.mean(), 4)
+        .add(ratio.ci_halfwidth(), 3)
+        .add(lb::core::bounds::kLemma11Factor, 4)
+        .add(ratio.mean() < lb::core::bounds::kLemma11Factor ? "yes" : "NO")
+        .add(bound_T, 5)
+        .add(static_cast<std::int64_t>(measured))
+        .add(measured > 0 ? static_cast<double>(measured) / bound_T : 0.0, 3);
+  }
+  lb::bench::emit(table,
+                  "Lemma 11 drop factor and Theorem 12 rounds (topology-free)",
+                  opts.get_flag("csv"));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E10 (Lemma 13 + Theorem 14): Algorithm 2, discrete case.
+//
+// While Φ >= 3200n the expected one-round factor is <= 39/40 (Lemma 13);
+// the threshold is reached within 240·c·ln(Φ⁰/3200n) rounds (Theorem 14).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/stats.hpp"
+#include "lb/workload/initial.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "E10 / Lemma 13 + Theorem 14: random balancing partners, discrete");
+  opts.add_int("trials", 200, "independent one-round trials for the Lemma-13 mean")
+      .add_double("c", 1.0, "Theorem-14 constant c")
+      .add_double("headroom", 10000.0, "Phi0 as a multiple of 3200n")
+      .add_int("seed", 42, "RNG seed")
+      .add_flag("csv", "emit CSV instead of a table");
+  opts.parse(argc, argv);
+
+  const int trials = static_cast<int>(opts.get_int("trials"));
+  const double c = opts.get_double("c");
+  const double headroom = opts.get_double("headroom");
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  lb::bench::banner("E10: Lemma 13 + Theorem 14 (random partners, discrete)",
+                    "while Phi >= 3200n: E[Phi^{t+1}] <= (39/40) Phi^t; threshold "
+                    "reached within 240*c*ln(Phi0/3200n) rounds",
+                    seed);
+
+  const auto dummy = lb::graph::make_complete(2);
+
+  lb::util::Table table({"n", "threshold", "Phi0/thresh", "E[drop factor]",
+                         "Lemma13 bound", "holds", "T bound", "T measured",
+                         "meas/bound"});
+
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const double threshold = lb::core::bounds::random_partner_threshold(n);
+    const double target_phi0 = headroom * threshold;
+    const auto spike = static_cast<std::int64_t>(
+        std::sqrt(target_phi0 / (1.0 - 1.0 / static_cast<double>(n))));
+    const auto start = lb::workload::spike<std::int64_t>(n, spike);
+    const double phi0 = lb::core::potential(start);
+
+    lb::util::Rng rng(seed + n);
+    lb::util::RunningStats ratio;
+    for (int t = 0; t < trials; ++t) {
+      auto load = start;
+      lb::core::DiscreteRandomPartner alg;
+      alg.step(dummy, load, rng);
+      ratio.add(lb::core::potential(load) / phi0);
+    }
+
+    const double bound_T = lb::core::bounds::theorem14_rounds(c, phi0, n);
+    auto load = start;
+    lb::core::DiscreteRandomPartner alg;
+    std::size_t measured = 0;
+    const auto budget = static_cast<std::size_t>(std::ceil(bound_T));
+    for (std::size_t round = 1; round <= budget; ++round) {
+      alg.step(dummy, load, rng);
+      if (lb::core::potential(load) <= threshold) {
+        measured = round;
+        break;
+      }
+    }
+
+    table.row()
+        .add(static_cast<std::int64_t>(n))
+        .add_sci(threshold)
+        .add(phi0 / threshold, 4)
+        .add(ratio.mean(), 4)
+        .add(lb::core::bounds::kLemma13Factor, 4)
+        .add(ratio.mean() < lb::core::bounds::kLemma13Factor ? "yes" : "NO")
+        .add(bound_T, 5)
+        .add(static_cast<std::int64_t>(measured))
+        .add(measured > 0 ? static_cast<double>(measured) / bound_T : 0.0, 3);
+  }
+  lb::bench::emit(table, "Lemma 13 drop factor and Theorem 14 rounds (discrete)",
+                  opts.get_flag("csv"));
+  return 0;
+}

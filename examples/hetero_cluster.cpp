@@ -1,0 +1,109 @@
+// Mixed-hardware scenario: balancing a token workload across a cluster
+// where half the racks run 4x-faster nodes (the heterogeneous model of
+// Elsässer-Monien-Preis, reference [9] of the paper).
+//
+// Plain diffusion would equalize token *counts*, leaving the fast nodes
+// idle half the time; the speed-weighted rule equalizes *normalized*
+// load ℓ_i/s_i, so every node finishes its share simultaneously.  The
+// example runs both and compares the makespan proxy max_i(ℓ_i/s_i).
+#include <cstdio>
+#include <iostream>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/heterogeneous.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/options.hpp"
+#include "lb/util/table.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+double makespan(const std::vector<std::int64_t>& load, const std::vector<double>& speed) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    worst = std::max(worst, static_cast<double>(load[i]) / speed[i]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "hetero_cluster: speed-aware balancing on a mixed-hardware torus");
+  opts.add_int("side", 16, "torus side")
+      .add_double("fast_factor", 4.0, "speed of the fast half of the nodes")
+      .add_int("tokens_per_node", 10000, "average tokens per node")
+      .add_int("rounds", 3000, "migration rounds");
+  opts.parse(argc, argv);
+
+  const std::size_t side = static_cast<std::size_t>(opts.get_int("side"));
+  const double fast = opts.get_double("fast_factor");
+  const std::size_t rounds = static_cast<std::size_t>(opts.get_int("rounds"));
+
+  const auto g = lb::graph::make_torus2d(side, side);
+  const std::size_t n = g.num_nodes();
+  std::vector<double> speed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Fast nodes in even columns — racks alternate.
+    speed[i] = (i % 2 == 0) ? fast : 1.0;
+  }
+
+  const std::int64_t total =
+      opts.get_int("tokens_per_node") * static_cast<std::int64_t>(n);
+  const auto start = lb::workload::spike<std::int64_t>(n, total);
+
+  std::printf("cluster  : %s, %zu nodes, half at %.0fx speed\n", g.name().c_str(), n,
+              fast);
+  std::printf("workload : %lld tokens, all on node 0\n\n",
+              static_cast<long long>(total));
+
+  lb::util::Table table({"policy", "rounds", "makespan max(l/s)", "vs ideal",
+                         "tokens on a fast node", "on a slow node"});
+  const double total_speed = (fast + 1.0) * static_cast<double>(n) / 2.0;
+  const double ideal = static_cast<double>(total) / total_speed;
+
+  auto report = [&](const char* label, const std::vector<std::int64_t>& load,
+                    std::size_t used_rounds) {
+    table.row()
+        .add(label)
+        .add(static_cast<std::int64_t>(used_rounds))
+        .add(makespan(load, speed), 5)
+        .add(makespan(load, speed) / ideal, 4)
+        .add(load[0 /*fast: even index*/], 6)
+        .add(load[1], 6);
+  };
+
+  // Policy A: speed-blind diffusion (equal token counts).
+  {
+    lb::util::Rng rng(1);
+    auto load = start;
+    lb::core::DiscreteDiffusion alg;
+    std::size_t r = 0;
+    for (; r < rounds; ++r) {
+      if (alg.step(g, load, rng).transferred == 0.0) break;
+    }
+    report("speed-blind diffusion", load, r);
+  }
+
+  // Policy B: speed-weighted diffusion (equal normalized load).
+  {
+    lb::util::Rng rng(1);
+    auto load = start;
+    lb::core::DiscreteHeterogeneousDiffusion alg(speed);
+    std::size_t r = 0;
+    for (; r < rounds; ++r) {
+      if (alg.step(g, load, rng).transferred == 0.0) break;
+    }
+    report("speed-weighted diffusion", load, r);
+  }
+
+  table.print(std::cout, "Makespan proxy after rebalancing (lower is better; "
+                         "ideal = W / sum(s))");
+  std::printf("The speed-weighted rule hands the %.0fx nodes %.0fx the tokens,\n"
+              "cutting the makespan toward the ideal; the speed-blind rule wastes\n"
+              "the fast nodes.\n",
+              fast, fast);
+  return 0;
+}

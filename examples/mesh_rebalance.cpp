@@ -1,0 +1,107 @@
+// HPC scenario: rebalancing a domain-decomposed mesh after adaptive
+// refinement.
+//
+// A finite-element code partitions its mesh across a 3D torus of compute
+// nodes (the classic interconnect of the diffusion literature).  After a
+// few adaptive-refinement steps the element counts are badly skewed — a
+// Zipf-like distribution where a few subdomains hold most of the work.
+// Elements are indivisible, so this is exactly the discrete neighbourhood
+// balancing problem of the paper: we run discrete Algorithm 1, watch the
+// maximum node load (the step-time proxy) fall, and compare against the
+// dimension-exchange alternative a batch scheduler might use.
+#include <cstdio>
+#include <iostream>
+#include <utility>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/options.hpp"
+#include "lb/util/table.hpp"
+#include "lb/workload/initial.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "mesh_rebalance: redistribute mesh elements across a 3D-torus machine "
+      "after adaptive refinement");
+  opts.add_int("side", 8, "torus side (machine is side^3 nodes)")
+      .add_int("elements_per_node", 20000, "average mesh elements per node")
+      .add_int("seed", 7, "workload seed");
+  opts.parse(argc, argv);
+
+  const std::size_t side = static_cast<std::size_t>(opts.get_int("side"));
+  const auto machine = lb::graph::make_torus3d(side, side, side);
+  const std::size_t n = machine.num_nodes();
+  const std::int64_t total =
+      opts.get_int("elements_per_node") * static_cast<std::int64_t>(n);
+
+  lb::util::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed")));
+  // Adaptive refinement concentrated elements near a shock front: model as
+  // a Zipf distribution over subdomains.
+  auto elements = lb::workload::zipf<std::int64_t>(n, total, 1.2, rng);
+
+  const auto before = lb::core::summarize(elements);
+  std::printf("machine        : %s (%zu nodes, degree %zu)\n", machine.name().c_str(),
+              n, machine.max_degree());
+  std::printf("mesh           : %lld elements total, avg %.0f per node\n",
+              static_cast<long long>(before.total), before.average);
+  std::printf("after refine   : max/avg imbalance = %.2fx, Phi = %.3e\n\n",
+              static_cast<double>(before.max) / before.average, before.potential);
+
+  // A parallel step costs max-load; track it per migration round.
+  lb::util::Table table({"round", "max load", "max/avg", "Phi", "moved this round"});
+  auto run_with_reporting = [&](lb::core::DiscreteBalancer& alg,
+                                std::vector<std::int64_t> load) {
+    lb::util::Rng step_rng(1);
+    std::size_t round = 0;
+    double moved_total = 0.0;
+    for (; round < 10000; ++round) {
+      const auto summary = lb::core::summarize(load);
+      if (round % 8 == 0) {
+        table.row()
+            .add(static_cast<std::int64_t>(round))
+            .add(static_cast<std::int64_t>(summary.max))
+            .add(static_cast<double>(summary.max) / summary.average, 4)
+            .add_sci(summary.potential)
+            .add(moved_total, 6);
+      }
+      const auto stats = alg.step(machine, load, step_rng);
+      moved_total = stats.transferred;
+      if (stats.transferred == 0.0) break;  // discrete fixed point
+    }
+    const auto final_summary = lb::core::summarize(load);
+    return std::make_pair(round, final_summary);
+  };
+
+  std::printf("--- discrete diffusion (Algorithm 1) ---\n");
+  lb::core::DiscreteDiffusion diffusion;
+  const auto [diff_rounds, diff_summary] = run_with_reporting(diffusion, elements);
+  table.print(std::cout, "");
+
+  std::printf("fixed point after %zu rounds: max/avg = %.4fx, discrepancy = %.0f "
+              "elements\n\n",
+              diff_rounds, static_cast<double>(diff_summary.max) / diff_summary.average,
+              diff_summary.discrepancy);
+
+  // Comparator: dimension exchange needs more rounds for the same result.
+  lb::core::DiscreteDimensionExchange dimexch;
+  lb::util::Rng de_rng(1);
+  auto de_load = elements;
+  std::size_t de_rounds = 0;
+  std::size_t idle = 0;
+  while (de_rounds < 100000 && idle < 64) {
+    const auto stats = dimexch.step(machine, de_load, de_rng);
+    idle = stats.transferred == 0.0 ? idle + 1 : 0;
+    ++de_rounds;
+  }
+  const auto de_summary = lb::core::summarize(de_load);
+  std::printf("--- dimension exchange [12] for comparison ---\n");
+  std::printf("fixed point after ~%zu rounds: max/avg = %.4fx\n", de_rounds - idle,
+              static_cast<double>(de_summary.max) / de_summary.average);
+  std::printf("\ndiffusion reached balance in %zu rounds vs ~%zu — the paper's "
+              "constant-factor advantage on a real rebalancing shape.\n",
+              diff_rounds, de_rounds - idle);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Peer-to-peer scenario: work-stealing without any topology (Algorithm 2).
+//
+// A render farm's job queue is scattered across workers that know nothing
+// about each other's location — each round every worker gossips with one
+// uniformly random peer and they balance their queues by the paper's
+// random-partner rule.  Section 6 promises logarithmic convergence with
+// no network parameter at all; this example measures it across farm sizes
+// and compares against the 120·c·lnΦ budget of Theorem 12.
+#include <cstdio>
+#include <iostream>
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/options.hpp"
+#include "lb/util/table.hpp"
+#include "lb/workload/initial.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "p2p_gossip: queue balancing between anonymous peers via Algorithm 2");
+  opts.add_int("jobs_per_worker", 1000, "average queue length")
+      .add_int("seed", 11, "RNG seed");
+  opts.parse(argc, argv);
+
+  const std::int64_t per_worker = opts.get_int("jobs_per_worker");
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  std::printf("Every worker picks one random peer per round; matched pairs move\n"
+              "floor(|q_i - q_j| / (4*max(d_i,d_j))) jobs (discrete Algorithm 2).\n\n");
+
+  // Algorithm 2 needs no network; the API placeholder is a 2-clique.
+  const auto dummy = lb::graph::make_complete(2);
+
+  lb::util::Table table({"workers", "Phi0", "threshold 3200n", "T bound (c=1)",
+                         "rounds measured", "max queue at end", "jobs moved/worker"});
+
+  for (std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    lb::util::Rng rng(seed);
+    // All jobs start on one ingest node — the worst case.
+    auto queue = lb::workload::spike<std::int64_t>(
+        n, per_worker * static_cast<std::int64_t>(n));
+    const double phi0 = lb::core::potential(queue);
+    const double threshold = lb::core::bounds::random_partner_threshold(n);
+    const double budget = lb::core::bounds::theorem14_rounds(1.0, phi0, n);
+
+    lb::core::DiscreteRandomPartner alg;
+    std::size_t rounds = 0;
+    double moved = 0.0;
+    while (lb::core::potential(queue) > threshold && rounds < 100000) {
+      const auto stats = alg.step(dummy, queue, rng);
+      moved += stats.transferred;
+      ++rounds;
+    }
+    const auto summary = lb::core::summarize(queue);
+    table.row()
+        .add(static_cast<std::int64_t>(n))
+        .add_sci(phi0)
+        .add_sci(threshold)
+        .add(budget, 5)
+        .add(static_cast<std::int64_t>(rounds))
+        .add(static_cast<std::int64_t>(summary.max))
+        .add(moved / static_cast<double>(n), 5);
+  }
+  table.print(std::cout, "Rounds to reach the 3200n threshold vs Theorem 14 budget");
+
+  std::printf("Note how the measured rounds barely grow with the farm size —\n"
+              "the logarithmic, topology-free convergence of Section 6.\n");
+  return 0;
+}

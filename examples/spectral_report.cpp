@@ -1,0 +1,92 @@
+// Capacity-planning scenario: predict balancing time from the network's
+// spectrum before deploying.
+//
+// Given a topology, the paper's bounds turn two spectral numbers — λ2 of
+// the Laplacian and the maximum degree δ — into concrete round budgets.
+// This example prints a full spectral report for a family of candidate
+// interconnects (λ2, λmax, γ, eigen gap, Cheeger bounds on expansion,
+// diameter) together with the Theorem-4/6 predictions, then validates one
+// prediction by running the actual protocol.
+#include <cstdio>
+#include <iostream>
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/diffusion.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/graph/properties.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/util/options.hpp"
+#include "lb/util/table.hpp"
+#include "lb/workload/initial.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "spectral_report: spectra and predicted balancing times for candidate "
+      "interconnects");
+  opts.add_int("n", 256, "approximate node count per topology")
+      .add_double("eps", 1e-6, "balancing accuracy for the Theorem-4 budget")
+      .add_int("seed", 3, "RNG seed for randomized topologies");
+  opts.parse(argc, argv);
+
+  const std::size_t n = static_cast<std::size_t>(opts.get_int("n"));
+  const double eps = opts.get_double("eps");
+  lb::util::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed")));
+
+  lb::util::Table table({"topology", "n", "delta", "diameter", "lambda2", "lambda_max",
+                         "gamma", "expansion in", "T4 budget", "T6 budget"});
+
+  for (const std::string family :
+       {"path", "cycle", "torus2d", "torus3d", "hypercube", "debruijn", "regular",
+        "tree", "star", "complete"}) {
+    const auto g = lb::graph::make_named(family, n, rng);
+    const auto spec = lb::linalg::spectral_summary(g);
+    const auto [cheeger_lo, cheeger_hi] = lb::linalg::cheeger_bounds(g);
+    const auto diam = lb::graph::diameter(g);
+
+    const double t4 =
+        lb::core::bounds::theorem4_rounds(spec.lambda2, g.max_degree(), eps);
+    // Theorem-6 budget for a 1000-tokens-per-node spike.
+    const double phi0 = lb::core::potential(lb::workload::spike<std::int64_t>(
+        g.num_nodes(), 1000 * static_cast<std::int64_t>(g.num_nodes())));
+    const double t6 = lb::core::bounds::theorem6_rounds(spec.lambda2, g.max_degree(),
+                                                        g.num_nodes(), phi0);
+
+    char expansion[64];
+    std::snprintf(expansion, sizeof expansion, "[%.3f, %.3f]", cheeger_lo, cheeger_hi);
+    table.row()
+        .add(g.name())
+        .add(static_cast<std::int64_t>(g.num_nodes()))
+        .add(static_cast<std::int64_t>(g.max_degree()))
+        .add(diam ? static_cast<std::int64_t>(*diam) : -1)
+        .add(spec.lambda2, 4)
+        .add(spec.lambda_max, 4)
+        .add(spec.gamma, 4)
+        .add(expansion)
+        .add(t4, 5)
+        .add(t6, 5);
+  }
+  table.print(std::cout,
+              "Spectral quantities (our eigensolvers) and the paper's round budgets");
+
+  // Validate one prediction end to end.
+  const auto g = lb::graph::make_named("torus2d", n, rng);
+  const double lambda2 = lb::linalg::lambda2(g);
+  const double budget = lb::core::bounds::theorem4_rounds(lambda2, g.max_degree(), eps);
+  auto load = lb::workload::spike<double>(
+      g.num_nodes(), 1000.0 * static_cast<double>(g.num_nodes()));
+  const double phi0 = lb::core::potential(load);
+  lb::core::ContinuousDiffusion alg;
+  lb::core::EngineConfig cfg;
+  cfg.max_rounds = static_cast<std::size_t>(budget) + 10;
+  cfg.target_potential = eps * phi0;
+  cfg.stall_rounds = 0;
+  const auto result = lb::core::run_static(alg, g, load, cfg);
+  std::printf("\nvalidation on %s: predicted <= %.0f rounds, measured %zu "
+              "(%.0f%% of budget) — prediction %s\n",
+              g.name().c_str(), budget, result.rounds,
+              100.0 * static_cast<double>(result.rounds) / budget,
+              result.reached_target ? "HELD" : "FAILED");
+  return result.reached_target ? 0 : 1;
+}

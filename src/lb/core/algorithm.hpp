@@ -1,0 +1,52 @@
+// The balancing-algorithm interface shared by Algorithm 1, Algorithm 2 and
+// every baseline.  One synchronous round = one step() call.
+//
+// Contract for implementations:
+//   * step() reads the load vector as the round-start state L^{t-1},
+//     computes all transfer amounts from that snapshot, and applies them —
+//     the concurrent semantics of the paper (§4, Algorithm 1).
+//   * Total load is conserved exactly (tested as a property for every
+//     algorithm).
+//   * For T = Tokens only integral amounts move and no entry goes
+//     negative.
+//   * Randomized algorithms draw exclusively from the supplied Rng so
+//     runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/graph/graph.hpp"
+#include "lb/util/rng.hpp"
+
+namespace lb::core {
+
+/// What one round did, for traces and convergence detection.
+struct StepStats {
+  double transferred = 0.0;     ///< total load moved (absolute amounts)
+  std::size_t active_edges = 0; ///< edges that moved a nonzero amount
+  std::size_t links = 0;        ///< links considered (|E| or matching size)
+};
+
+template <class T>
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+
+  /// Human-readable algorithm name for tables ("diffusion-cont", ...).
+  virtual std::string name() const = 0;
+
+  /// Execute one synchronous round on `load` over network `g`.
+  virtual StepStats step(const graph::Graph& g, std::vector<T>& load,
+                         util::Rng& rng) = 0;
+
+  /// True if the algorithm ignores `g` and builds its own communication
+  /// pattern (Algorithm 2's random partners).
+  virtual bool uses_network() const { return true; }
+};
+
+using ContinuousBalancer = Balancer<double>;
+using DiscreteBalancer = Balancer<std::int64_t>;
+
+}  // namespace lb::core

@@ -1,0 +1,87 @@
+#include "lb/core/async.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+template <class T>
+AsyncDiffusion<T>::AsyncDiffusion(double activation_probability, DiffusionConfig cfg)
+    : p_(activation_probability), cfg_(cfg) {
+  LB_ASSERT_MSG(p_ > 0.0 && p_ <= 1.0, "activation probability must lie in (0,1]");
+}
+
+template <class T>
+std::string AsyncDiffusion<T>::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s(p=%.2f)",
+                std::is_integral_v<T> ? "async-diffusion-disc" : "async-diffusion-cont",
+                p_);
+  return buf;
+}
+
+template <class T>
+StepStats AsyncDiffusion<T>::step(const graph::Graph& g, std::vector<T>& load,
+                                  util::Rng& rng) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  const auto& edges = g.edges();
+
+  // Draw this round's active set (sequential: the RNG is a shared stream).
+  active_.assign(load.size(), 0);
+  for (std::size_t u = 0; u < load.size(); ++u) {
+    active_[u] = rng.next_bool(p_) ? 1 : 0;
+  }
+
+  // An edge moves load only if its *richer* endpoint is active (that node
+  // executes the send); the flow is Algorithm 1's rule on the round-start
+  // snapshot, so all the usual safety properties carry over.
+  flows_.assign(edges.size(), 0.0);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    const double li = static_cast<double>(load[e.u]);
+    const double lj = static_cast<double>(load[e.v]);
+    if (li == lj) continue;
+    const graph::NodeId sender = li > lj ? e.u : e.v;
+    if (!active_[sender]) continue;
+    double w = diffusion_edge_weight(g, e.u, e.v, li, lj, cfg_);
+    if constexpr (std::is_integral_v<T>) {
+      w = std::floor(w);
+    }
+    flows_[k] = li > lj ? w : -w;
+  }
+
+  StepStats stats;
+  stats.links = edges.size();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const double f = flows_[k];
+    if (f == 0.0) continue;
+    const graph::Edge& e = edges[k];
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    if (f > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+  return stats;
+}
+
+template class AsyncDiffusion<double>;
+template class AsyncDiffusion<std::int64_t>;
+
+std::unique_ptr<ContinuousBalancer> make_async_continuous(double p) {
+  return std::make_unique<ContinuousAsyncDiffusion>(p);
+}
+
+std::unique_ptr<DiscreteBalancer> make_async_discrete(double p) {
+  return std::make_unique<DiscreteAsyncDiffusion>(p);
+}
+
+}  // namespace lb::core

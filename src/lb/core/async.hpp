@@ -1,0 +1,44 @@
+// Asynchronous diffusion: only a random subset of nodes act each round.
+//
+// Real machines rarely run in lockstep.  Following the asynchronous
+// discrete model of Cortés et al. (reference [5] of the paper), each
+// round every node is independently *active* with probability p; an
+// active node runs its half of Algorithm 1's rule against the round-start
+// loads of all its neighbours (active or not), while sleeping nodes only
+// receive.  p = 1 recovers Algorithm 1 exactly; smaller p thins the
+// concurrent actions, trading rounds for per-round work — the expected
+// potential drop scales with p, which the tests verify.
+#pragma once
+
+#include <memory>
+
+#include "lb/core/algorithm.hpp"
+#include "lb/core/diffusion.hpp"
+
+namespace lb::core {
+
+template <class T>
+class AsyncDiffusion final : public Balancer<T> {
+ public:
+  /// `activation_probability` in (0, 1].
+  explicit AsyncDiffusion(double activation_probability, DiffusionConfig cfg = {});
+
+  std::string name() const override;
+  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+
+  double activation_probability() const { return p_; }
+
+ private:
+  double p_;
+  DiffusionConfig cfg_;
+  std::vector<std::uint8_t> active_;
+  std::vector<double> flows_;
+};
+
+using ContinuousAsyncDiffusion = AsyncDiffusion<double>;
+using DiscreteAsyncDiffusion = AsyncDiffusion<std::int64_t>;
+
+std::unique_ptr<ContinuousBalancer> make_async_continuous(double p);
+std::unique_ptr<DiscreteBalancer> make_async_discrete(double p);
+
+}  // namespace lb::core

@@ -1,0 +1,102 @@
+#include "lb/core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::core::bounds {
+
+double lemma2_drop_lower_bound(double edge_difference_sum, std::size_t max_degree) {
+  LB_ASSERT_MSG(max_degree >= 1, "graph must have at least one edge");
+  return edge_difference_sum / (4.0 * static_cast<double>(max_degree));
+}
+
+double theorem4_drop_fraction(double lambda2, std::size_t max_degree) {
+  LB_ASSERT_MSG(max_degree >= 1, "graph must have at least one edge");
+  return lambda2 / (4.0 * static_cast<double>(max_degree));
+}
+
+double theorem4_rounds(double lambda2, std::size_t max_degree, double epsilon) {
+  LB_ASSERT_MSG(lambda2 > 0.0, "theorem 4 needs a connected graph (lambda2 > 0)");
+  LB_ASSERT_MSG(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");
+  return 4.0 * static_cast<double>(max_degree) * std::log(1.0 / epsilon) / lambda2;
+}
+
+double discrete_potential_threshold(std::size_t max_degree, std::size_t n,
+                                    double lambda2) {
+  LB_ASSERT_MSG(lambda2 > 0.0, "threshold needs lambda2 > 0");
+  const double d = static_cast<double>(max_degree);
+  return 64.0 * d * d * d * static_cast<double>(n) / lambda2;
+}
+
+double lemma5_drop_fraction(double lambda2, std::size_t max_degree) {
+  LB_ASSERT_MSG(max_degree >= 1, "graph must have at least one edge");
+  return lambda2 / (8.0 * static_cast<double>(max_degree));
+}
+
+double theorem6_rounds(double lambda2, std::size_t max_degree, std::size_t n,
+                       double initial_potential) {
+  const double threshold = discrete_potential_threshold(max_degree, n, lambda2);
+  if (initial_potential <= threshold) return 0.0;
+  return 8.0 * static_cast<double>(max_degree) / lambda2 *
+         std::log(initial_potential / threshold);
+}
+
+double dynamic_average_ratio(const std::vector<double>& lambda2_per_round,
+                             const std::vector<std::size_t>& delta_per_round) {
+  LB_ASSERT_MSG(lambda2_per_round.size() == delta_per_round.size(),
+                "per-round arrays must align");
+  LB_ASSERT_MSG(!lambda2_per_round.empty(), "need at least one round");
+  double acc = 0.0;
+  for (std::size_t k = 0; k < lambda2_per_round.size(); ++k) {
+    if (delta_per_round[k] == 0) continue;  // edgeless round contributes 0
+    acc += lambda2_per_round[k] / static_cast<double>(delta_per_round[k]);
+  }
+  return acc / static_cast<double>(lambda2_per_round.size());
+}
+
+double theorem7_rounds(double average_ratio, double epsilon) {
+  LB_ASSERT_MSG(average_ratio > 0.0, "average spectral ratio must be positive");
+  LB_ASSERT_MSG(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");
+  return 4.0 * std::log(1.0 / epsilon) / average_ratio;
+}
+
+double theorem8_threshold(std::size_t n, const std::vector<double>& lambda2_per_round,
+                          const std::vector<std::size_t>& delta_per_round) {
+  LB_ASSERT_MSG(lambda2_per_round.size() == delta_per_round.size(),
+                "per-round arrays must align");
+  double worst = 0.0;
+  for (std::size_t k = 0; k < lambda2_per_round.size(); ++k) {
+    if (lambda2_per_round[k] <= 0.0) continue;  // disconnected round excluded
+    const double d = static_cast<double>(delta_per_round[k]);
+    worst = std::max(worst, d * d * d / lambda2_per_round[k]);
+  }
+  return 64.0 * static_cast<double>(n) * worst;
+}
+
+double theorem8_rounds(double average_ratio, double initial_potential,
+                       double threshold) {
+  LB_ASSERT_MSG(average_ratio > 0.0, "average spectral ratio must be positive");
+  if (initial_potential <= threshold || threshold <= 0.0) return 0.0;
+  return 8.0 / average_ratio * std::log(initial_potential / threshold);
+}
+
+double random_partner_threshold(std::size_t n) {
+  return 3200.0 * static_cast<double>(n);
+}
+
+double theorem12_rounds(double c, double initial_potential) {
+  LB_ASSERT_MSG(c > 0.0, "c must be positive");
+  LB_ASSERT_MSG(initial_potential > 1.0, "theorem 12 needs Phi > 1");
+  return 120.0 * c * std::log(initial_potential);
+}
+
+double theorem14_rounds(double c, double initial_potential, std::size_t n) {
+  LB_ASSERT_MSG(c > 0.0, "c must be positive");
+  const double threshold = random_partner_threshold(n);
+  if (initial_potential <= threshold) return 0.0;
+  return 240.0 * c * std::log(initial_potential / threshold);
+}
+
+}  // namespace lb::core::bounds

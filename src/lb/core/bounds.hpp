@@ -1,0 +1,79 @@
+// The paper's quantitative bounds as plain functions, so tests and benches
+// compare measured behaviour against the exact expressions of each
+// theorem.  Section references follow the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lb/graph/graph.hpp"
+
+namespace lb::core::bounds {
+
+// ---- §4.1 continuous, fixed network ----
+
+/// Lemma 2: per-round potential drop ≥ (1/4δ)·Σ_{(i,j)∈E}(ℓ_i − ℓ_j)².
+double lemma2_drop_lower_bound(double edge_difference_sum, std::size_t max_degree);
+
+/// Theorem 4 rate: Φ(L^t) ≤ (1 − λ2/4δ)·Φ(L^{t-1}) — the guaranteed
+/// per-round drop *fraction*.
+double theorem4_drop_fraction(double lambda2, std::size_t max_degree);
+
+/// Theorem 4: T = (4δ/λ2)·ln(1/ε) rounds suffice for Φ(L^T) ≤ ε·Φ(L^0).
+double theorem4_rounds(double lambda2, std::size_t max_degree, double epsilon);
+
+// ---- §4.2 discrete, fixed network ----
+
+/// Lemma 5 validity threshold: the drop factor λ2/8δ is guaranteed while
+/// Φ ≥ 64·δ³·n/λ2.
+double discrete_potential_threshold(std::size_t max_degree, std::size_t n,
+                                    double lambda2);
+
+/// Lemma 5 rate: per-round drop fraction λ2/8δ above the threshold.
+double lemma5_drop_fraction(double lambda2, std::size_t max_degree);
+
+/// Theorem 6: T = (8δ/λ2)·ln(λ2·Φ(L⁰)/(64δ³n)) rounds to reach the
+/// threshold (0 if already below it).
+double theorem6_rounds(double lambda2, std::size_t max_degree, std::size_t n,
+                       double initial_potential);
+
+// ---- §5 dynamic networks ----
+
+/// A_K = (1/K)·Σ_k λ2(G_k)/δ(G_k) — the average spectral ratio of the
+/// first K rounds (Theorem 7).
+double dynamic_average_ratio(const std::vector<double>& lambda2_per_round,
+                             const std::vector<std::size_t>& delta_per_round);
+
+/// Theorem 7: K = ln(1/ε)/A_K rounds (up to the paper's hidden constant 4;
+/// we report the exact 4·ln(1/ε)/A_K matching the Theorem-4 constant).
+double theorem7_rounds(double average_ratio, double epsilon);
+
+/// Theorem 8 threshold: Φ* = 64·n·max_k(δ(k)³/λ2(k)).
+double theorem8_threshold(std::size_t n, const std::vector<double>& lambda2_per_round,
+                          const std::vector<std::size_t>& delta_per_round);
+
+/// Theorem 8: K = (8/A_K)·ln(Φ(L⁰)/Φ*) rounds to reach Φ*.
+double theorem8_rounds(double average_ratio, double initial_potential,
+                       double threshold);
+
+// ---- §6 random balancing partners ----
+
+/// Lemma 11: E[Φ^{t+1}] ≤ (19/20)·Φ^t (continuous).
+inline constexpr double kLemma11Factor = 19.0 / 20.0;
+
+/// Lemma 13 threshold: 3200·n; above it E[Φ^{t+1}] ≤ (39/40)·Φ^t (discrete).
+double random_partner_threshold(std::size_t n);
+inline constexpr double kLemma13Factor = 39.0 / 40.0;
+
+/// Theorem 12: T = 120·c·ln Φ(L⁰) rounds give Φ ≤ e^{-c} w.p. ≥ 1 − Φ^{-c/4}.
+double theorem12_rounds(double c, double initial_potential);
+
+/// Theorem 14: T = 240·c·ln(Φ(L⁰)/3200n) rounds reach Φ ≤ 3200n w.p.
+/// ≥ 1 − (Φ/3200n)^{-c/4}.
+double theorem14_rounds(double c, double initial_potential, std::size_t n);
+
+/// Lemma 9: Pr[max(d_i,d_j) ≤ 5 | (i,j) ∈ E] > 1/2 — the constant the
+/// paper proves; exposed for the Monte-Carlo bench to compare against.
+inline constexpr double kLemma9Probability = 0.5;
+
+}  // namespace lb::core::bounds

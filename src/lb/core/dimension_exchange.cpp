@@ -1,0 +1,95 @@
+#include "lb/core/dimension_exchange.hpp"
+
+#include <cmath>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+namespace {
+
+std::size_t hypercube_dimensions(const graph::Graph& g) {
+  std::size_t d = 0;
+  while ((std::size_t{1} << d) < g.num_nodes()) ++d;
+  LB_ASSERT_MSG((std::size_t{1} << d) == g.num_nodes(),
+                "round-robin matching requires a 2^d-node hypercube");
+  return d;
+}
+
+}  // namespace
+
+template <class T>
+DimensionExchange<T>::DimensionExchange(MatchingStrategy strategy)
+    : strategy_(strategy) {}
+
+template <class T>
+std::string DimensionExchange<T>::name() const {
+  const char* base = std::is_integral_v<T> ? "dimexch-disc" : "dimexch-cont";
+  switch (strategy_) {
+    case MatchingStrategy::kGhoshMuthukrishnan: return std::string(base) + "(gm)";
+    case MatchingStrategy::kRandomMaximal: return std::string(base) + "(maximal)";
+    case MatchingStrategy::kHypercubeRoundRobin: return std::string(base) + "(rr)";
+  }
+  return base;
+}
+
+template <class T>
+StepStats DimensionExchange<T>::step(const graph::Graph& g, std::vector<T>& load,
+                                     util::Rng& rng) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  graph::Matching m;
+  switch (strategy_) {
+    case MatchingStrategy::kGhoshMuthukrishnan:
+      m = graph::gm_random_matching(g, rng);
+      break;
+    case MatchingStrategy::kRandomMaximal:
+      m = graph::random_maximal_matching(g, rng);
+      break;
+    case MatchingStrategy::kHypercubeRoundRobin: {
+      const std::size_t d = hypercube_dimensions(g);
+      m = graph::hypercube_dimension_matching(g, d, round_ % d);
+      break;
+    }
+  }
+  ++round_;
+
+  StepStats stats;
+  stats.links = m.size();
+  for (const graph::Edge& e : m) {
+    const double diff =
+        static_cast<double>(load[e.u]) - static_cast<double>(load[e.v]);
+    if (diff == 0.0) continue;
+    T amount;
+    if constexpr (std::is_integral_v<T>) {
+      amount = static_cast<T>(std::floor(std::fabs(diff) / 2.0));
+    } else {
+      amount = static_cast<T>(std::fabs(diff) / 2.0);
+    }
+    if (amount == T{}) continue;
+    if (diff > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+  return stats;
+}
+
+template class DimensionExchange<double>;
+template class DimensionExchange<std::int64_t>;
+
+std::unique_ptr<ContinuousBalancer> make_dimension_exchange_continuous(
+    MatchingStrategy strategy) {
+  return std::make_unique<ContinuousDimensionExchange>(strategy);
+}
+
+std::unique_ptr<DiscreteBalancer> make_dimension_exchange_discrete(
+    MatchingStrategy strategy) {
+  return std::make_unique<DiscreteDimensionExchange>(strategy);
+}
+
+}  // namespace lb::core

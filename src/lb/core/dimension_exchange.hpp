@@ -1,0 +1,52 @@
+// Dimension-exchange baseline: Ghosh & Muthukrishnan's random-matching
+// protocol (SPAA'94, [12]) — the algorithm whose potential argument the
+// paper adapts, and whose convergence it claims to beat by a constant
+// factor thanks to concurrency.
+//
+// Each round a matching of the network is selected; every matched pair
+// balances completely: the richer endpoint sends (ℓ_i − ℓ_j)/2
+// (⌊·⌋ for the discrete variant, as in §4 of [12]).
+#pragma once
+
+#include <memory>
+
+#include "lb/core/algorithm.hpp"
+#include "lb/graph/matching.hpp"
+
+namespace lb::core {
+
+enum class MatchingStrategy {
+  /// The local protocol of [12]: Pr[e ∈ M] >= 1/(8δ).
+  kGhoshMuthukrishnan,
+  /// Greedy maximal matching over a random edge order (denser matchings,
+  /// still uniform-ish; the "best case" for dimension exchange).
+  kRandomMaximal,
+  /// Round-robin over hypercube dimensions (classic dimension exchange;
+  /// only valid on hypercubes — asserts otherwise).
+  kHypercubeRoundRobin,
+};
+
+template <class T>
+class DimensionExchange final : public Balancer<T> {
+ public:
+  explicit DimensionExchange(MatchingStrategy strategy = MatchingStrategy::kGhoshMuthukrishnan);
+
+  std::string name() const override;
+  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+
+  MatchingStrategy strategy() const { return strategy_; }
+
+ private:
+  MatchingStrategy strategy_;
+  std::size_t round_ = 0;  // for round-robin colour selection
+};
+
+using ContinuousDimensionExchange = DimensionExchange<double>;
+using DiscreteDimensionExchange = DimensionExchange<std::int64_t>;
+
+std::unique_ptr<ContinuousBalancer> make_dimension_exchange_continuous(
+    MatchingStrategy strategy = MatchingStrategy::kGhoshMuthukrishnan);
+std::unique_ptr<DiscreteBalancer> make_dimension_exchange_discrete(
+    MatchingStrategy strategy = MatchingStrategy::kGhoshMuthukrishnan);
+
+}  // namespace lb::core

@@ -1,0 +1,80 @@
+#include "lb/core/dynamic_runner.hpp"
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/properties.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
+                                        std::size_t dense_cutoff) {
+  DynamicSpectralProfile profile;
+  profile.lambda2_per_round.reserve(rounds);
+  profile.delta_per_round.reserve(rounds);
+  profile.edges_per_round.reserve(rounds);
+  for (std::size_t k = 1; k <= rounds; ++k) {
+    const graph::Graph& g = seq.at_round(k);
+    profile.edges_per_round.push_back(g.num_edges());
+    profile.delta_per_round.push_back(g.max_degree());
+    if (g.num_edges() == 0 || !graph::is_connected(g)) {
+      // λ2 = 0 for disconnected rounds: they contribute nothing to A_K,
+      // matching the theorem (such rounds cannot guarantee any drop).
+      profile.lambda2_per_round.push_back(0.0);
+      ++profile.disconnected_rounds;
+      continue;
+    }
+    profile.lambda2_per_round.push_back(linalg::lambda2(g, dense_cutoff));
+  }
+  profile.average_ratio =
+      bounds::dynamic_average_ratio(profile.lambda2_per_round, profile.delta_per_round);
+  return profile;
+}
+
+template <class T>
+DynamicRunResult run_dynamic(
+    Balancer<T>& balancer,
+    const std::function<std::unique_ptr<graph::GraphSequence>()>& make_sequence,
+    std::vector<T> load, std::size_t rounds, double epsilon, std::size_t dense_cutoff) {
+  DynamicRunResult out;
+
+  {
+    auto profiling_seq = make_sequence();
+    out.profile = profile_sequence(*profiling_seq, rounds, dense_cutoff);
+  }
+
+  const double initial_potential = potential(load);
+  EngineConfig config;
+  config.max_rounds = rounds;
+  config.target_potential = epsilon * initial_potential;
+  config.record_trace = true;
+
+  auto run_seq = make_sequence();
+  out.run = run(balancer, *run_seq, load, config);
+
+  if (out.profile.average_ratio > 0.0) {
+    if constexpr (std::is_integral_v<T>) {
+      out.threshold = bounds::theorem8_threshold(
+          load.size(), out.profile.lambda2_per_round, out.profile.delta_per_round);
+      out.theorem_bound_rounds = bounds::theorem8_rounds(
+          out.profile.average_ratio, initial_potential, out.threshold);
+    } else {
+      out.theorem_bound_rounds =
+          bounds::theorem7_rounds(out.profile.average_ratio, epsilon);
+    }
+  }
+  return out;
+}
+
+#define LB_INSTANTIATE(T)                                                    \
+  template DynamicRunResult run_dynamic<T>(                                  \
+      Balancer<T>&,                                                          \
+      const std::function<std::unique_ptr<graph::GraphSequence>()>&,         \
+      std::vector<T>, std::size_t, double, std::size_t);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::core

@@ -1,0 +1,48 @@
+// Section-5 experiments: run a balancer over a dynamic network while
+// tracking the per-round spectral quantities (λ2(G_k), δ(G_k)) that
+// Theorems 7 and 8 are stated in.  Computing λ2 every round is O(n³) on
+// the dense path, so the runner takes the spectral data from a recorded
+// prefix of the sequence — the caller decides how many rounds to measure.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "lb/core/algorithm.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/graph/dynamic.hpp"
+
+namespace lb::core {
+
+struct DynamicSpectralProfile {
+  std::vector<double> lambda2_per_round;
+  std::vector<std::size_t> delta_per_round;
+  std::vector<std::size_t> edges_per_round;
+  std::size_t disconnected_rounds = 0;
+  double average_ratio = 0.0;  ///< A_K of Theorem 7
+};
+
+/// Replay the first `rounds` graphs of a sequence and record λ2 and δ of
+/// each.  The sequence is consumed (stateful sequences advance), so use a
+/// fresh sequence constructed with the same seed for the actual run.
+DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
+                                        std::size_t dense_cutoff = 512);
+
+struct DynamicRunResult {
+  RunResult run;
+  DynamicSpectralProfile profile;
+  double theorem_bound_rounds = 0.0;  ///< Thm 7 (continuous) or Thm 8 (discrete)
+  double threshold = 0.0;             ///< Thm 8 threshold Φ*; 0 for continuous
+};
+
+/// Run + profile in one call: `make_sequence` must build identically-
+/// seeded sequences on each invocation (it is called twice: once for the
+/// spectral profile, once for the balancing run).
+template <class T>
+DynamicRunResult run_dynamic(
+    Balancer<T>& balancer,
+    const std::function<std::unique_ptr<graph::GraphSequence>()>& make_sequence,
+    std::vector<T> load, std::size_t rounds, double epsilon,
+    std::size_t dense_cutoff = 512);
+
+}  // namespace lb::core

@@ -1,0 +1,73 @@
+#include "lb/core/engine.hpp"
+
+#include "lb/core/load.hpp"
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+template <class T>
+RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& load,
+              const EngineConfig& config) {
+  LB_ASSERT_MSG(load.size() == seq.num_nodes(), "load vector does not match network");
+  util::Rng rng(config.seed);
+
+  RunResult result;
+  result.initial_potential = potential(load);
+  if (config.record_trace) result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
+
+  if (result.initial_potential <= config.target_potential) {
+    result.reached_target = true;
+    result.final_potential = result.initial_potential;
+    result.final_discrepancy = discrepancy(load);
+    return result;
+  }
+
+  std::size_t consecutive_idle = 0;
+  for (std::size_t round = 1; round <= config.max_rounds; ++round) {
+    const graph::Graph& g = seq.at_round(round);
+    const StepStats stats = balancer.step(g, load, rng);
+    ++result.rounds;
+
+    const LoadSummary<T> summary = summarize(load);
+    if (config.record_trace) {
+      result.trace.add(RoundRecord{round, summary.potential, summary.discrepancy,
+                                   stats.transferred, stats.active_edges});
+    }
+    result.final_potential = summary.potential;
+    result.final_discrepancy = summary.discrepancy;
+
+    if (summary.potential <= config.target_potential) {
+      result.reached_target = true;
+      return result;
+    }
+    if (stats.transferred == 0.0) {
+      ++consecutive_idle;
+      if (config.stall_rounds > 0 && consecutive_idle >= config.stall_rounds) {
+        result.stalled = true;
+        return result;
+      }
+    } else {
+      consecutive_idle = 0;
+    }
+  }
+  return result;
+}
+
+template <class T>
+RunResult run_static(Balancer<T>& balancer, const graph::Graph& g, std::vector<T>& load,
+                     const EngineConfig& config) {
+  auto seq = graph::make_static_sequence(g);
+  return run(balancer, *seq, load, config);
+}
+
+#define LB_INSTANTIATE(T)                                                           \
+  template RunResult run<T>(Balancer<T>&, graph::GraphSequence&, std::vector<T>&,   \
+                            const EngineConfig&);                                   \
+  template RunResult run_static<T>(Balancer<T>&, const graph::Graph&,               \
+                                   std::vector<T>&, const EngineConfig&);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::core

@@ -1,0 +1,47 @@
+// The round-based simulation engine: runs a Balancer over a (possibly
+// dynamic) network until the potential target, a stall, or the round
+// budget is hit.  This is the substrate substitution for the paper's
+// abstract message-passing machine — the theorems speak about synchronous
+// rounds, which is exactly what the engine executes (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+
+#include "lb/core/algorithm.hpp"
+#include "lb/core/trace.hpp"
+#include "lb/graph/dynamic.hpp"
+
+namespace lb::core {
+
+struct EngineConfig {
+  std::size_t max_rounds = 1'000'000;
+  /// Stop as soon as Φ <= this value.
+  double target_potential = 1e-12;
+  /// Stop after this many consecutive rounds with zero transfers (the
+  /// discrete fixed point: every edge's floored flow is 0).  0 disables.
+  std::size_t stall_rounds = 3;
+  bool record_trace = true;
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  bool reached_target = false;
+  bool stalled = false;
+  std::size_t rounds = 0;           ///< rounds actually executed
+  double initial_potential = 0.0;
+  double final_potential = 0.0;
+  double final_discrepancy = 0.0;
+  Trace trace;                      ///< empty unless record_trace
+};
+
+/// Run `balancer` on the dynamic network `seq`, mutating `load` in place.
+template <class T>
+RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& load,
+              const EngineConfig& config = {});
+
+/// Convenience wrapper for a fixed network.
+template <class T>
+RunResult run_static(Balancer<T>& balancer, const graph::Graph& g, std::vector<T>& load,
+                     const EngineConfig& config = {});
+
+}  // namespace lb::core

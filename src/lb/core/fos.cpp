@@ -1,0 +1,56 @@
+#include "lb/core/fos.hpp"
+
+#include <cmath>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
+
+namespace lb::core {
+
+StepStats FirstOrderScheme::step(const graph::Graph& g, std::vector<double>& load,
+                                 util::Rng& /*rng*/) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
+  next_.assign(load.size(), 0.0);
+
+  auto sweep = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      const double lu = load[u];
+      double acc = lu;
+      for (graph::NodeId v : g.neighbors(static_cast<graph::NodeId>(u))) {
+        acc += alpha * (load[v] - lu);
+      }
+      next_[u] = acc;
+    }
+  };
+  if (parallel_) {
+    util::ThreadPool::global().parallel_for(0, load.size(), 1024, sweep);
+  } else {
+    sweep(0, load.size());
+  }
+
+  StepStats stats;
+  stats.links = g.num_edges();
+  for (const graph::Edge& e : g.edges()) {
+    const double f = alpha * std::fabs(load[e.u] - load[e.v]);
+    if (f > 0.0) {
+      stats.transferred += f;
+      ++stats.active_edges;
+    }
+  }
+  load.swap(next_);
+  return stats;
+}
+
+std::unique_ptr<ContinuousBalancer> make_fos_continuous() {
+  return std::make_unique<FirstOrderScheme>();
+}
+
+std::unique_ptr<DiscreteBalancer> make_fos_discrete() {
+  DiffusionConfig cfg;
+  cfg.rule = DenominatorRule::kDegreePlusOne;
+  return std::make_unique<DiscreteDiffusion>(cfg);
+}
+
+}  // namespace lb::core

@@ -1,0 +1,36 @@
+// First-order scheme (FOS) of Cybenko [3] / Boillat [2]: L^{t+1} = M·L^t
+// with the uniform diffusion matrix M (α = 1/(δ+1)).
+//
+// Two equivalent continuous implementations are provided:
+//   * FirstOrderScheme — matrix-free neighbour sweep (O(m) per round,
+//     parallelized over nodes), the production path;
+//   * the flow-form DiffusionBalancer with DenominatorRule::kDegreePlusOne
+//     (diffusion.hpp), which the tests use to cross-validate this one.
+// The discrete first-order scheme of Muthukrishnan–Ghosh–Schultz [15]
+// (integer flows, floored per edge) is exactly the flow form with
+// kDegreePlusOne over Tokens; make_fos_discrete() returns it.
+#pragma once
+
+#include <memory>
+
+#include "lb/core/algorithm.hpp"
+
+namespace lb::core {
+
+class FirstOrderScheme final : public Balancer<double> {
+ public:
+  explicit FirstOrderScheme(bool parallel = true) : parallel_(parallel) {}
+
+  std::string name() const override { return "fos"; }
+  StepStats step(const graph::Graph& g, std::vector<double>& load,
+                 util::Rng& rng) override;
+
+ private:
+  bool parallel_;
+  std::vector<double> next_;
+};
+
+std::unique_ptr<ContinuousBalancer> make_fos_continuous();
+std::unique_ptr<DiscreteBalancer> make_fos_discrete();
+
+}  // namespace lb::core

@@ -1,0 +1,124 @@
+#include "lb/core/heterogeneous.hpp"
+
+#include <cmath>
+
+#include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
+
+namespace lb::core {
+
+template <class T>
+double weighted_potential(const std::vector<T>& load, const std::vector<double>& speed) {
+  LB_ASSERT_MSG(load.size() == speed.size(), "load/speed size mismatch");
+  double total = 0.0, total_speed = 0.0;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    total += static_cast<double>(load[i]);
+    total_speed += speed[i];
+  }
+  if (total_speed <= 0.0) return 0.0;
+  const double share = total / total_speed;  // W/S
+  double acc = 0.0;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    const double d = static_cast<double>(load[i]) / speed[i] - share;
+    acc += speed[i] * d * d;
+  }
+  return acc;
+}
+
+template <class T>
+double weighted_discrepancy(const std::vector<T>& load,
+                            const std::vector<double>& speed) {
+  LB_ASSERT_MSG(load.size() == speed.size(), "load/speed size mismatch");
+  double total = 0.0, total_speed = 0.0;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    total += static_cast<double>(load[i]);
+    total_speed += speed[i];
+  }
+  if (total_speed <= 0.0) return 0.0;
+  const double share = total / total_speed;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    worst = std::max(worst,
+                     std::fabs(static_cast<double>(load[i]) / speed[i] - share));
+  }
+  return worst;
+}
+
+template <class T>
+HeterogeneousDiffusion<T>::HeterogeneousDiffusion(std::vector<double> speed)
+    : speed_(std::move(speed)) {
+  for (double s : speed_) {
+    LB_ASSERT_MSG(s > 0.0, "node speeds must be positive");
+  }
+}
+
+template <class T>
+StepStats HeterogeneousDiffusion<T>::step(const graph::Graph& g, std::vector<T>& load,
+                                          util::Rng& /*rng*/) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  LB_ASSERT_MSG(speed_.size() == g.num_nodes(), "speed vector does not match graph");
+  const auto& edges = g.edges();
+  flows_.assign(edges.size(), 0.0);
+
+  util::ThreadPool::global().parallel_for(
+      0, edges.size(), 2048, [this, &g, &load, &edges](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const graph::Edge& e = edges[k];
+          const double ni = static_cast<double>(load[e.u]) / speed_[e.u];
+          const double nj = static_cast<double>(load[e.v]) / speed_[e.v];
+          if (ni == nj) continue;
+          const double harmonic =
+              2.0 * speed_[e.u] * speed_[e.v] / (speed_[e.u] + speed_[e.v]);
+          const double denom =
+              4.0 * static_cast<double>(std::max(g.degree(e.u), g.degree(e.v)));
+          double w = std::fabs(ni - nj) * harmonic / denom;
+          if constexpr (std::is_integral_v<T>) {
+            w = std::floor(w);
+          }
+          flows_[k] = ni > nj ? w : -w;
+        }
+      });
+
+  StepStats stats;
+  stats.links = edges.size();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const double f = flows_[k];
+    if (f == 0.0) continue;
+    const graph::Edge& e = edges[k];
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    if (f > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+  return stats;
+}
+
+template double weighted_potential<double>(const std::vector<double>&,
+                                           const std::vector<double>&);
+template double weighted_potential<std::int64_t>(const std::vector<std::int64_t>&,
+                                                 const std::vector<double>&);
+template double weighted_discrepancy<double>(const std::vector<double>&,
+                                             const std::vector<double>&);
+template double weighted_discrepancy<std::int64_t>(const std::vector<std::int64_t>&,
+                                                   const std::vector<double>&);
+template class HeterogeneousDiffusion<double>;
+template class HeterogeneousDiffusion<std::int64_t>;
+
+std::unique_ptr<ContinuousBalancer> make_heterogeneous_continuous(
+    std::vector<double> speed) {
+  return std::make_unique<ContinuousHeterogeneousDiffusion>(std::move(speed));
+}
+
+std::unique_ptr<DiscreteBalancer> make_heterogeneous_discrete(
+    std::vector<double> speed) {
+  return std::make_unique<DiscreteHeterogeneousDiffusion>(std::move(speed));
+}
+
+}  // namespace lb::core

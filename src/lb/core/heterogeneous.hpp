@@ -1,0 +1,66 @@
+// Heterogeneous diffusion: nodes with different processing speeds.
+//
+// Elsässer, Monien & Preis ("Diffusion Schemes for Load Balancing on
+// Heterogeneous Networks", reference [9] of the paper) generalize
+// neighbourhood balancing to machines where node i has speed s_i > 0 and
+// the fair share of the total work W is s_i·W/Σs rather than W/n.  The
+// natural generalization of Algorithm 1 balances *normalized* loads
+// ℓ_i/s_i: an edge (i,j) with ℓ_i/s_i > ℓ_j/s_j moves
+//
+//     w = (ℓ_i/s_i − ℓ_j/s_j) · h_ij / (4·max(d_i, d_j)),
+//     h_ij = harmonic mean of (s_i, s_j) = 2 s_i s_j / (s_i + s_j),
+//
+// which reduces to the paper's rule when all speeds are 1 and keeps the
+// weighted potential  Φ_s(L) = Σ_i s_i·(ℓ_i/s_i − W/Σs)²  non-increasing
+// (the h_ij factor guarantees the normalized gap cannot overshoot: the
+// normalized transfer w/s seen by either endpoint is at most the gap
+// divided by 2·max(d_i,d_j)).
+//
+// Extension feature beyond the paper's uniform-speed model; tested for
+// conservation, monotone weighted potential, and convergence to the
+// proportional share on every topology family.
+#pragma once
+
+#include <memory>
+
+#include "lb/core/algorithm.hpp"
+
+namespace lb::core {
+
+/// Weighted potential Φ_s(L) = Σ_i s_i (ℓ_i/s_i − W/S)², S = Σ_i s_i.
+/// Zero exactly at the proportional distribution ℓ_i = s_i·W/S.
+template <class T>
+double weighted_potential(const std::vector<T>& load, const std::vector<double>& speed);
+
+/// Max_i |ℓ_i/s_i − W/S| — the normalized discrepancy.
+template <class T>
+double weighted_discrepancy(const std::vector<T>& load,
+                            const std::vector<double>& speed);
+
+template <class T>
+class HeterogeneousDiffusion final : public Balancer<T> {
+ public:
+  /// `speed[i] > 0` for all i.
+  explicit HeterogeneousDiffusion(std::vector<double> speed);
+
+  std::string name() const override {
+    return std::is_integral_v<T> ? "hetero-diffusion-disc" : "hetero-diffusion-cont";
+  }
+  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+
+  const std::vector<double>& speed() const { return speed_; }
+
+ private:
+  std::vector<double> speed_;
+  std::vector<double> flows_;
+};
+
+using ContinuousHeterogeneousDiffusion = HeterogeneousDiffusion<double>;
+using DiscreteHeterogeneousDiffusion = HeterogeneousDiffusion<std::int64_t>;
+
+std::unique_ptr<ContinuousBalancer> make_heterogeneous_continuous(
+    std::vector<double> speed);
+std::unique_ptr<DiscreteBalancer> make_heterogeneous_discrete(
+    std::vector<double> speed);
+
+}  // namespace lb::core

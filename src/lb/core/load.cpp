@@ -1,0 +1,119 @@
+#include "lb/core/load.hpp"
+
+#include <algorithm>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+template <class T>
+T total_load(const std::vector<T>& load) {
+  T acc{};
+  for (const T& v : load) acc += v;
+  return acc;
+}
+
+template <class T>
+double average_load(const std::vector<T>& load) {
+  if (load.empty()) return 0.0;
+  return static_cast<double>(total_load(load)) / static_cast<double>(load.size());
+}
+
+template <class T>
+double potential(const std::vector<T>& load) {
+  const double avg = average_load(load);
+  double acc = 0.0;
+  for (const T& v : load) {
+    const double d = static_cast<double>(v) - avg;
+    acc += d * d;
+  }
+  return acc;
+}
+
+template <class T>
+double discrepancy(const std::vector<T>& load) {
+  if (load.empty()) return 0.0;
+  const auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+  return static_cast<double>(*mx) - static_cast<double>(*mn);
+}
+
+template <class T>
+LoadSummary<T> summarize(const std::vector<T>& load) {
+  LoadSummary<T> s;
+  if (load.empty()) return s;
+  s.total = total_load(load);
+  s.average = static_cast<double>(s.total) / static_cast<double>(load.size());
+  s.min = s.max = load.front();
+  double acc = 0.0;
+  for (const T& v : load) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    const double d = static_cast<double>(v) - s.average;
+    acc += d * d;
+  }
+  s.potential = acc;
+  s.discrepancy = static_cast<double>(s.max) - static_cast<double>(s.min);
+  return s;
+}
+
+template <class T>
+double pairwise_square_sum(const std::vector<T>& load) {
+  // Σ_i Σ_j (ℓ_i − ℓ_j)² = 2n Σ ℓ_i² − 2 (Σ ℓ_i)², evaluated directly.
+  const double n = static_cast<double>(load.size());
+  double sum = 0.0, sum_sq = 0.0;
+  for (const T& v : load) {
+    const double x = static_cast<double>(v);
+    sum += x;
+    sum_sq += x * x;
+  }
+  return 2.0 * n * sum_sq - 2.0 * sum * sum;
+}
+
+template <class T>
+double pairwise_square_sum_naive(const std::vector<T>& load) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    for (std::size_t j = 0; j < load.size(); ++j) {
+      const double d = static_cast<double>(load[i]) - static_cast<double>(load[j]);
+      acc += d * d;
+    }
+  }
+  return acc;
+}
+
+template <class T>
+double edge_difference_sum(const graph::Graph& g, const std::vector<T>& load) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  double acc = 0.0;
+  for (const graph::Edge& e : g.edges()) {
+    const double d = static_cast<double>(load[e.u]) - static_cast<double>(load[e.v]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+template <class T>
+bool all_non_negative(const std::vector<T>& load) {
+  for (const T& v : load) {
+    if (v < T{}) return false;
+  }
+  return true;
+}
+
+// Explicit instantiations for the two scalar models of the paper.
+#define LB_INSTANTIATE(T)                                                   \
+  template T total_load<T>(const std::vector<T>&);                          \
+  template double average_load<T>(const std::vector<T>&);                   \
+  template double potential<T>(const std::vector<T>&);                      \
+  template double discrepancy<T>(const std::vector<T>&);                    \
+  template LoadSummary<T> summarize<T>(const std::vector<T>&);              \
+  template double pairwise_square_sum<T>(const std::vector<T>&);            \
+  template double pairwise_square_sum_naive<T>(const std::vector<T>&);      \
+  template double edge_difference_sum<T>(const graph::Graph&, const std::vector<T>&); \
+  template bool all_non_negative<T>(const std::vector<T>&);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::core

@@ -1,0 +1,76 @@
+// Load vectors and the potential function Φ.
+//
+// The paper models load as a vector L = (ℓ_1, ..., ℓ_n); the continuous
+// setting allows arbitrarily divisible load (double), the discrete one
+// indivisible unit tokens (int64).  All analysis quantities — the average
+// load ℓ̄, the potential Φ(L) = Σ_i (ℓ_i − ℓ̄)², the discrepancy
+// K = max_i ℓ_i − min_i ℓ_i, and the ℓ2 error — are computed in double.
+//
+// Everything in lb::core is templated over the scalar T ∈ {double,
+// int64_t}; the two instantiations are compiled once in load.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/graph/graph.hpp"
+
+namespace lb::core {
+
+/// Continuous load scalar.
+using Real = double;
+/// Discrete (token) load scalar.
+using Tokens = std::int64_t;
+
+template <class T>
+struct LoadSummary {
+  T total{};
+  double average = 0.0;
+  double potential = 0.0;    ///< Φ(L) = Σ (ℓ_i − ℓ̄)²
+  double discrepancy = 0.0;  ///< max − min
+  T min{};
+  T max{};
+};
+
+/// Sum of all load (exact for Tokens; numerically summed for Real).
+template <class T>
+T total_load(const std::vector<T>& load);
+
+/// Average load ℓ̄ as a double.
+template <class T>
+double average_load(const std::vector<T>& load);
+
+/// Potential Φ(L) = Σ_i (ℓ_i − ℓ̄)².  This is the potential function the
+/// paper's Lemmas 1–13 are stated over.
+template <class T>
+double potential(const std::vector<T>& load);
+
+/// Discrepancy K = max_i ℓ_i − min_i ℓ_i (0 for empty vectors).
+template <class T>
+double discrepancy(const std::vector<T>& load);
+
+/// All of the above in one pass.
+template <class T>
+LoadSummary<T> summarize(const std::vector<T>& load);
+
+/// Σ_i Σ_j (ℓ_i − ℓ_j)² — the left side of Lemma 10; equals 2n·Φ(L).
+/// Computed directly in O(n) via the algebraic identity with the sums,
+/// and exercised quadratically in the tests for the lemma check.
+template <class T>
+double pairwise_square_sum(const std::vector<T>& load);
+
+/// O(n²) literal evaluation of Σ_i Σ_j (ℓ_i − ℓ_j)², for validating the
+/// identity of Lemma 10 in tests and benches.
+template <class T>
+double pairwise_square_sum_naive(const std::vector<T>& load);
+
+/// Σ_{(i,j) ∈ E} (ℓ_i − ℓ_j)² — the Dirichlet form x^T L x appearing in
+/// Lemma 2 and Lemma 3 (with x the centered load vector).
+template <class T>
+double edge_difference_sum(const graph::Graph& g, const std::vector<T>& load);
+
+/// True when no entry is negative (invariant of all our algorithms).
+template <class T>
+bool all_non_negative(const std::vector<T>& load);
+
+}  // namespace lb::core

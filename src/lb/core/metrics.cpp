@@ -1,0 +1,51 @@
+#include "lb/core/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "lb/util/stats.hpp"
+
+namespace lb::core {
+
+ConvergenceReport analyze(const Trace& trace, double initial_potential, double epsilon,
+                          double floor_potential) {
+  ConvergenceReport rep;
+  rep.initial_potential = initial_potential;
+  rep.rounds = trace.size();
+  if (trace.empty()) {
+    rep.final_potential = initial_potential;
+    return rep;
+  }
+  rep.final_potential = trace[trace.size() - 1].potential;
+  rep.rounds_to_epsilon = trace.first_round_at_or_below(epsilon * initial_potential);
+
+  // Geometric mean of the per-round ratios over the decaying prefix.
+  double log_sum = 0.0;
+  std::size_t terms = 0;
+  double prev = initial_potential;
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double cur = trace[i].potential;
+    if (prev > floor_potential && cur > floor_potential) {
+      log_sum += std::log(cur / prev);
+      ++terms;
+      xs.push_back(static_cast<double>(trace[i].round));
+      ys.push_back(std::log(cur));
+    }
+    prev = cur;
+  }
+  if (terms > 0) rep.mean_drop_ratio = std::exp(log_sum / static_cast<double>(terms));
+  if (xs.size() >= 2) {
+    const util::LinearFit fit = util::linear_fit(xs, ys);
+    rep.log_slope = fit.slope;
+    rep.fit_r_squared = fit.r_squared;
+  }
+  return rep;
+}
+
+double safe_ratio(double measured, double bound) {
+  if (bound == 0.0) return measured == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  return measured / bound;
+}
+
+}  // namespace lb::core

@@ -1,0 +1,36 @@
+// Convergence analysis of run traces: rounds-to-ε, empirical per-round
+// drop rates, and comparisons against the theorem predictions.
+#pragma once
+
+#include <cstddef>
+
+#include "lb/core/trace.hpp"
+
+namespace lb::core {
+
+struct ConvergenceReport {
+  std::size_t rounds = 0;              ///< rounds recorded in the trace
+  double initial_potential = 0.0;
+  double final_potential = 0.0;
+  /// First round with Φ <= ε·Φ(L⁰); 0 if never reached.
+  std::size_t rounds_to_epsilon = 0;
+  /// Geometric-mean per-round potential ratio Φ^t/Φ^{t-1} over the trace
+  /// prefix where Φ > floor_potential (avoids the flat tail poisoning the
+  /// estimate).
+  double mean_drop_ratio = 1.0;
+  /// Slope of the least-squares fit of ln Φ versus round (negative when
+  /// converging); exp(slope) is an alternative rate estimate.
+  double log_slope = 0.0;
+  double fit_r_squared = 0.0;
+};
+
+/// Analyze a trace produced by engine::run.  `initial_potential` is the
+/// potential of the starting load (the trace stores post-round values).
+ConvergenceReport analyze(const Trace& trace, double initial_potential,
+                          double epsilon = 1e-6, double floor_potential = 1e-9);
+
+/// Measured/predicted ratio helpers for tables: returns measured/bound,
+/// guarding the zero cases.
+double safe_ratio(double measured, double bound);
+
+}  // namespace lb::core

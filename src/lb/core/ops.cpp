@@ -1,0 +1,93 @@
+#include "lb/core/ops.hpp"
+
+#include <cmath>
+
+#include "lb/linalg/spectral.hpp"
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+OptimalPolynomialScheme::OptimalPolynomialScheme(double eigenvalue_tolerance)
+    : tol_(eigenvalue_tolerance) {
+  LB_ASSERT_MSG(tol_ > 0.0, "eigenvalue tolerance must be positive");
+}
+
+StepStats OptimalPolynomialScheme::step(const graph::Graph& g,
+                                        std::vector<double>& load, util::Rng& /*rng*/) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  if (schedule_.empty()) {
+    const linalg::Vector spectrum = linalg::laplacian_spectrum(g);
+    std::vector<double> distinct;
+    for (double lambda : spectrum) {
+      if (lambda <= tol_) continue;  // skip the kernel (and numerical zeros)
+      if (!distinct.empty() && std::fabs(lambda - distinct.back()) <= tol_) continue;
+      distinct.push_back(lambda);
+    }
+    LB_ASSERT_MSG(!distinct.empty(), "graph has no nonzero Laplacian eigenvalues");
+
+    // Leja ordering: applying the factors (1 − λ/λ_k) in ascending λ_k
+    // order amplifies the high modes catastrophically on spectra with
+    // many eigenvalues (path graphs overflow double).  Greedily ordering
+    // each next λ_k to maximize Π|λ_k − chosen| keeps the intermediate
+    // polynomial bounded — the standard stabilization for polynomial
+    // iterations.
+    std::vector<bool> used(distinct.size(), false);
+    // Start from the largest eigenvalue.
+    std::size_t first = distinct.size() - 1;
+    used[first] = true;
+    schedule_.push_back(distinct[first]);
+    while (schedule_.size() < distinct.size()) {
+      std::size_t best = distinct.size();
+      double best_score = -1.0;
+      for (std::size_t i = 0; i < distinct.size(); ++i) {
+        if (used[i]) continue;
+        // Product of log-distances to the chosen set (log to avoid
+        // overflow in the score itself).
+        double score = 0.0;
+        for (double chosen : schedule_) {
+          score += std::log(std::fabs(distinct[i] - chosen));
+        }
+        if (best == distinct.size() || score > best_score) {
+          best = i;
+          best_score = score;
+        }
+      }
+      used[best] = true;
+      schedule_.push_back(distinct[best]);
+    }
+    bound_nodes_ = g.num_nodes();
+    bound_edges_ = g.num_edges();
+  }
+  LB_ASSERT_MSG(g.num_nodes() == bound_nodes_ && g.num_edges() == bound_edges_,
+                "OPS schedule was computed for a different graph");
+
+  const double lambda = schedule_[position_ % schedule_.size()];
+  ++position_;
+
+  // lx = Laplacian * load, matrix-free.
+  lx_.assign(load.size(), 0.0);
+  for (std::size_t u = 0; u < load.size(); ++u) {
+    double acc = static_cast<double>(g.degree(static_cast<graph::NodeId>(u))) * load[u];
+    for (graph::NodeId v : g.neighbors(static_cast<graph::NodeId>(u))) acc -= load[v];
+    lx_[u] = acc;
+  }
+
+  StepStats stats;
+  stats.links = g.num_edges();
+  const double inv = 1.0 / lambda;
+  for (const graph::Edge& e : g.edges()) {
+    const double f = inv * std::fabs(load[e.u] - load[e.v]);
+    if (f > 0.0) {
+      stats.transferred += f;
+      ++stats.active_edges;
+    }
+  }
+  for (std::size_t u = 0; u < load.size(); ++u) load[u] -= inv * lx_[u];
+  return stats;
+}
+
+std::unique_ptr<ContinuousBalancer> make_ops() {
+  return std::make_unique<OptimalPolynomialScheme>();
+}
+
+}  // namespace lb::core

@@ -1,0 +1,54 @@
+// Optimal Polynomial Scheme (OPS) of Diekmann, Frommer & Monien [7].
+//
+// Given the m distinct nonzero eigenvalues λ_1 < ... < λ_m of the graph
+// Laplacian, the iteration
+//
+//   L^k = L^{k-1} − (1/λ_k) · (Laplacian · L^{k-1})
+//
+// applies the error polynomial p(λ) = Π_k (1 − λ/λ_k), which vanishes on
+// every nonzero eigenvalue — so after exactly m rounds the load is
+// perfectly balanced (up to floating-point error).  This is the strongest
+// continuous comparator in the paper's related-work section and a direct
+// consumer of the library's own eigensolver (the environment has no
+// Eigen, so the spectrum comes from lb::linalg).
+//
+// Continuous only; intermediate loads may go negative (a known property
+// of polynomial flow schemes).  Requires a static graph: the spectrum is
+// computed on first step and the schedule asserts the graph stays put.
+#pragma once
+
+#include <memory>
+
+#include "lb/core/algorithm.hpp"
+
+namespace lb::core {
+
+class OptimalPolynomialScheme final : public Balancer<double> {
+ public:
+  /// `eigenvalue_tolerance` clusters numerically-equal eigenvalues when
+  /// extracting the distinct values.
+  explicit OptimalPolynomialScheme(double eigenvalue_tolerance = 1e-8);
+
+  std::string name() const override { return "ops"; }
+  StepStats step(const graph::Graph& g, std::vector<double>& load,
+                 util::Rng& rng) override;
+
+  /// Number of rounds needed for perfect balance (m = #distinct nonzero
+  /// Laplacian eigenvalues); 0 before the first step.
+  std::size_t schedule_length() const { return schedule_.size(); }
+  /// Rounds already executed; past schedule_length() the scheme restarts
+  /// its schedule (useful when loads changed externally).
+  std::size_t position() const { return position_; }
+
+ private:
+  double tol_;
+  std::vector<double> schedule_;  // distinct nonzero eigenvalues, ascending
+  std::size_t position_ = 0;
+  std::size_t bound_nodes_ = 0;   // sanity: graph must not change
+  std::size_t bound_edges_ = 0;
+  std::vector<double> lx_;        // scratch: Laplacian * load
+};
+
+std::unique_ptr<ContinuousBalancer> make_ops();
+
+}  // namespace lb::core

@@ -1,0 +1,74 @@
+#include "lb/core/random_partner.hpp"
+
+#include <cmath>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+PartnerLinks sample_partner_links(std::size_t n, util::Rng& rng) {
+  LB_ASSERT_MSG(n >= 2, "random partners need at least two nodes");
+  PartnerLinks links;
+  links.partner.resize(n);
+  links.degree.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Uniform over the other n−1 nodes.
+    std::size_t j = static_cast<std::size_t>(rng.next_below(n - 1));
+    if (j >= i) ++j;
+    links.partner[i] = static_cast<graph::NodeId>(j);
+    ++links.degree[i];
+    ++links.degree[j];
+  }
+  return links;
+}
+
+template <class T>
+StepStats RandomPartnerBalancer<T>::step(const graph::Graph& /*g*/, std::vector<T>& load,
+                                         util::Rng& rng) {
+  const std::size_t n = load.size();
+  const PartnerLinks links = sample_partner_links(n, rng);
+
+  // All transfers are computed from the round-start snapshot and applied
+  // at the end — the concurrent semantics of Algorithm 2.
+  delta_.assign(n, T{});
+  StepStats stats;
+  stats.links = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = links.partner[i];
+    const double li = static_cast<double>(load[i]);
+    const double lj = static_cast<double>(load[j]);
+    if (li == lj) continue;
+    const double denom =
+        4.0 * static_cast<double>(std::max(links.degree[i], links.degree[j]));
+    double w = std::fabs(li - lj) / denom;
+    if constexpr (std::is_integral_v<T>) {
+      w = std::floor(w);
+    }
+    const T amount = static_cast<T>(w);
+    if (amount == T{}) continue;
+    if (li > lj) {
+      delta_[i] -= amount;
+      delta_[j] += amount;
+    } else {
+      delta_[j] -= amount;
+      delta_[i] += amount;
+    }
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+  for (std::size_t i = 0; i < n; ++i) load[i] += delta_[i];
+  return stats;
+}
+
+template class RandomPartnerBalancer<double>;
+template class RandomPartnerBalancer<std::int64_t>;
+
+std::unique_ptr<ContinuousBalancer> make_random_partner_continuous() {
+  return std::make_unique<ContinuousRandomPartner>();
+}
+
+std::unique_ptr<DiscreteBalancer> make_random_partner_discrete() {
+  return std::make_unique<DiscreteRandomPartner>();
+}
+
+}  // namespace lb::core

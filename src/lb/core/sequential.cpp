@@ -1,0 +1,158 @@
+#include "lb/core/sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lb/core/load.hpp"
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+namespace {
+
+// Potential change caused by moving `amount` from the node currently
+// holding `sender_load` to the one holding `receiver_load`:
+//   ΔΦ = (s − ℓ̄)² + (r − ℓ̄)² − (s−a − ℓ̄)² − (r+a − ℓ̄)²
+//      = 2a·(s − r − a)                       (the ℓ̄ terms cancel).
+double potential_drop_of_transfer(double sender_load, double receiver_load,
+                                  double amount) {
+  return 2.0 * amount * (sender_load - receiver_load - amount);
+}
+
+}  // namespace
+
+template <class T>
+SequentialLedger sequentialize_round(const graph::Graph& g, const std::vector<T>& load,
+                                     const DiffusionConfig& cfg) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  const auto& edges = g.edges();
+
+  SequentialLedger ledger;
+  ledger.initial_potential = potential(load);
+  ledger.lemma2_bound =
+      edge_difference_sum(g, load) /
+      (cfg.factor * static_cast<double>(std::max<std::size_t>(g.max_degree(), 1)));
+
+  // Snapshot weights (Algorithm 1's transfer amounts, fixed for the round).
+  struct Entry {
+    std::size_t edge_index;
+    double raw_weight;    // unrounded w_ij
+    double moved;         // actual transfer (⌊w⌋ for discrete)
+    double start_diff;    // |ℓ_i − ℓ_j| at round start
+    bool u_sends;         // direction: true if load[u] > load[v]
+  };
+  std::vector<Entry> entries;
+  entries.reserve(edges.size());
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    const double li = static_cast<double>(load[e.u]);
+    const double lj = static_cast<double>(load[e.v]);
+    const double raw = diffusion_edge_weight(g, e.u, e.v, li, lj, cfg);
+    double moved = raw;
+    if constexpr (std::is_integral_v<T>) {
+      moved = std::floor(raw);
+    }
+    entries.push_back(Entry{k, raw, moved, std::fabs(li - lj), li > lj});
+  }
+  // The paper activates edges in increasing order of weight.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.raw_weight < b.raw_weight; });
+
+  // Working copy of the loads, in double so fractional transfers compose.
+  std::vector<double> cur(load.size());
+  for (std::size_t i = 0; i < load.size(); ++i) cur[i] = static_cast<double>(load[i]);
+
+  ledger.activations.reserve(entries.size());
+  for (const Entry& ent : entries) {
+    const graph::Edge& e = edges[ent.edge_index];
+    const graph::NodeId sender = ent.u_sends ? e.u : e.v;
+    const graph::NodeId receiver = ent.u_sends ? e.v : e.u;
+
+    EdgeActivation act;
+    act.edge = e;
+    act.raw_weight = ent.raw_weight;
+    act.weight = ent.moved;
+    act.start_difference = ent.start_diff;
+    act.lemma1_bound = ent.moved * ent.start_diff;
+    if (ent.moved > 0.0) {
+      act.potential_drop =
+          potential_drop_of_transfer(cur[sender], cur[receiver], ent.moved);
+      cur[sender] -= ent.moved;
+      cur[receiver] += ent.moved;
+    }
+    const double slack = 1e-9 * std::max(1.0, std::fabs(act.lemma1_bound));
+    act.certified = act.potential_drop >= act.lemma1_bound - slack;
+    ledger.all_certified = ledger.all_certified && act.certified;
+    ledger.total_drop += act.potential_drop;
+    ledger.activations.push_back(act);
+  }
+
+  ledger.final_potential = potential(cur);
+  return ledger;
+}
+
+template <class T>
+GreedySequentialResult greedy_sequential_round(const graph::Graph& g,
+                                               std::vector<T>& load,
+                                               const DiffusionConfig& cfg) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  const auto& edges = g.edges();
+
+  GreedySequentialResult out;
+  out.initial_potential = potential(load);
+
+  // Order by snapshot weight (same schedule as the sequentialized round),
+  // but each activation recomputes its transfer from the current state.
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> snapshot_weight(edges.size());
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    snapshot_weight[k] =
+        diffusion_edge_weight(g, e.u, e.v, static_cast<double>(load[e.u]),
+                              static_cast<double>(load[e.v]), cfg);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return snapshot_weight[a] < snapshot_weight[b];
+  });
+
+  for (std::size_t k : order) {
+    const graph::Edge& e = edges[k];
+    const double li = static_cast<double>(load[e.u]);
+    const double lj = static_cast<double>(load[e.v]);
+    if (li == lj) continue;
+    double w = diffusion_edge_weight(g, e.u, e.v, li, lj, cfg);
+    if constexpr (std::is_integral_v<T>) {
+      w = std::floor(w);
+    }
+    const T amount = static_cast<T>(w);
+    if (amount == T{}) continue;
+    if (li > lj) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+    ++out.active_edges;
+  }
+
+  out.final_potential = potential(load);
+  out.total_drop = out.initial_potential - out.final_potential;
+  return out;
+}
+
+#define LB_INSTANTIATE(T)                                                          \
+  template SequentialLedger sequentialize_round<T>(const graph::Graph&,            \
+                                                   const std::vector<T>&,          \
+                                                   const DiffusionConfig&);        \
+  template GreedySequentialResult greedy_sequential_round<T>(const graph::Graph&,  \
+                                                             std::vector<T>&,      \
+                                                             const DiffusionConfig&);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::core

@@ -1,0 +1,79 @@
+// The paper's proof technique, made executable.
+//
+// Algorithm 1 computes every edge's transfer amount from the round-start
+// state L^{t-1} and applies them all concurrently.  Because the amounts
+// are fixed, applying them one edge at a time — in *increasing order of
+// weight* w_ij = |ℓ_i − ℓ_j| / (4·max(d_i,d_j)), as the paper prescribes —
+// reaches exactly the same end state, and the round's total potential
+// drop decomposes into per-edge drops ΔΦ_k.
+//
+// Lemma 1 certifies each term:   ΔΦ_k ≥ w_ij · |ℓ_i^{t-1} − ℓ_j^{t-1}|
+// (for the discrete variant with w replaced by ⌊w⌋).  Summing and
+// invoking the Courant–Fischer bound (Lemma 3) yields the per-round drop
+// Φ(L^{t-1}) − Φ(L^t) ≥ (λ2/4δ)·Φ(L^{t-1}) of Theorem 4.
+//
+// sequentialize_round() produces the full activation ledger with the
+// certificate checked per edge; it is used by tests (property: no
+// instance violates Lemma 1), by bench_seq_ledger (E1) and by
+// bench_seq_vs_concurrent (E4), which also compares against
+// greedy_sequential_round() — the "true" sequential algorithm that
+// re-evaluates the transfer from the *current* state before each
+// activation, quantifying how much the concurrency actually costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/graph/graph.hpp"
+
+namespace lb::core {
+
+/// One edge activation in the sequentialized round.
+struct EdgeActivation {
+  graph::Edge edge;
+  double weight = 0.0;        ///< transfer amount actually moved (⌊w⌋ for discrete)
+  double raw_weight = 0.0;    ///< unrounded w_ij from the snapshot
+  double start_difference = 0.0;  ///< |ℓ_i^{t-1} − ℓ_j^{t-1}| (snapshot)
+  double potential_drop = 0.0;    ///< ΔΦ_k from this activation
+  double lemma1_bound = 0.0;      ///< weight · start_difference
+  bool certified = false;         ///< potential_drop >= lemma1_bound − slack
+};
+
+struct SequentialLedger {
+  std::vector<EdgeActivation> activations;  ///< ascending-weight order
+  double initial_potential = 0.0;
+  double final_potential = 0.0;
+  /// Σ_k ΔΦ_k; equals initial − final up to rounding.
+  double total_drop = 0.0;
+  /// The Lemma 2 lower bound (1/4δ)·Σ_E (ℓ_i − ℓ_j)² for this round
+  /// (continuous rule; reported for reference in the discrete case too).
+  double lemma2_bound = 0.0;
+  /// All per-edge certificates hold.
+  bool all_certified = true;
+};
+
+/// Decompose one Algorithm-1 round into ascending-weight edge activations
+/// with per-edge Lemma-1 certificates.  `load` is the round-start state
+/// and is not modified.  The configuration must match the balancer whose
+/// round is being audited (factors, rule).
+template <class T>
+SequentialLedger sequentialize_round(const graph::Graph& g, const std::vector<T>& load,
+                                     const DiffusionConfig& cfg = {});
+
+struct GreedySequentialResult {
+  double initial_potential = 0.0;
+  double final_potential = 0.0;
+  double total_drop = 0.0;
+  std::size_t active_edges = 0;
+};
+
+/// The comparator "sequential algorithm": visit edges in ascending order
+/// of the snapshot weights, but compute each transfer from the *current*
+/// loads — i.e. no concurrency at all.  Modifies `load` in place.
+template <class T>
+GreedySequentialResult greedy_sequential_round(const graph::Graph& g,
+                                               std::vector<T>& load,
+                                               const DiffusionConfig& cfg = {});
+
+}  // namespace lb::core

@@ -1,0 +1,70 @@
+#include "lb/core/sos.hpp"
+
+#include <cmath>
+
+#include "lb/linalg/spectral.hpp"
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+SecondOrderScheme::SecondOrderScheme(std::optional<double> beta) : beta_(beta) {
+  if (beta_) {
+    LB_ASSERT_MSG(*beta_ >= 1.0 && *beta_ < 2.0, "SOS needs beta in [1, 2)");
+  }
+}
+
+double SecondOrderScheme::optimal_beta(double gamma) {
+  LB_ASSERT_MSG(gamma >= 0.0 && gamma < 1.0, "gamma must lie in [0, 1)");
+  return 2.0 / (1.0 + std::sqrt(1.0 - gamma * gamma));
+}
+
+StepStats SecondOrderScheme::step(const graph::Graph& g, std::vector<double>& load,
+                                  util::Rng& /*rng*/) {
+  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  if (!beta_) {
+    beta_ = optimal_beta(linalg::diffusion_gamma(g));
+  }
+  const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
+
+  // scratch = M·load (matrix-free neighbour sweep).
+  scratch_.assign(load.size(), 0.0);
+  for (std::size_t u = 0; u < load.size(); ++u) {
+    double acc = load[u];
+    for (graph::NodeId v : g.neighbors(static_cast<graph::NodeId>(u))) {
+      acc += alpha * (load[v] - load[u]);
+    }
+    scratch_[u] = acc;
+  }
+
+  StepStats stats;
+  stats.links = g.num_edges();
+  for (const graph::Edge& e : g.edges()) {
+    const double f = alpha * std::fabs(load[e.u] - load[e.v]);
+    if (f > 0.0) {
+      stats.transferred += f;
+      ++stats.active_edges;
+    }
+  }
+
+  if (!have_prev_) {
+    // First round is a plain FOS step.
+    prev_ = load;
+    load.swap(scratch_);
+    have_prev_ = true;
+    return stats;
+  }
+
+  const double b = *beta_;
+  for (std::size_t u = 0; u < load.size(); ++u) {
+    const double next = b * scratch_[u] + (1.0 - b) * prev_[u];
+    prev_[u] = load[u];
+    load[u] = next;
+  }
+  return stats;
+}
+
+std::unique_ptr<ContinuousBalancer> make_sos(std::optional<double> beta) {
+  return std::make_unique<SecondOrderScheme>(beta);
+}
+
+}  // namespace lb::core

@@ -1,0 +1,45 @@
+// Second-order scheme (SOS) of Muthukrishnan, Ghosh & Schultz [15]:
+//
+//   L^1     = M·L^0
+//   L^{t+1} = β·M·L^t + (1 − β)·L^{t-1},   1 <= β < 2.
+//
+// With the optimal β = 2 / (1 + sqrt(1 − γ²)) (γ the second-largest
+// |eigenvalue| of M) the scheme converges like the Chebyshev-accelerated
+// iteration — asymptotically much faster than FOS on slowly-mixing
+// topologies.  Continuous only: the affine combination conserves total
+// load but produces fractional (and possibly transiently negative)
+// intermediate loads, exactly as in [15].
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "lb/core/algorithm.hpp"
+
+namespace lb::core {
+
+class SecondOrderScheme final : public Balancer<double> {
+ public:
+  /// If `beta` is nullopt it is computed on first use from the graph's
+  /// spectrum via diffusion_gamma (dense path; intended for n <= 4096).
+  explicit SecondOrderScheme(std::optional<double> beta = std::nullopt);
+
+  std::string name() const override { return "sos"; }
+  StepStats step(const graph::Graph& g, std::vector<double>& load,
+                 util::Rng& rng) override;
+
+  double beta() const { return beta_.value_or(0.0); }
+
+  /// Optimal β for a given γ ∈ [0, 1).
+  static double optimal_beta(double gamma);
+
+ private:
+  std::optional<double> beta_;
+  std::vector<double> prev_;     // L^{t-1}
+  std::vector<double> scratch_;  // M·L^t
+  bool have_prev_ = false;
+};
+
+std::unique_ptr<ContinuousBalancer> make_sos(std::optional<double> beta = std::nullopt);
+
+}  // namespace lb::core

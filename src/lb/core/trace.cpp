@@ -1,0 +1,31 @@
+#include "lb/core/trace.hpp"
+
+#include <sstream>
+
+namespace lb::core {
+
+std::vector<double> Trace::potentials() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const RoundRecord& r : records_) out.push_back(r.potential);
+  return out;
+}
+
+std::size_t Trace::first_round_at_or_below(double target_potential) const {
+  for (const RoundRecord& r : records_) {
+    if (r.potential <= target_potential) return r.round;
+  }
+  return 0;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "round,potential,discrepancy,transferred,active_edges\n";
+  for (const RoundRecord& r : records_) {
+    os << r.round << ',' << r.potential << ',' << r.discrepancy << ','
+       << r.transferred << ',' << r.active_edges << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lb::core

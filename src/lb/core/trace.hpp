@@ -1,0 +1,41 @@
+// Per-round run traces: the raw series behind every convergence figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lb::core {
+
+struct RoundRecord {
+  std::size_t round = 0;        ///< 1-indexed, matching the paper
+  double potential = 0.0;       ///< Φ after this round
+  double discrepancy = 0.0;     ///< max − min after this round
+  double transferred = 0.0;     ///< total load moved this round
+  std::size_t active_edges = 0; ///< edges that moved a nonzero amount
+};
+
+class Trace {
+ public:
+  void reserve(std::size_t rounds) { records_.reserve(rounds); }
+  void add(RoundRecord r) { records_.push_back(r); }
+
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  const RoundRecord& operator[](std::size_t i) const { return records_[i]; }
+  const std::vector<RoundRecord>& records() const { return records_; }
+
+  /// Potential series (index 0 = after round 1).
+  std::vector<double> potentials() const;
+
+  /// First round whose potential is <= target; 0 if never reached.
+  std::size_t first_round_at_or_below(double target_potential) const;
+
+  /// CSV with header round,potential,discrepancy,transferred,active_edges.
+  std::string to_csv() const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace lb::core

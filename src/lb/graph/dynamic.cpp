@@ -1,0 +1,190 @@
+#include "lb/graph/dynamic.hpp"
+
+#include <sstream>
+
+#include "lb/graph/matching.hpp"
+#include "lb/util/assert.hpp"
+
+namespace lb::graph {
+
+namespace {
+
+class StaticSequence final : public GraphSequence {
+ public:
+  explicit StaticSequence(Graph g) : g_(std::move(g)) {}
+
+  std::size_t num_nodes() const override { return g_.num_nodes(); }
+  const Graph& at_round(std::size_t) override { return g_; }
+  std::string name() const override { return "static[" + g_.name() + "]"; }
+
+ private:
+  Graph g_;
+};
+
+class PeriodicSequence final : public GraphSequence {
+ public:
+  explicit PeriodicSequence(std::vector<Graph> graphs) : graphs_(std::move(graphs)) {
+    LB_ASSERT_MSG(!graphs_.empty(), "periodic sequence needs at least one graph");
+    for (const Graph& g : graphs_) {
+      LB_ASSERT_MSG(g.num_nodes() == graphs_.front().num_nodes(),
+                    "all graphs in a sequence must share the node set");
+    }
+  }
+
+  std::size_t num_nodes() const override { return graphs_.front().num_nodes(); }
+
+  const Graph& at_round(std::size_t k) override {
+    LB_ASSERT_MSG(k >= 1, "rounds are 1-indexed");
+    return graphs_[(k - 1) % graphs_.size()];
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "periodic[";
+    for (std::size_t i = 0; i < graphs_.size(); ++i) {
+      os << (i ? "," : "") << graphs_[i].name();
+    }
+    os << "]";
+    return os.str();
+  }
+
+ private:
+  std::vector<Graph> graphs_;
+};
+
+class BernoulliSequence final : public GraphSequence {
+ public:
+  BernoulliSequence(Graph base, double keep_prob, std::uint64_t seed)
+      : base_(std::move(base)), keep_(keep_prob), rng_(seed) {
+    LB_ASSERT_MSG(keep_ >= 0.0 && keep_ <= 1.0, "keep probability must lie in [0,1]");
+  }
+
+  std::size_t num_nodes() const override { return base_.num_nodes(); }
+
+  const Graph& at_round(std::size_t k) override {
+    LB_ASSERT_MSG(k == next_round_, "rounds must be requested in order");
+    ++next_round_;
+    std::vector<Edge> keep;
+    keep.reserve(base_.num_edges());
+    for (const Edge& e : base_.edges()) {
+      if (rng_.next_bool(keep_)) keep.push_back(e);
+    }
+    std::ostringstream name;
+    name << base_.name() << "@bern(k=" << k << ")";
+    current_ = subgraph_with_edges(base_, keep, name.str());
+    return current_;
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "bernoulli[" << base_.name() << ",p=" << keep_ << "]";
+    return os.str();
+  }
+
+ private:
+  Graph base_;
+  double keep_;
+  util::Rng rng_;
+  Graph current_;
+  std::size_t next_round_ = 1;
+};
+
+class MarkovFailureSequence final : public GraphSequence {
+ public:
+  MarkovFailureSequence(Graph base, double fail_prob, double recover_prob,
+                        std::uint64_t seed)
+      : base_(std::move(base)),
+        fail_(fail_prob),
+        recover_(recover_prob),
+        rng_(seed),
+        up_(base_.num_edges(), true) {
+    LB_ASSERT_MSG(fail_ >= 0.0 && fail_ <= 1.0, "fail probability must lie in [0,1]");
+    LB_ASSERT_MSG(recover_ >= 0.0 && recover_ <= 1.0,
+                  "recover probability must lie in [0,1]");
+  }
+
+  std::size_t num_nodes() const override { return base_.num_nodes(); }
+
+  const Graph& at_round(std::size_t k) override {
+    LB_ASSERT_MSG(k == next_round_, "rounds must be requested in order");
+    ++next_round_;
+    std::vector<Edge> keep;
+    keep.reserve(base_.num_edges());
+    for (std::size_t i = 0; i < base_.num_edges(); ++i) {
+      up_[i] = up_[i] ? !rng_.next_bool(fail_) : rng_.next_bool(recover_);
+      if (up_[i]) keep.push_back(base_.edges()[i]);
+    }
+    std::ostringstream name;
+    name << base_.name() << "@markov(k=" << k << ")";
+    current_ = subgraph_with_edges(base_, keep, name.str());
+    return current_;
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "markov[" << base_.name() << ",fail=" << fail_ << ",recover=" << recover_ << "]";
+    return os.str();
+  }
+
+ private:
+  Graph base_;
+  double fail_, recover_;
+  util::Rng rng_;
+  std::vector<bool> up_;
+  Graph current_;
+  std::size_t next_round_ = 1;
+};
+
+class MatchingSequence final : public GraphSequence {
+ public:
+  MatchingSequence(Graph base, std::uint64_t seed)
+      : base_(std::move(base)), rng_(seed) {}
+
+  std::size_t num_nodes() const override { return base_.num_nodes(); }
+
+  const Graph& at_round(std::size_t k) override {
+    LB_ASSERT_MSG(k == next_round_, "rounds must be requested in order");
+    ++next_round_;
+    const Matching m = random_maximal_matching(base_, rng_);
+    std::ostringstream name;
+    name << base_.name() << "@match(k=" << k << ")";
+    current_ = subgraph_with_edges(base_, m, name.str());
+    return current_;
+  }
+
+  std::string name() const override { return "matching[" + base_.name() + "]"; }
+
+ private:
+  Graph base_;
+  util::Rng rng_;
+  Graph current_;
+  std::size_t next_round_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<GraphSequence> make_static_sequence(Graph g) {
+  return std::make_unique<StaticSequence>(std::move(g));
+}
+
+std::unique_ptr<GraphSequence> make_periodic_sequence(std::vector<Graph> graphs) {
+  return std::make_unique<PeriodicSequence>(std::move(graphs));
+}
+
+std::unique_ptr<GraphSequence> make_bernoulli_sequence(Graph base, double keep_prob,
+                                                       std::uint64_t seed) {
+  return std::make_unique<BernoulliSequence>(std::move(base), keep_prob, seed);
+}
+
+std::unique_ptr<GraphSequence> make_markov_failure_sequence(Graph base, double fail_prob,
+                                                            double recover_prob,
+                                                            std::uint64_t seed) {
+  return std::make_unique<MarkovFailureSequence>(std::move(base), fail_prob,
+                                                 recover_prob, seed);
+}
+
+std::unique_ptr<GraphSequence> make_matching_sequence(Graph base, std::uint64_t seed) {
+  return std::make_unique<MatchingSequence>(std::move(base), seed);
+}
+
+}  // namespace lb::graph

@@ -1,0 +1,57 @@
+// Dynamic networks: the Elsässer–Monien–Schamberger model the paper adopts
+// in Section 5.  The node set is fixed; the edge set may change every
+// round, described by a sequence of graphs (G_k).  Theorems 7/8 hold for
+// *any* sequence, so we provide a family of generators ranging from benign
+// (periodic cycling) to adversarial (alternate between two poorly-
+// expanding graphs), plus stochastic link-failure models that mimic real
+// interconnects.
+#pragma once
+
+#include <memory>
+
+#include "lb/graph/graph.hpp"
+#include "lb/util/rng.hpp"
+
+namespace lb::graph {
+
+/// A (possibly stochastic) sequence of graphs over a fixed node set.
+class GraphSequence {
+ public:
+  virtual ~GraphSequence() = default;
+
+  virtual std::size_t num_nodes() const = 0;
+
+  /// The network active in round k (k >= 1, matching the paper's
+  /// indexing).  Implementations may be stateful; callers must request
+  /// rounds in increasing order.
+  virtual const Graph& at_round(std::size_t k) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The constant sequence G, G, G, ... (reduces Section 5 to Section 4).
+std::unique_ptr<GraphSequence> make_static_sequence(Graph g);
+
+/// Cycle through the given graphs: G_1, ..., G_p, G_1, ... (all must share
+/// the node count).
+std::unique_ptr<GraphSequence> make_periodic_sequence(std::vector<Graph> graphs);
+
+/// Each round keeps every edge of the base graph independently with
+/// probability `keep_prob` (fresh sample per round).
+std::unique_ptr<GraphSequence> make_bernoulli_sequence(Graph base, double keep_prob,
+                                                       std::uint64_t seed);
+
+/// Per-edge two-state Markov chain: an UP edge fails with `fail_prob`, a
+/// DOWN edge recovers with `recover_prob` (correlated across rounds —
+/// a more realistic interconnect-failure model than i.i.d. Bernoulli).
+std::unique_ptr<GraphSequence> make_markov_failure_sequence(Graph base,
+                                                            double fail_prob,
+                                                            double recover_prob,
+                                                            std::uint64_t seed);
+
+/// Each round's network is a fresh random maximal matching of the base
+/// graph — the degenerate dynamic network under which diffusion becomes
+/// dimension exchange.
+std::unique_ptr<GraphSequence> make_matching_sequence(Graph base, std::uint64_t seed);
+
+}  // namespace lb::graph

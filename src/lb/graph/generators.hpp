@@ -1,0 +1,96 @@
+// Graph generators for every topology the paper and its related work
+// evaluate on: the line/cycle counterexamples of the discrete model, the
+// tori and hypercubes of the diffusion literature, de Bruijn networks and
+// expanders from Rabani-Sinclair-Wanka, plus pathological shapes (star,
+// barbell, lollipop) used in the ablation benches.
+//
+// Every generator labels the returned graph with a descriptive name()
+// that the bench tables print.
+#pragma once
+
+#include <cstdint>
+
+#include "lb/graph/graph.hpp"
+#include "lb/util/rng.hpp"
+
+namespace lb::graph {
+
+/// Path P_n: nodes 0-1-2-...-(n-1).  λ2 = 2(1 - cos(π/n)).
+Graph make_path(std::size_t n);
+
+/// Cycle C_n.  λ2 = 2(1 - cos(2π/n)).  Requires n >= 3.
+Graph make_cycle(std::size_t n);
+
+/// Complete graph K_n.  λ2 = n.
+Graph make_complete(std::size_t n);
+
+/// Star S_n: node 0 joined to all others.  λ2 = 1 (n >= 2).
+Graph make_star(std::size_t n);
+
+/// Wheel: cycle of n-1 nodes plus a hub joined to all.  Requires n >= 4.
+Graph make_wheel(std::size_t n);
+
+/// Complete binary tree with n nodes (heap indexing).
+Graph make_binary_tree(std::size_t n);
+
+/// 2D grid a x b with open boundaries.
+Graph make_grid2d(std::size_t a, std::size_t b);
+
+/// 2D torus a x b (wrap-around).  Requires a, b >= 3 for simple graphs.
+/// λ2 = 2(1-cos(2π/max(a,b))) + 0 ... computed spectrally; closed form
+/// 4 sin^2(π/a) + 0 for the smallest nonzero mode along the longer side.
+Graph make_torus2d(std::size_t a, std::size_t b);
+
+/// 3D torus a x b x c.  Requires each side >= 3.
+Graph make_torus3d(std::size_t a, std::size_t b, std::size_t c);
+
+/// Hypercube Q_d with 2^d nodes.  λ2 = 2.
+Graph make_hypercube(std::size_t dimensions);
+
+/// Undirected de Bruijn graph over binary strings of length d
+/// (2^d nodes; edges x -> 2x mod n and 2x+1 mod n, self-loops dropped).
+Graph make_de_bruijn(std::size_t dimensions);
+
+/// Random d-regular graph via the pairing (configuration) model with
+/// rejection of self-loops/multi-edges.  n*d must be even; asserts that a
+/// simple pairing is found (retries internally).  These are expanders with
+/// high probability — the paper's "degree-d expander" comparator.
+Graph make_random_regular(std::size_t n, std::size_t d, util::Rng& rng);
+
+/// Erdős–Rényi G(n, p).  If `require_connected`, regenerates until the
+/// sample is connected (asserts after 1000 attempts).
+Graph make_erdos_renyi(std::size_t n, double p, util::Rng& rng,
+                       bool require_connected = false);
+
+/// Two K_m cliques joined by a single edge (n = 2m) — worst-case expansion.
+Graph make_barbell(std::size_t m);
+
+/// Lollipop: K_m clique with a path of p nodes attached (n = m + p).
+Graph make_lollipop(std::size_t m, std::size_t p);
+
+/// Petersen graph (n = 10, 3-regular); a classic small test case.
+Graph make_petersen();
+
+/// Chordal ring: cycle C_n plus chords i -- (i + skip) mod n for every
+/// given skip.  4-regular for a single skip (when skip != n/2); a classic
+/// low-degree interconnect with tunable expansion.
+Graph make_chordal_ring(std::size_t n, const std::vector<std::size_t>& skips);
+
+/// Cube-connected cycles CCC(d): each hypercube corner is replaced by a
+/// d-cycle; 3-regular with d·2^d nodes — constant degree with
+/// hypercube-like diameter, a standard fixed-degree interconnect.
+/// Requires d >= 3.
+Graph make_cube_connected_cycles(std::size_t dimensions);
+
+/// Named lookup used by bench/example CLIs: one of
+///   path, cycle, complete, star, wheel, tree, grid2d, torus2d, torus3d,
+///   hypercube, debruijn, regular, gnp, barbell, lollipop, petersen
+/// The generator picks natural shape parameters for the requested size
+/// (e.g. torus2d becomes roughly square).  `n` is rounded to the nearest
+/// realizable size; the actual node count is the returned graph's.
+Graph make_named(const std::string& family, std::size_t n, util::Rng& rng);
+
+/// Families accepted by make_named.
+std::vector<std::string> named_families();
+
+}  // namespace lb::graph

@@ -1,0 +1,92 @@
+#include "lb/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::graph {
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  LB_ASSERT_MSG(u < num_nodes(), "node id out of range");
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  LB_ASSERT_MSG(u < num_nodes(), "node id out of range");
+  return offsets_[u + 1] - offsets_[u];
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes, std::string name)
+    : n_(num_nodes), name_(std::move(name)) {
+  LB_ASSERT_MSG(num_nodes >= 1, "graph needs at least one node");
+}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId u, NodeId v) {
+  LB_ASSERT_MSG(!built_, "builder already consumed");
+  LB_ASSERT_MSG(u < n_ && v < n_, "edge endpoint out of range");
+  LB_ASSERT_MSG(u != v, "self-loops are not allowed");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v});
+  return *this;
+}
+
+Graph GraphBuilder::build() {
+  LB_ASSERT_MSG(!built_, "builder already consumed");
+  built_ = true;
+
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.name_ = std::move(name_);
+  g.edges_ = std::move(edges_);
+  g.offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (std::size_t u = 0; u < n_; ++u) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]);
+    std::sort(begin, end);
+  }
+
+  g.max_degree_ = 0;
+  g.min_degree_ = n_ == 0 ? 0 : g.offsets_[1] - g.offsets_[0];
+  for (std::size_t u = 0; u < n_; ++u) {
+    const std::size_t d = g.offsets_[u + 1] - g.offsets_[u];
+    g.max_degree_ = std::max(g.max_degree_, d);
+    g.min_degree_ = std::min(g.min_degree_, d);
+  }
+  return g;
+}
+
+Graph subgraph_with_edges(const Graph& g, const std::vector<Edge>& keep,
+                          std::string name) {
+  GraphBuilder b(g.num_nodes(), std::move(name));
+  for (const Edge& e : keep) {
+    LB_ASSERT_MSG(g.has_edge(e.u, e.v), "subgraph edge not present in parent graph");
+    b.add_edge(e.u, e.v);
+  }
+  return b.build();
+}
+
+}  // namespace lb::graph

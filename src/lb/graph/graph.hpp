@@ -1,0 +1,93 @@
+// Immutable undirected graph in CSR adjacency form.
+//
+// This is the "network" substrate of the paper: n identical nodes joined
+// by edges along which tokens may move.  Graphs are built once (via
+// GraphBuilder or the generators) and never mutated; dynamic networks are
+// modelled as *sequences* of these immutable graphs (graph/dynamic.hpp),
+// exactly as in the Elsässer et al. model the paper adopts in Section 5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lb::graph {
+
+using NodeId = std::uint32_t;
+
+/// An undirected edge; canonical form has u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Neighbours of node u (sorted ascending).
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  std::size_t degree(NodeId u) const;
+  /// Maximum degree δ of the graph (0 for edgeless graphs).
+  std::size_t max_degree() const { return max_degree_; }
+  std::size_t min_degree() const { return min_degree_; }
+  double average_degree() const;
+
+  /// All edges in canonical (u < v) order, sorted lexicographically.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// True if every degree equals d.
+  bool is_regular() const { return max_degree_ == min_degree_; }
+
+  /// Human-readable label attached by the generator ("torus2d(16x16)" etc).
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // CSR offsets, n+1 entries
+  std::vector<NodeId> adjacency_;     // concatenated sorted neighbour lists
+  std::vector<Edge> edges_;           // canonical edge list
+  std::size_t max_degree_ = 0;
+  std::size_t min_degree_ = 0;
+  std::string name_;
+};
+
+/// Accumulates edges, validates them, and produces an immutable Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes, std::string name = "graph");
+
+  /// Add an undirected edge.  Self-loops are rejected; duplicate edges are
+  /// coalesced at build time (the paper's model has simple graphs).
+  GraphBuilder& add_edge(NodeId u, NodeId v);
+
+  std::size_t num_nodes() const { return n_; }
+
+  /// Build the immutable graph.  May be called once.
+  Graph build();
+
+ private:
+  std::size_t n_;
+  std::string name_;
+  std::vector<Edge> edges_;
+  bool built_ = false;
+};
+
+/// Restrict `g` to the given subset of its edges (same node set); used by
+/// the dynamic-network sequences.  `name` labels the result.
+Graph subgraph_with_edges(const Graph& g, const std::vector<Edge>& keep,
+                          std::string name);
+
+}  // namespace lb::graph

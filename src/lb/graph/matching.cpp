@@ -1,0 +1,89 @@
+#include "lb/graph/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::graph {
+
+Matching gm_random_matching(const Graph& g, util::Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  // Phase 1: each node wakes w.p. 1/2; awake nodes propose to a uniformly
+  // random neighbour.
+  constexpr NodeId kNone = static_cast<NodeId>(-1);
+  std::vector<NodeId> proposal(n, kNone);
+  std::vector<bool> awake(n, false);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (g.degree(static_cast<NodeId>(u)) == 0) continue;
+    if (!rng.next_bool(0.5)) continue;
+    awake[u] = true;
+    const auto nb = g.neighbors(static_cast<NodeId>(u));
+    proposal[u] = nb[static_cast<std::size_t>(rng.next_below(nb.size()))];
+  }
+  // Phase 2: a sleeping node accepts exactly one incoming proposal,
+  // chosen uniformly among those it received (reservoir over neighbours).
+  Matching m;
+  std::vector<NodeId> accepted(n, kNone);
+  std::vector<std::size_t> incoming(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!awake[u]) continue;
+    const NodeId v = proposal[u];
+    if (awake[v]) continue;  // proposals to awake nodes are dropped
+    ++incoming[v];
+    // Reservoir sampling keeps each incoming proposer equally likely.
+    if (rng.next_below(incoming[v]) == 0) accepted[v] = static_cast<NodeId>(u);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (accepted[v] == kNone) continue;
+    const NodeId u = accepted[v];
+    m.push_back(Edge{std::min<NodeId>(u, static_cast<NodeId>(v)),
+                     std::max<NodeId>(u, static_cast<NodeId>(v))});
+  }
+  return m;
+}
+
+Matching random_maximal_matching(const Graph& g, util::Rng& rng) {
+  std::vector<std::size_t> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<bool> used(g.num_nodes(), false);
+  Matching m;
+  for (std::size_t idx : order) {
+    const Edge& e = g.edges()[idx];
+    if (used[e.u] || used[e.v]) continue;
+    used[e.u] = used[e.v] = true;
+    m.push_back(e);
+  }
+  return m;
+}
+
+bool is_valid_matching(const Graph& g, const Matching& m) {
+  std::vector<bool> used(g.num_nodes(), false);
+  for (const Edge& e : m) {
+    if (!g.has_edge(e.u, e.v)) return false;
+    if (used[e.u] || used[e.v]) return false;
+    used[e.u] = used[e.v] = true;
+  }
+  return true;
+}
+
+Matching hypercube_dimension_matching(const Graph& g, std::size_t dimensions,
+                                      std::size_t colour) {
+  LB_ASSERT_MSG(colour < dimensions, "colour must be a hypercube dimension");
+  LB_ASSERT_MSG(g.num_nodes() == (std::size_t{1} << dimensions),
+                "graph is not a hypercube of the stated dimension");
+  Matching m;
+  const std::size_t bit = std::size_t{1} << colour;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    const std::size_t v = u ^ bit;
+    if (u < v) {
+      LB_ASSERT_MSG(g.has_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)),
+                    "hypercube edge missing");
+      m.push_back(Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    }
+  }
+  return m;
+}
+
+}  // namespace lb::graph

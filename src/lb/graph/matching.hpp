@@ -1,0 +1,35 @@
+// Matchings for the dimension-exchange baseline of Ghosh & Muthukrishnan
+// (SPAA'94), the comparator the paper measures its constant-factor speedup
+// against.  Their analysis needs every edge to enter the random matching
+// with probability >= 1/(8δ); the classic local protocol below achieves
+// that, and random_maximal_matching is the cheaper centralized stand-in.
+#pragma once
+
+#include "lb/graph/graph.hpp"
+#include "lb/util/rng.hpp"
+
+namespace lb::graph {
+
+/// A matching: a set of vertex-disjoint edges.
+using Matching = std::vector<Edge>;
+
+/// Ghosh–Muthukrishnan local random matching: every node independently
+/// "wakes" with probability 1/2, each awake node proposes to a uniformly
+/// random neighbour, and an edge joins the matching when its proposal is
+/// accepted by a sleeping endpoint with no competing accepted proposal.
+/// Guarantees Pr[e in M] >= 1/(8δ) for every edge e.
+Matching gm_random_matching(const Graph& g, util::Rng& rng);
+
+/// Greedy maximal matching over a uniformly random edge permutation.
+Matching random_maximal_matching(const Graph& g, util::Rng& rng);
+
+/// True if `m` is vertex-disjoint and every edge exists in g.
+bool is_valid_matching(const Graph& g, const Matching& m);
+
+/// Round-robin dimension exchange for edge-colorable structured graphs:
+/// partition the hypercube's edges by dimension; round t uses colour
+/// t mod d.  Returns the matching (perfect) for the given colour.
+Matching hypercube_dimension_matching(const Graph& g, std::size_t dimensions,
+                                      std::size_t colour);
+
+}  // namespace lb::graph

@@ -1,0 +1,100 @@
+#include "lb/graph/properties.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::graph {
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.num_nodes(), kInf);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) { return component_count(g) == 1; }
+
+std::size_t component_count(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0;
+  std::vector<bool> seen(n, false);
+  std::size_t components = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    ++components;
+    std::queue<NodeId> q;
+    q.push(static_cast<NodeId>(s));
+    seen[s] = true;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::optional<std::size_t> diameter(const Graph& g) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::size_t diam = 0;
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
+    const auto dist = bfs_distances(g, static_cast<NodeId>(s));
+    for (std::size_t d : dist) {
+      if (d == kInf) return std::nullopt;
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+double edge_expansion_exact(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  LB_ASSERT_MSG(n >= 2, "expansion needs at least two nodes");
+  LB_ASSERT_MSG(n <= 20, "exact expansion is exponential; use n <= 20");
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t limit = std::size_t{1} << n;
+  // Enumerate subsets containing node 0 (complement symmetry halves work).
+  for (std::size_t mask = 1; mask < limit; mask += 2) {
+    const std::size_t size = static_cast<std::size_t>(__builtin_popcountll(mask));
+    if (size == n) continue;
+    std::size_t cut = 0;
+    for (const Edge& e : g.edges()) {
+      const bool in_u = (mask >> e.u) & 1;
+      const bool in_v = (mask >> e.v) & 1;
+      if (in_u != in_v) ++cut;
+    }
+    const double denom = static_cast<double>(std::min(size, n - size));
+    best = std::min(best, static_cast<double>(cut) / denom);
+  }
+  return best;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    ++hist[g.degree(static_cast<NodeId>(u))];
+  }
+  return hist;
+}
+
+}  // namespace lb::graph

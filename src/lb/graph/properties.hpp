@@ -1,0 +1,35 @@
+// Structural graph properties used for validation and reporting:
+// connectivity (balancing requires it), diameter (lower-bounds balancing
+// time), exact edge expansion for small graphs (the α in Theorem 4's
+// lineage), and Cheeger-style spectral bounds used to cross-check the
+// eigensolvers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "lb/graph/graph.hpp"
+
+namespace lb::graph {
+
+bool is_connected(const Graph& g);
+
+/// Number of connected components.
+std::size_t component_count(const Graph& g);
+
+/// BFS distances from `source` (SIZE_MAX for unreachable nodes).
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Exact diameter via BFS from every node; O(n(n+m)) — intended for the
+/// sizes the tests use.  Returns nullopt for disconnected graphs.
+std::optional<std::size_t> diameter(const Graph& g);
+
+/// Exact edge expansion  α = min_{S ⊂ V, S non-trivial} |E(S, S̄)| / min(|S|, |S̄|)
+/// by exhaustive subset enumeration — exponential, so restricted to
+/// n <= 20 (asserts otherwise).  Used to validate the spectral bounds.
+double edge_expansion_exact(const Graph& g);
+
+/// Histogram of degrees: result[d] = number of nodes of degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+}  // namespace lb::graph

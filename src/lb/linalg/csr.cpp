@@ -1,0 +1,99 @@
+#include "lb/linalg/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
+
+namespace lb::linalg {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t n, std::vector<std::size_t> rows,
+                                   std::vector<std::size_t> cols,
+                                   std::vector<double> values) {
+  LB_ASSERT_MSG(rows.size() == cols.size() && cols.size() == values.size(),
+                "triplet arrays must have equal length");
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    LB_ASSERT_MSG(rows[k] < n && cols[k] < n, "triplet index out of range");
+  }
+  // Sort triplets by (row, col) so duplicates become adjacent.
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rows[a] != rows[b] ? rows[a] < rows[b] : cols[a] < cols[b];
+  });
+
+  CsrMatrix m;
+  m.n_ = n;
+  m.col_idx_.reserve(rows.size());
+  m.values_.reserve(rows.size());
+  std::vector<std::size_t> row_of_entry;
+  row_of_entry.reserve(rows.size());
+
+  bool have_prev = false;
+  std::size_t prev_r = 0, prev_c = 0;
+  for (std::size_t idx : order) {
+    const std::size_t r = rows[idx];
+    const std::size_t c = cols[idx];
+    if (have_prev && r == prev_r && c == prev_c) {
+      m.values_.back() += values[idx];
+    } else {
+      m.col_idx_.push_back(c);
+      m.values_.push_back(values[idx]);
+      row_of_entry.push_back(r);
+      prev_r = r;
+      prev_c = c;
+      have_prev = true;
+    }
+  }
+
+  m.row_ptr_.assign(n + 1, 0);
+  for (std::size_t r : row_of_entry) ++m.row_ptr_[r + 1];
+  for (std::size_t r = 1; r <= n; ++r) m.row_ptr_[r] += m.row_ptr_[r - 1];
+  return m;
+}
+
+void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  LB_ASSERT_MSG(x.size() == n_, "spmv shape mismatch");
+  y.assign(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply(x, y);
+  return y;
+}
+
+void CsrMatrix::multiply_parallel(const Vector& x, Vector& y) const {
+  LB_ASSERT_MSG(x.size() == n_, "spmv shape mismatch");
+  y.assign(n_, 0.0);
+  util::ThreadPool::global().parallel_for(
+      0, n_, 4096, [this, &x, &y](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+            acc += values_[k] * x[col_idx_[k]];
+          }
+          y[r] = acc;
+        }
+      });
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(n_, n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace lb::linalg

@@ -1,0 +1,52 @@
+// Compressed-sparse-row matrix with a parallel matrix-vector product.
+//
+// Used for the matrix-free first/second-order diffusion schemes and for
+// Lanczos on large graph Laplacians, where a dense n x n matrix would be
+// wasteful (the graphs in the scaling benches reach n = 65536).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lb/linalg/dense.hpp"
+
+namespace lb::linalg {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from coordinate triplets (duplicates are summed).  All indices
+  /// must be < n (square matrices only — that is all the library needs).
+  static CsrMatrix from_triplets(std::size_t n,
+                                 std::vector<std::size_t> rows,
+                                 std::vector<std::size_t> cols,
+                                 std::vector<double> values);
+
+  std::size_t size() const { return n_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A * x (sequential).
+  void multiply(const Vector& x, Vector& y) const;
+  Vector multiply(const Vector& x) const;
+
+  /// y = A * x using the global thread pool; rows are split into chunks.
+  void multiply_parallel(const Vector& x, Vector& y) const;
+
+  /// Dense copy (for small-n validation in tests).
+  DenseMatrix to_dense() const;
+
+  /// Row access for inspection.
+  std::size_t row_begin(std::size_t r) const { return row_ptr_[r]; }
+  std::size_t row_end(std::size_t r) const { return row_ptr_[r + 1]; }
+  std::size_t col_index(std::size_t k) const { return col_idx_[k]; }
+  double value(std::size_t k) const { return values_[k]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;  // n_ + 1 entries
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace lb::linalg

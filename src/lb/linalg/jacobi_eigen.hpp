@@ -1,0 +1,34 @@
+// Cyclic Jacobi eigensolver for dense symmetric matrices.
+//
+// Robust and simple; O(n^3) per sweep, so intended for n up to ~512 (the
+// sizes at which the benches need full spectra, e.g. OPS needs every
+// distinct Laplacian eigenvalue).  For larger n the library uses
+// tridiagonalization + QL (tridiag.hpp) or Lanczos (lanczos.hpp).
+#pragma once
+
+#include <vector>
+
+#include "lb/linalg/dense.hpp"
+
+namespace lb::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  Vector values;
+  /// Optional: column k of `vectors` is the unit eigenvector for values[k].
+  DenseMatrix vectors;
+  /// Number of sweeps performed.
+  std::size_t sweeps = 0;
+  bool converged = false;
+};
+
+struct JacobiOptions {
+  double tolerance = 1e-12;    ///< stop when off-diagonal Frobenius norm <= tol * ||A||_F
+  std::size_t max_sweeps = 64;
+  bool compute_vectors = true;
+};
+
+/// Full eigendecomposition of a symmetric matrix (asserts symmetry).
+EigenDecomposition jacobi_eigen(const DenseMatrix& a, const JacobiOptions& opts = {});
+
+}  // namespace lb::linalg

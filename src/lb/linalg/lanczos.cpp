@@ -1,0 +1,156 @@
+#include "lb/linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lb/linalg/tridiag.hpp"
+#include "lb/util/assert.hpp"
+#include "lb/util/rng.hpp"
+
+namespace lb::linalg {
+
+namespace {
+
+// Shared driver: returns the extreme (smallest or largest) Ritz pair.
+LanczosResult lanczos_extreme(const std::function<void(const Vector&, Vector&)>& apply,
+                              std::size_t n, const LanczosOptions& opts, bool want_smallest) {
+  LB_ASSERT_MSG(n > 0, "lanczos on empty operator");
+  LanczosResult out;
+
+  // Orthonormalize the deflation directions once (modified Gram-Schmidt).
+  std::vector<Vector> deflate;
+  deflate.reserve(opts.deflate.size());
+  for (Vector d : opts.deflate) {
+    for (const Vector& e : deflate) remove_component(d, e);
+    if (normalize(d) > 1e-14) deflate.push_back(std::move(d));
+  }
+  const std::size_t usable = n - std::min(n, deflate.size());
+  if (usable == 0) {
+    out.converged = true;  // operator restricted to {0}
+    return out;
+  }
+  const std::size_t max_dim = std::min(opts.max_dim, usable);
+
+  auto project = [&deflate](Vector& x) {
+    for (const Vector& d : deflate) remove_component(x, d);
+  };
+
+  util::Rng rng(opts.seed);
+  Vector q(n);
+  for (double& v : q) v = rng.next_double() - 0.5;
+  project(q);
+  if (normalize(q) <= 1e-14) {
+    // Random start collided with the deflated space; use a basis sweep.
+    for (std::size_t i = 0; i < n; ++i) {
+      q.assign(n, 0.0);
+      q[i] = 1.0;
+      project(q);
+      if (normalize(q) > 1e-14) break;
+    }
+  }
+
+  std::vector<Vector> basis;  // kept for full reorthogonalization
+  basis.reserve(max_dim);
+  Vector alpha, beta;  // tridiagonal entries; beta[j] couples q_j and q_{j+1}
+  Vector w(n), prev(n, 0.0);
+  double beta_prev = 0.0;
+
+  for (std::size_t j = 0; j < max_dim; ++j) {
+    basis.push_back(q);
+    apply(q, w);
+    project(w);
+    const double a = dot(q, w);
+    alpha.push_back(a);
+    // w -= a*q + beta_prev*prev
+    for (std::size_t i = 0; i < n; ++i) w[i] -= a * q[i] + beta_prev * prev[i];
+    // Full reorthogonalization against the whole basis.
+    for (const Vector& b : basis) remove_component(w, b);
+    project(w);
+    const double b = norm2(w);
+
+    // Convergence check on the current Ritz extreme every few steps (and
+    // always near the end): residual of the Ritz pair is |beta_j * s_last|.
+    const std::size_t m = alpha.size();
+    const bool check = (m >= 2 && (m % 5 == 0 || b <= 1e-14 || j + 1 == max_dim));
+    if (check) {
+      Vector d = alpha;
+      Vector e(m, 0.0);
+      for (std::size_t i = 1; i < m; ++i) e[i] = beta[i - 1];
+      DenseMatrix z = DenseMatrix::identity(m);
+      if (tridiagonal_ql(d, e, &z)) {
+        // Locate the extreme Ritz value (d is sorted? no — QL leaves order
+        // unspecified; scan).
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < m; ++i) {
+          if (want_smallest ? d[i] < d[best] : d[i] > d[best]) best = i;
+        }
+        const double resid = std::fabs(b * z(m - 1, best));
+        const double scale = std::max(1.0, std::fabs(d[best]));
+        if (resid <= opts.tolerance * scale || b <= 1e-14 || j + 1 == max_dim) {
+          out.eigenvalue = d[best];
+          out.iterations = m;
+          out.converged = resid <= opts.tolerance * scale * 10.0 || b <= 1e-14;
+          // Assemble the Ritz vector.
+          out.eigenvector.assign(n, 0.0);
+          for (std::size_t i = 0; i < m; ++i) {
+            axpy(z(i, best), basis[i], out.eigenvector);
+          }
+          normalize(out.eigenvector);
+          return out;
+        }
+      }
+    }
+
+    if (b <= 1e-14) break;  // invariant subspace found; handled above on check
+    beta.push_back(b);
+    prev = q;
+    q = w;
+    scale(q, 1.0 / b);
+    beta_prev = b;
+  }
+
+  // Fall-through (tiny spaces): diagonalize what we have.
+  const std::size_t m = alpha.size();
+  if (m == 0) return out;
+  Vector d = alpha;
+  Vector e(m, 0.0);
+  for (std::size_t i = 1; i < m; ++i) e[i] = beta[i - 1];
+  DenseMatrix z = DenseMatrix::identity(m);
+  if (tridiagonal_ql(d, e, &z)) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < m; ++i) {
+      if (want_smallest ? d[i] < d[best] : d[i] > d[best]) best = i;
+    }
+    out.eigenvalue = d[best];
+    out.iterations = m;
+    out.converged = true;
+    out.eigenvector.assign(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) axpy(z(i, best), basis[i], out.eigenvector);
+    normalize(out.eigenvector);
+  }
+  return out;
+}
+
+}  // namespace
+
+LanczosResult lanczos_smallest(const std::function<void(const Vector&, Vector&)>& apply,
+                               std::size_t n, const LanczosOptions& opts) {
+  return lanczos_extreme(apply, n, opts, /*want_smallest=*/true);
+}
+
+LanczosResult lanczos_largest(const std::function<void(const Vector&, Vector&)>& apply,
+                              std::size_t n, const LanczosOptions& opts) {
+  return lanczos_extreme(apply, n, opts, /*want_smallest=*/false);
+}
+
+LanczosResult lanczos_smallest(const CsrMatrix& a, const LanczosOptions& opts) {
+  return lanczos_smallest(
+      [&a](const Vector& x, Vector& y) { a.multiply_parallel(x, y); }, a.size(), opts);
+}
+
+LanczosResult lanczos_largest(const CsrMatrix& a, const LanczosOptions& opts) {
+  return lanczos_largest(
+      [&a](const Vector& x, Vector& y) { a.multiply_parallel(x, y); }, a.size(), opts);
+}
+
+}  // namespace lb::linalg

@@ -1,0 +1,50 @@
+// Lanczos iteration for extreme eigenvalues of large sparse symmetric
+// matrices, with full reorthogonalization (the Krylov dimensions we need
+// are small — a few hundred — so full reorthogonalization is affordable
+// and removes the classic ghost-eigenvalue failure mode).
+//
+// The main client is spectral::lambda2 on graph Laplacians with n beyond
+// the dense solvers' reach: we deflate the known kernel vector (1,...,1)
+// and take the smallest Ritz value of the restricted operator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "lb/linalg/csr.hpp"
+#include "lb/linalg/dense.hpp"
+
+namespace lb::linalg {
+
+struct LanczosOptions {
+  std::size_t max_dim = 400;        ///< maximum Krylov dimension
+  double tolerance = 1e-10;         ///< residual tolerance on the target Ritz pair
+  std::uint64_t seed = 12345;       ///< start-vector seed
+  /// Directions to project out of the Krylov space (e.g. the Laplacian
+  /// kernel vector).  Need not be normalized.
+  std::vector<Vector> deflate;
+};
+
+struct LanczosResult {
+  double eigenvalue = 0.0;
+  Vector eigenvector;       ///< empty unless requested converged
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Smallest eigenvalue (Ritz value) of the operator restricted to the
+/// orthogonal complement of `opts.deflate`.
+LanczosResult lanczos_smallest(
+    const std::function<void(const Vector&, Vector&)>& apply, std::size_t n,
+    const LanczosOptions& opts = {});
+
+/// Largest eigenvalue, same deflation semantics.
+LanczosResult lanczos_largest(
+    const std::function<void(const Vector&, Vector&)>& apply, std::size_t n,
+    const LanczosOptions& opts = {});
+
+/// Convenience overloads for CSR matrices.
+LanczosResult lanczos_smallest(const CsrMatrix& a, const LanczosOptions& opts = {});
+LanczosResult lanczos_largest(const CsrMatrix& a, const LanczosOptions& opts = {});
+
+}  // namespace lb::linalg

@@ -1,0 +1,223 @@
+#include "lb/linalg/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "lb/linalg/jacobi_eigen.hpp"
+#include "lb/linalg/lanczos.hpp"
+#include "lb/linalg/tridiag.hpp"
+#include "lb/util/assert.hpp"
+
+namespace lb::linalg {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Vector ones_vector(std::size_t n) { return Vector(n, 1.0); }
+
+/// Dense Laplacian spectrum via tridiagonal QL.
+Vector dense_spectrum(const graph::Graph& g, bool need_vectors, DenseMatrix* vectors) {
+  const DenseMatrix l = laplacian_dense(g);
+  TridiagOptions opts;
+  opts.compute_vectors = need_vectors;
+  EigenDecomposition d = symmetric_eigen(l, opts);
+  LB_ASSERT_MSG(d.converged, "tridiagonal QL failed to converge on a Laplacian");
+  if (need_vectors && vectors) *vectors = std::move(d.vectors);
+  return d.values;
+}
+
+}  // namespace
+
+CsrMatrix laplacian_csr(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> rows, cols;
+  std::vector<double> vals;
+  rows.reserve(n + 2 * g.num_edges());
+  cols.reserve(rows.capacity());
+  vals.reserve(rows.capacity());
+  for (std::size_t u = 0; u < n; ++u) {
+    rows.push_back(u);
+    cols.push_back(u);
+    vals.push_back(static_cast<double>(g.degree(static_cast<graph::NodeId>(u))));
+  }
+  for (const graph::Edge& e : g.edges()) {
+    rows.push_back(e.u);
+    cols.push_back(e.v);
+    vals.push_back(-1.0);
+    rows.push_back(e.v);
+    cols.push_back(e.u);
+    vals.push_back(-1.0);
+  }
+  return CsrMatrix::from_triplets(n, std::move(rows), std::move(cols), std::move(vals));
+}
+
+DenseMatrix laplacian_dense(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  DenseMatrix l(n, n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    l(u, u) = static_cast<double>(g.degree(static_cast<graph::NodeId>(u)));
+  }
+  for (const graph::Edge& e : g.edges()) {
+    l(e.u, e.v) = -1.0;
+    l(e.v, e.u) = -1.0;
+  }
+  return l;
+}
+
+CsrMatrix diffusion_matrix_csr(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
+  std::vector<std::size_t> rows, cols;
+  std::vector<double> vals;
+  for (std::size_t u = 0; u < n; ++u) {
+    rows.push_back(u);
+    cols.push_back(u);
+    vals.push_back(1.0 - alpha * static_cast<double>(
+                             g.degree(static_cast<graph::NodeId>(u))));
+  }
+  for (const graph::Edge& e : g.edges()) {
+    rows.push_back(e.u);
+    cols.push_back(e.v);
+    vals.push_back(alpha);
+    rows.push_back(e.v);
+    cols.push_back(e.u);
+    vals.push_back(alpha);
+  }
+  return CsrMatrix::from_triplets(n, std::move(rows), std::move(cols), std::move(vals));
+}
+
+DenseMatrix diffusion_matrix_dense(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
+  DenseMatrix m(n, n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    m(u, u) = 1.0 - alpha * static_cast<double>(g.degree(static_cast<graph::NodeId>(u)));
+  }
+  for (const graph::Edge& e : g.edges()) {
+    m(e.u, e.v) = alpha;
+    m(e.v, e.u) = alpha;
+  }
+  return m;
+}
+
+double lambda2(const graph::Graph& g, std::size_t dense_cutoff) {
+  const std::size_t n = g.num_nodes();
+  LB_ASSERT_MSG(n >= 2, "lambda2 needs at least two nodes");
+  if (n <= dense_cutoff) {
+    const Vector spec = dense_spectrum(g, false, nullptr);
+    return spec[1];
+  }
+  const CsrMatrix l = laplacian_csr(g);
+  LanczosOptions opts;
+  opts.deflate = {ones_vector(n)};
+  opts.max_dim = std::min<std::size_t>(n - 1, 600);
+  const LanczosResult r = lanczos_smallest(l, opts);
+  LB_ASSERT_MSG(r.converged, "Lanczos failed to converge for lambda2");
+  // Clamp the tiny negative values rounding can produce for near-
+  // disconnected graphs.
+  return std::max(r.eigenvalue, 0.0);
+}
+
+double lambda_max(const graph::Graph& g, std::size_t dense_cutoff) {
+  const std::size_t n = g.num_nodes();
+  LB_ASSERT_MSG(n >= 2, "lambda_max needs at least two nodes");
+  if (n <= dense_cutoff) {
+    const Vector spec = dense_spectrum(g, false, nullptr);
+    return spec.back();
+  }
+  const CsrMatrix l = laplacian_csr(g);
+  LanczosOptions opts;
+  opts.max_dim = std::min<std::size_t>(n, 600);
+  const LanczosResult r = lanczos_largest(l, opts);
+  LB_ASSERT_MSG(r.converged, "Lanczos failed to converge for lambda_max");
+  return r.eigenvalue;
+}
+
+double diffusion_gamma(const graph::Graph& g, std::size_t dense_cutoff) {
+  // With uniform alpha = 1/(δ+1), M = I − L/(δ+1) exactly, so the
+  // spectrum of M is {1 − λ_i/(δ+1)} and γ follows from λ2 and λ_max.
+  const double dp1 = static_cast<double>(g.max_degree()) + 1.0;
+  const double l2 = lambda2(g, dense_cutoff);
+  const double lmax = lambda_max(g, dense_cutoff);
+  return std::max(std::fabs(1.0 - l2 / dp1), std::fabs(1.0 - lmax / dp1));
+}
+
+SpectralSummary spectral_summary(const graph::Graph& g, std::size_t dense_cutoff) {
+  SpectralSummary s;
+  s.n = g.num_nodes();
+  s.max_degree = g.max_degree();
+  s.lambda2 = lambda2(g, dense_cutoff);
+  s.lambda_max = lambda_max(g, dense_cutoff);
+  const double dp1 = static_cast<double>(g.max_degree()) + 1.0;
+  s.gamma = std::max(std::fabs(1.0 - s.lambda2 / dp1), std::fabs(1.0 - s.lambda_max / dp1));
+  s.eigen_gap = 1.0 - s.gamma;
+  return s;
+}
+
+Vector fiedler_vector(const graph::Graph& g, std::size_t dense_cutoff) {
+  const std::size_t n = g.num_nodes();
+  if (n <= dense_cutoff) {
+    DenseMatrix vectors;
+    (void)dense_spectrum(g, true, &vectors);
+    Vector f(n);
+    for (std::size_t i = 0; i < n; ++i) f[i] = vectors(i, 1);
+    return f;
+  }
+  const CsrMatrix l = laplacian_csr(g);
+  LanczosOptions opts;
+  opts.deflate = {ones_vector(n)};
+  opts.max_dim = std::min<std::size_t>(n - 1, 600);
+  const LanczosResult r = lanczos_smallest(l, opts);
+  LB_ASSERT_MSG(r.converged, "Lanczos failed to converge for the Fiedler vector");
+  return r.eigenvector;
+}
+
+Vector laplacian_spectrum(const graph::Graph& g) {
+  LB_ASSERT_MSG(g.num_nodes() <= 2048, "full spectrum restricted to n <= 2048");
+  return dense_spectrum(g, false, nullptr);
+}
+
+std::optional<double> lambda2_closed_form(const graph::Graph& g) {
+  const std::string& name = g.name();
+  const std::size_t n = g.num_nodes();
+  auto starts_with = [&name](const char* prefix) {
+    return name.rfind(prefix, 0) == 0;
+  };
+  if (starts_with("path(")) {
+    return 2.0 * (1.0 - std::cos(kPi / static_cast<double>(n)));
+  }
+  if (starts_with("cycle(")) {
+    return 2.0 * (1.0 - std::cos(2.0 * kPi / static_cast<double>(n)));
+  }
+  if (starts_with("complete(")) return static_cast<double>(n);
+  if (starts_with("star(")) return 1.0;
+  if (starts_with("hypercube(")) return 2.0;
+  if (starts_with("torus2d(") || starts_with("grid2d(")) {
+    // Parse "fam(AxB)".
+    const auto open = name.find('(');
+    const auto x = name.find('x', open);
+    const auto close = name.find(')', x);
+    if (open == std::string::npos || x == std::string::npos || close == std::string::npos) {
+      return std::nullopt;
+    }
+    const std::size_t a = std::stoul(name.substr(open + 1, x - open - 1));
+    const std::size_t b = std::stoul(name.substr(x + 1, close - x - 1));
+    const double longest = static_cast<double>(std::max(a, b));
+    if (starts_with("torus2d(")) {
+      return 2.0 * (1.0 - std::cos(2.0 * kPi / longest));
+    }
+    return 2.0 * (1.0 - std::cos(kPi / longest));
+  }
+  return std::nullopt;
+}
+
+std::pair<double, double> cheeger_bounds(const graph::Graph& g, std::size_t dense_cutoff) {
+  const double l2 = lambda2(g, dense_cutoff);
+  const double upper =
+      std::sqrt(2.0 * static_cast<double>(g.max_degree()) * std::max(l2, 0.0));
+  return {l2 / 2.0, upper};
+}
+
+}  // namespace lb::linalg

@@ -1,0 +1,74 @@
+// Spectral graph quantities driving every bound in the paper:
+//   λ2  — second-smallest eigenvalue of the Laplacian L = D − A
+//         (Theorems 4, 6, 7, 8 are stated in terms of λ2 and δ);
+//   γ   — second-largest |eigenvalue| of the diffusion matrix M
+//         (the classic Cybenko/Subramanian-Scherson convergence rate,
+//         needed for the FOS/SOS baselines and their optimal β);
+//   closed-form spectra for the standard topologies, used to validate
+//   the numerical solvers in the tests.
+#pragma once
+
+#include <optional>
+
+#include "lb/graph/graph.hpp"
+#include "lb/linalg/csr.hpp"
+#include "lb/linalg/dense.hpp"
+
+namespace lb::linalg {
+
+/// Laplacian L = D − A as a sparse matrix.
+CsrMatrix laplacian_csr(const graph::Graph& g);
+
+/// Laplacian as a dense matrix (small n).
+DenseMatrix laplacian_dense(const graph::Graph& g);
+
+/// Cybenko diffusion matrix M with uniform α = 1/(δ+1):
+/// m_ij = α for (i,j) ∈ E, m_ii = 1 − d_i·α.  Doubly stochastic and
+/// symmetric; for δ-regular graphs M = I − L/(δ+1).
+CsrMatrix diffusion_matrix_csr(const graph::Graph& g);
+DenseMatrix diffusion_matrix_dense(const graph::Graph& g);
+
+struct SpectralSummary {
+  double lambda2 = 0.0;      ///< second-smallest Laplacian eigenvalue
+  double lambda_max = 0.0;   ///< largest Laplacian eigenvalue
+  double gamma = 0.0;        ///< second-largest |eigenvalue| of M
+  double eigen_gap = 0.0;    ///< 1 − γ
+  std::size_t max_degree = 0;
+  std::size_t n = 0;
+};
+
+/// λ2 of the Laplacian.  Dense QL for n <= dense_cutoff, Lanczos with the
+/// all-ones kernel deflated above it.  Asserts the graph is connected
+/// conceptually; for disconnected graphs λ2 = 0 is returned (multiplicity
+/// of eigenvalue 0 exceeds 1).
+double lambda2(const graph::Graph& g, std::size_t dense_cutoff = 512);
+
+/// Largest Laplacian eigenvalue.
+double lambda_max(const graph::Graph& g, std::size_t dense_cutoff = 512);
+
+/// γ = max_{μ_i ≠ 1} |μ_i| over eigenvalues of the diffusion matrix M.
+/// Uses the exact relation μ = 1 − λ/(δ+1) for the uniform-α matrix, so it
+/// reduces to the Laplacian's λ2 and λ_max.
+double diffusion_gamma(const graph::Graph& g, std::size_t dense_cutoff = 512);
+
+/// Everything at once (λ2, λmax, γ).
+SpectralSummary spectral_summary(const graph::Graph& g, std::size_t dense_cutoff = 512);
+
+/// Fiedler vector (unit eigenvector of λ2); dense path only (n <= cutoff).
+Vector fiedler_vector(const graph::Graph& g, std::size_t dense_cutoff = 512);
+
+/// Full Laplacian spectrum, ascending (dense path; n <= 2048 asserted).
+Vector laplacian_spectrum(const graph::Graph& g);
+
+/// Closed-form λ2 where one is known; nullopt otherwise.  Matches on the
+/// generator name() prefix: path, cycle, complete, star, hypercube,
+/// torus2d, grid2d.
+std::optional<double> lambda2_closed_form(const graph::Graph& g);
+
+/// Cheeger bounds: λ2/2 <= h(G) <= sqrt(2 δ λ2), where h is the
+/// conductance-style expansion.  Returns {lower, upper} for cross-checking
+/// exact small-graph expansion.
+std::pair<double, double> cheeger_bounds(const graph::Graph& g,
+                                         std::size_t dense_cutoff = 512);
+
+}  // namespace lb::linalg

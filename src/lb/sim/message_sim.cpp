@@ -1,0 +1,136 @@
+#include "lb/sim/message_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
+
+namespace lb::sim {
+
+template <class T>
+MessageSimulator<T>::MessageSimulator(const graph::Graph& g, std::vector<T> initial_load,
+                                      core::DiffusionConfig cfg)
+    : graph_(g), cfg_(cfg), actors_(g.num_nodes()), outbox_(g.num_nodes()) {
+  LB_ASSERT_MSG(initial_load.size() == g.num_nodes(),
+                "initial load does not match the graph");
+  for (std::size_t u = 0; u < actors_.size(); ++u) {
+    actors_[u].load = initial_load[u];
+    actors_[u].inbox.reserve(g.degree(static_cast<graph::NodeId>(u)));
+    outbox_[u].reserve(g.degree(static_cast<graph::NodeId>(u)));
+  }
+}
+
+template <class T>
+std::vector<T> MessageSimulator<T>::snapshot() const {
+  std::vector<T> out(actors_.size());
+  for (std::size_t u = 0; u < actors_.size(); ++u) out[u] = actors_[u].load;
+  return out;
+}
+
+template <class T>
+SimStats MessageSimulator<T>::step() {
+  const std::size_t n = actors_.size();
+  SimStats stats;
+
+  // --- Superstep 1: LOAD_ANNOUNCE.  Every node writes its load into its
+  // outbox, one message per neighbour.  Parallel: each node touches only
+  // its own outbox slot.
+  util::ThreadPool::global().parallel_for(0, n, 256, [this](std::size_t lo,
+                                                            std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      outbox_[u].clear();
+      for (graph::NodeId v : graph_.neighbors(static_cast<graph::NodeId>(u))) {
+        outbox_[u].push_back(Message<T>{MessageKind::kLoadAnnounce,
+                                        static_cast<graph::NodeId>(u),
+                                        actors_[u].load});
+        (void)v;
+      }
+    }
+  });
+
+  // Barrier + delivery: each node pulls the announcement addressed to it.
+  // Outboxes are ordered like the sender's neighbour list, so receiver v
+  // finds its message at the index of v in sender u's neighbour list.
+  util::ThreadPool::global().parallel_for(0, n, 256, [this](std::size_t lo,
+                                                            std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      actors_[v].inbox.clear();
+      for (graph::NodeId u : graph_.neighbors(static_cast<graph::NodeId>(v))) {
+        const auto nb = graph_.neighbors(u);
+        // Index of v within u's (sorted) neighbour list.
+        const auto it = std::lower_bound(nb.begin(), nb.end(),
+                                         static_cast<graph::NodeId>(v));
+        const std::size_t slot = static_cast<std::size_t>(it - nb.begin());
+        actors_[v].inbox.push_back(outbox_[u][slot]);
+      }
+    }
+  });
+  std::size_t announce_messages = 2 * graph_.num_edges();
+
+  // --- Superstep 2: TOKEN_TRANSFER.  Each node applies the paper's rule
+  // to the *announced* loads (the round-start snapshot) and emits one
+  // transfer message per poorer neighbour.
+  util::ThreadPool::global().parallel_for(0, n, 256, [this](std::size_t lo,
+                                                            std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      outbox_[u].clear();
+      const double lu = static_cast<double>(actors_[u].load);
+      const auto neighbours = graph_.neighbors(static_cast<graph::NodeId>(u));
+      for (std::size_t k = 0; k < neighbours.size(); ++k) {
+        const graph::NodeId v = neighbours[k];
+        const double lv = static_cast<double>(actors_[u].inbox[k].payload);
+        T amount{};
+        if (lu > lv) {
+          double w = core::diffusion_edge_weight(
+              graph_, static_cast<graph::NodeId>(u), v, lu, lv, cfg_);
+          if constexpr (std::is_integral_v<T>) {
+            w = std::floor(w);
+          }
+          amount = static_cast<T>(w);
+        }
+        outbox_[u].push_back(
+            Message<T>{MessageKind::kTokenTransfer, static_cast<graph::NodeId>(u),
+                       amount});
+      }
+      // Deduct the sent tokens locally (the sender's ledger).
+      T sent{};
+      for (const auto& m : outbox_[u]) sent += m.payload;
+      actors_[u].load -= sent;
+    }
+  });
+
+  // Barrier + delivery: receivers credit incoming transfers.
+  util::ThreadPool::global().parallel_for(0, n, 256, [this, &stats](std::size_t lo,
+                                                                    std::size_t hi) {
+    (void)stats;
+    for (std::size_t v = lo; v < hi; ++v) {
+      const auto neighbours = graph_.neighbors(static_cast<graph::NodeId>(v));
+      for (graph::NodeId u : neighbours) {
+        const auto nb = graph_.neighbors(u);
+        const auto it = std::lower_bound(nb.begin(), nb.end(),
+                                         static_cast<graph::NodeId>(v));
+        const std::size_t slot = static_cast<std::size_t>(it - nb.begin());
+        actors_[v].load += outbox_[u][slot].payload;
+      }
+    }
+  });
+
+  // Statistics (sequential; cheap).
+  stats.messages_sent = announce_messages + 2 * graph_.num_edges();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& m : outbox_[u]) {
+      if (m.payload > T{}) {
+        ++stats.tokens_moved_messages;
+        stats.total_payload += static_cast<double>(m.payload);
+      }
+    }
+  }
+  ++round_;
+  return stats;
+}
+
+template class MessageSimulator<double>;
+template class MessageSimulator<std::int64_t>;
+
+}  // namespace lb::sim

@@ -1,0 +1,38 @@
+// Lightweight assertion and contract-checking macros.
+//
+// LB_ASSERT is active in all build types (unlike <cassert>): the invariants
+// it guards (token conservation, index bounds on hot paths that are not
+// per-element) are cheap relative to the simulation work and losing them in
+// Release builds has historically hidden real bugs in balancing codes.
+// LB_DEBUG_ASSERT compiles away outside Debug for per-element checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lb::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "lb: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace lb::util
+
+#define LB_ASSERT(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) ::lb::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define LB_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::lb::util::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define LB_DEBUG_ASSERT(expr) LB_ASSERT(expr)
+#else
+#define LB_DEBUG_ASSERT(expr) ((void)0)
+#endif

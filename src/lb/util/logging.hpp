@@ -1,0 +1,23 @@
+// Leveled logging to stderr.  Benches run quiet by default; examples turn
+// on Info to narrate what they do.  Not thread-safe beyond line atomicity
+// (each message is a single write).
+#pragma once
+
+#include <string>
+
+namespace lb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace lb::util

@@ -1,0 +1,123 @@
+#include "lb/util/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::util {
+
+Options::Options(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+Options& Options::add_int(const std::string& name, std::int64_t default_value,
+                          const std::string& help) {
+  specs_[name] = Spec{Kind::kInt, help, std::to_string(default_value)};
+  return *this;
+}
+
+Options& Options::add_double(const std::string& name, double default_value,
+                             const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  specs_[name] = Spec{Kind::kDouble, help, os.str()};
+  return *this;
+}
+
+Options& Options::add_string(const std::string& name, const std::string& default_value,
+                             const std::string& help) {
+  specs_[name] = Spec{Kind::kString, help, default_value};
+  return *this;
+}
+
+Options& Options::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{Kind::kFlag, help, "0"};
+  return *this;
+}
+
+std::string Options::usage() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nOptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (spec.kind != Kind::kFlag) os << "=<" << spec.value << ">";
+    os << "\n      " << spec.help << "\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+void Options::parse(int argc, char** argv) {
+  auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "error: %s\n\n%s", why.c_str(), usage().c_str());
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage().c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) fail("unexpected positional argument '" + arg + "'");
+    arg = arg.substr(2);
+    std::string name = arg, value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) fail("unknown option '--" + name + "'");
+    Spec& spec = it->second;
+    if (spec.kind == Kind::kFlag) {
+      if (has_value) fail("flag '--" + name + "' does not take a value");
+      spec.value = "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) fail("option '--" + name + "' needs a value");
+      value = argv[++i];
+    }
+    // Validate numeric syntax now so failures point at the option.
+    try {
+      std::size_t pos = 0;
+      if (spec.kind == Kind::kInt) {
+        (void)std::stoll(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      } else if (spec.kind == Kind::kDouble) {
+        (void)std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      }
+    } catch (const std::exception&) {
+      fail("invalid value '" + value + "' for option '--" + name + "'");
+    }
+    spec.value = value;
+  }
+}
+
+const Options::Spec& Options::find(const std::string& name, Kind kind) const {
+  auto it = specs_.find(name);
+  LB_ASSERT_MSG(it != specs_.end(), "option was never registered");
+  LB_ASSERT_MSG(it->second.kind == kind, "option accessed with the wrong type");
+  return it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::kInt).value);
+}
+
+double Options::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::kDouble).value);
+}
+
+const std::string& Options::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool Options::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value == "1";
+}
+
+}  // namespace lb::util

@@ -1,0 +1,52 @@
+// Minimal command-line option parser for bench and example binaries.
+//
+// Syntax: --name=value or --name value; --flag sets a boolean.  Unknown
+// options abort with a usage message listing the registered options, so
+// every binary is self-documenting via --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lb::util {
+
+class Options {
+ public:
+  Options(std::string program_summary);
+
+  /// Register options before parse(); each returns *this for chaining.
+  Options& add_int(const std::string& name, std::int64_t default_value,
+                   const std::string& help);
+  Options& add_double(const std::string& name, double default_value,
+                      const std::string& help);
+  Options& add_string(const std::string& name, const std::string& default_value,
+                      const std::string& help);
+  Options& add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv; on --help prints usage and exits 0; on error prints usage
+  /// and exits 2.
+  void parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; flags store "0"/"1"
+  };
+  const Spec& find(const std::string& name, Kind kind) const;
+
+  std::string summary_;
+  std::map<std::string, Spec> specs_;
+};
+
+}  // namespace lb::util

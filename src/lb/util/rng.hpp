@@ -1,0 +1,107 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component of the library (random graphs, random
+// matchings, Algorithm 2 partner choice, workload generators) takes an
+// explicit Rng so that runs are reproducible from a single seed.  The
+// engine is xoshiro256++ (Blackman & Vigna), seeded through SplitMix64,
+// which is the standard recipe for avoiding correlated low-entropy seeds.
+//
+// Rng satisfies the C++ UniformRandomBitGenerator concept, so it can also
+// be used with <random> distributions, but the methods provided here are
+// preferred: they are deterministic across standard-library
+// implementations, which <random> distributions are not.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lb::util {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state, and as a
+/// cheap standalone generator for seed derivation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  /// Raw 64 random bits.
+  result_type operator()() { return next_u64(); }
+  result_type next_u64();
+
+  /// Derive an independent child generator; deterministic given this
+  /// generator's current state.  Used to hand seeds to worker threads.
+  Rng split();
+
+  /// Uniform integer in [0, bound). bound must be > 0.  Uses Lemire's
+  /// nearly-divisionless method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p);
+
+  /// Standard normal via Box-Muller (cached second value is not kept, to
+  /// stay stateless; cost is acceptable for our uses).
+  double next_gaussian();
+
+  /// Binomial(n, p) sample.  Exact inversion for small n*p, otherwise a
+  /// normal approximation with continuity correction clamped to [0, n]
+  /// (adequate for the Monte-Carlo experiments of Lemma 9 where n*p ~ 1).
+  std::int64_t next_binomial(std::int64_t n, double p);
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  std::int64_t next_geometric(double p);
+
+  /// Zipf-distributed integer in [1, n] with exponent s >= 0, via inverse
+  /// CDF on a precomputable harmonic table-free rejection scheme.
+  std::int64_t next_zipf(std::int64_t n, double s);
+
+  /// In-place Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (Floyd's algorithm);
+  /// result is unsorted.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lb::util

@@ -1,0 +1,71 @@
+// Descriptive statistics used by the bench harness and by tests that make
+// probabilistic assertions (Monte-Carlo validation of Lemmas 9, 11, 13).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lb::util {
+
+/// Streaming mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of the normal-approximation confidence interval for the
+  /// mean at the given z (default z = 1.96 for ~95%).
+  double ci_halfwidth(double z = 1.96) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// q in [0, 1]; the input vector is copied and sorted.
+double quantile(std::vector<double> xs, double q);
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Least-squares fit y = a + b*x; returns {a, b}.  Used to measure the
+/// empirical convergence rate as the slope of log(potential) per round.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the terminal buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t b) const { return counts_.at(b); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+  /// Fraction of mass at or below x.
+  double cdf(double x) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lb::util

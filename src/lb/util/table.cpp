@@ -1,0 +1,106 @@
+#include "lb/util/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::util {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+std::string format_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LB_ASSERT_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  LB_ASSERT_MSG(cells_.empty() || cells_.back().size() == headers_.size(),
+                "previous row is incomplete");
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& v) {
+  LB_ASSERT_MSG(!cells_.empty(), "call row() before add()");
+  LB_ASSERT_MSG(cells_.back().size() < headers_.size(), "row already full");
+  cells_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::add(const char* v) { return add(std::string(v)); }
+
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+
+Table& Table::add(double v, int precision) { return add(format_double(v, precision)); }
+Table& Table::add_sci(double v, int precision) { return add(format_sci(v, precision)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << (c == 0 ? "" : "  ");
+      os << cell;
+      os << std::string(width[c] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& caption) const {
+  if (!caption.empty()) os << caption << '\n';
+  os << to_string() << '\n';
+}
+
+}  // namespace lb::util

@@ -1,0 +1,53 @@
+// Column-aligned plain-text tables and CSV output for the bench harness.
+//
+// Every experiment binary prints its results as one of these tables so the
+// output reads like the rows a paper would report; `to_csv` gives the same
+// data in machine-readable form for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lb::util {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& v);
+  Table& add(const char* v);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  /// Doubles are rendered with %.*g (default 5 significant digits).
+  Table& add(double v, int precision = 5);
+  /// Scientific notation, e.g. potentials spanning many decades.
+  Table& add_sci(double v, int precision = 3);
+
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Render aligned text with a rule under the header.
+  std::string to_string() const;
+  /// Render as CSV (headers + rows).
+  std::string to_csv() const;
+
+  /// Print to stream with an optional caption line above.
+  void print(std::ostream& os, const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format helper: "%.3g"-style compact double.
+std::string format_double(double v, int precision = 5);
+std::string format_sci(double v, int precision = 3);
+
+}  // namespace lb::util

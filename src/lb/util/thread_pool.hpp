@@ -1,0 +1,66 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The simulation engine uses this to compute per-edge transfer amounts and
+// per-node load updates concurrently — the same "all nodes act at once"
+// concurrency the paper's proof technique is designed to analyze.  The pool
+// is deliberately simple (single mutex-protected queue): the work items the
+// library submits are coarse-grained chunks, so queue contention is not a
+// bottleneck, and simplicity keeps the concurrency auditable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lb::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers; 0 means hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submit a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end), split into chunks of at least
+  /// `grain` iterations, executed on the pool; blocks until done.
+  /// Falls back to inline execution when the range is small or the pool
+  /// has a single worker (avoids pointless dispatch overhead).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& chunk_fn);
+
+  /// Process-wide default pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for with an
+/// element-wise functor.
+void parallel_for_each(std::size_t n, std::size_t grain,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace lb::util

@@ -1,0 +1,67 @@
+// Initial load distributions.
+//
+// The theorems hold for arbitrary starting loads; these generators cover
+// the shapes the literature evaluates on: a single hot spot (worst-case
+// potential for a given total), uniform noise, bimodal halves, the linear
+// ramp of the paper's own line counterexample (§2.2: ℓ_i = i is a fixed
+// point of the discrete protocol), and heavy-tailed Zipf loads.
+//
+// Discrete generators always hit the requested total exactly; continuous
+// ones match it to floating-point accuracy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/util/rng.hpp"
+
+namespace lb::workload {
+
+/// All load on node 0.
+template <class T>
+std::vector<T> spike(std::size_t n, T total);
+
+/// Every node's load uniform in [0, 2·total/n], then adjusted to the
+/// exact total.
+template <class T>
+std::vector<T> uniform_random(std::size_t n, T total, util::Rng& rng);
+
+/// Half the nodes (randomly chosen) share 90% of the load, the rest 10%.
+template <class T>
+std::vector<T> bimodal(std::size_t n, T total, util::Rng& rng);
+
+/// ℓ_i proportional to i (the line fixed point when scale = 1).
+/// For Tokens with scale = 1 this is exactly ℓ_i = i, ignoring `total`.
+template <class T>
+std::vector<T> ramp(std::size_t n, double scale = 1.0);
+
+/// Zipf(s)-distributed loads assigned to randomly permuted nodes,
+/// normalized to the exact total.
+template <class T>
+std::vector<T> zipf(std::size_t n, T total, double exponent, util::Rng& rng);
+
+/// Everyone holds total/n (plus remainder spread over the first nodes for
+/// Tokens) — the balanced fixed point, for no-op tests.
+template <class T>
+std::vector<T> balanced(std::size_t n, T total);
+
+/// Alternating high/low by node parity — the adversarial shape for
+/// bipartite networks, where naive over-eager transfer rules ping-pong.
+template <class T>
+std::vector<T> checkerboard(std::size_t n, T total);
+
+/// Total split between node 0 and node n/2 — two hot spots whose
+/// diffusion fronts must meet in the middle.
+template <class T>
+std::vector<T> two_spikes(std::size_t n, T total);
+
+/// Named lookup for bench CLIs: spike | uniform | bimodal | ramp | zipf |
+/// balanced | checkerboard | twospikes.
+template <class T>
+std::vector<T> make_named(const std::string& name, std::size_t n, T total,
+                          util::Rng& rng);
+
+std::vector<std::string> named_workloads();
+
+}  // namespace lb::workload

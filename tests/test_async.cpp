@@ -1,0 +1,119 @@
+// Tests for asynchronous diffusion (lb/core/async.hpp).
+#include "lb/core/async.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/stats.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+TEST(AsyncTest, FullActivationMatchesAlgorithmOne) {
+  // p = 1 is exactly Algorithm 1.
+  lb::util::Rng rng_a(1), rng_b(1);
+  const Graph g = lb::graph::make_torus2d(5, 5);
+  auto a = lb::workload::spike<std::int64_t>(25, 25000);
+  auto b = a;
+  lb::core::DiscreteAsyncDiffusion async(1.0);
+  lb::core::DiscreteDiffusion sync;
+  for (int round = 0; round < 30; ++round) {
+    async.step(g, a, rng_a);
+    sync.step(g, b, rng_b);
+    ASSERT_EQ(a, b) << "round " << round;
+  }
+}
+
+TEST(AsyncTest, ConservesTokens) {
+  lb::util::Rng rng(2);
+  const Graph g = lb::graph::make_hypercube(5);
+  auto load = lb::workload::uniform_random<std::int64_t>(32, 32000, rng);
+  lb::core::DiscreteAsyncDiffusion alg(0.3);
+  for (int round = 0; round < 200; ++round) alg.step(g, load, rng);
+  EXPECT_EQ(lb::core::total_load(load), 32000);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+}
+
+TEST(AsyncTest, PotentialNonIncreasing) {
+  // Transfers still use the round-start snapshot with the paper's safe
+  // denominator, so even partial activation cannot overshoot.
+  lb::util::Rng rng(3);
+  const Graph g = lb::graph::make_cycle(20);
+  auto load = lb::workload::spike<double>(20, 2000.0);
+  lb::core::ContinuousAsyncDiffusion alg(0.5);
+  double prev = lb::core::potential(load);
+  for (int round = 0; round < 300; ++round) {
+    alg.step(g, load, rng);
+    const double cur = lb::core::potential(load);
+    EXPECT_LE(cur, prev + 1e-9) << "round " << round;
+    prev = cur;
+  }
+}
+
+TEST(AsyncTest, StillConvergesAtLowActivation) {
+  lb::util::Rng rng(4);
+  const Graph g = lb::graph::make_torus2d(6, 6);
+  auto load = lb::workload::spike<double>(36, 3600.0);
+  const double phi0 = lb::core::potential(load);
+  lb::core::ContinuousAsyncDiffusion alg(0.1);
+  for (int round = 0; round < 8000; ++round) alg.step(g, load, rng);
+  EXPECT_LT(lb::core::potential(load), 1e-5 * phi0);
+}
+
+TEST(AsyncTest, ExpectedDropScalesWithActivation) {
+  // One-round expected potential drop from a fixed state grows with p:
+  // an edge fires iff its richer endpoint is active.
+  const Graph g = lb::graph::make_torus2d(6, 6);
+  const auto start = lb::workload::spike<double>(36, 36000.0);
+  const double phi0 = lb::core::potential(start);
+
+  auto mean_drop = [&](double p, std::uint64_t seed) {
+    lb::util::Rng rng(seed);
+    lb::util::RunningStats drop;
+    for (int t = 0; t < 200; ++t) {
+      auto load = start;
+      lb::core::ContinuousAsyncDiffusion alg(p);
+      alg.step(g, load, rng);
+      drop.add(phi0 - lb::core::potential(load));
+    }
+    return drop.mean();
+  };
+
+  const double d25 = mean_drop(0.25, 5);
+  const double d50 = mean_drop(0.5, 6);
+  const double d100 = mean_drop(1.0, 7);
+  EXPECT_LT(d25, d50);
+  EXPECT_LT(d50, d100);
+  // Linear-in-p to first order: drop(p)/p within a factor ~2 across p.
+  EXPECT_NEAR(d50 / 0.5, d100, 0.5 * d100);
+  EXPECT_NEAR(d25 / 0.25, d100, 0.6 * d100);
+}
+
+TEST(AsyncTest, DeterministicGivenSeed) {
+  const Graph g = lb::graph::make_cycle(12);
+  auto a = lb::workload::spike<std::int64_t>(12, 1200);
+  auto b = a;
+  lb::util::Rng ra(9), rb(9);
+  lb::core::DiscreteAsyncDiffusion alg_a(0.4), alg_b(0.4);
+  for (int round = 0; round < 50; ++round) {
+    alg_a.step(g, a, ra);
+    alg_b.step(g, b, rb);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(AsyncTest, NameEncodesProbability) {
+  lb::core::ContinuousAsyncDiffusion alg(0.25);
+  EXPECT_EQ(alg.name(), "async-diffusion-cont(p=0.25)");
+  EXPECT_DOUBLE_EQ(alg.activation_probability(), 0.25);
+}
+
+TEST(AsyncDeathTest, InvalidProbabilityRejected) {
+  EXPECT_DEATH(lb::core::ContinuousAsyncDiffusion(0.0), "activation probability");
+  EXPECT_DEATH(lb::core::ContinuousAsyncDiffusion(1.5), "activation probability");
+}
+
+}  // namespace

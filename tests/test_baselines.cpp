@@ -1,0 +1,240 @@
+// Tests for the comparator algorithms: FOS [3], SOS [15], OPS [7] and
+// dimension exchange [12].
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/fos.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/ops.hpp"
+#include "lb/core/sos.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+TEST(FosTest, ConservesLoad) {
+  lb::util::Rng rng(1);
+  const Graph g = lb::graph::make_torus2d(5, 5);
+  std::vector<double> load = lb::workload::uniform_random<double>(25, 777.0, rng);
+  lb::core::FirstOrderScheme fos;
+  const double before = lb::core::total_load(load);
+  for (int i = 0; i < 60; ++i) fos.step(g, load, rng);
+  EXPECT_NEAR(lb::core::total_load(load), before, 1e-6);
+}
+
+TEST(FosTest, ErrorContractsByGammaPerRound) {
+  // ||e(t+1)||_2 <= γ ||e(t)||_2 — Cybenko's bound, §2.1 of the paper.
+  lb::util::Rng rng(2);
+  const Graph g = lb::graph::make_cycle(20);
+  const double gamma = lb::linalg::diffusion_gamma(g);
+  std::vector<double> load = lb::workload::spike<double>(20, 2000.0);
+  lb::core::FirstOrderScheme fos;
+  double prev = std::sqrt(lb::core::potential(load));  // ||e||_2
+  for (int round = 0; round < 50; ++round) {
+    fos.step(g, load, rng);
+    const double cur = std::sqrt(lb::core::potential(load));
+    EXPECT_LE(cur, gamma * prev + 1e-9) << "round " << round;
+    prev = cur;
+  }
+}
+
+TEST(FosTest, BalancedFixedPoint) {
+  lb::util::Rng rng(3);
+  const Graph g = lb::graph::make_hypercube(3);
+  std::vector<double> load(8, 4.0);
+  lb::core::FirstOrderScheme fos;
+  fos.step(g, load, rng);
+  for (double v : load) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(FosDiscreteTest, ConservesAndConverges) {
+  lb::util::Rng rng(4);
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  std::vector<std::int64_t> load = lb::workload::spike<std::int64_t>(16, 160000);
+  auto fos = lb::core::make_fos_discrete();
+  const std::int64_t before = lb::core::total_load(load);
+  const double initial = lb::core::potential(load);
+  for (int i = 0; i < 500; ++i) fos->step(g, load, rng);
+  EXPECT_EQ(lb::core::total_load(load), before);
+  EXPECT_LT(lb::core::potential(load), 0.01 * initial);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+}
+
+TEST(SosTest, OptimalBetaFormula) {
+  EXPECT_DOUBLE_EQ(lb::core::SecondOrderScheme::optimal_beta(0.0), 1.0);
+  const double gamma = 0.9;
+  const double expect = 2.0 / (1.0 + std::sqrt(1.0 - gamma * gamma));
+  EXPECT_DOUBLE_EQ(lb::core::SecondOrderScheme::optimal_beta(gamma), expect);
+}
+
+TEST(SosTest, ConservesLoad) {
+  lb::util::Rng rng(5);
+  const Graph g = lb::graph::make_cycle(24);
+  std::vector<double> load = lb::workload::bimodal<double>(24, 2400.0, rng);
+  lb::core::SecondOrderScheme sos;
+  const double before = lb::core::total_load(load);
+  for (int i = 0; i < 100; ++i) sos.step(g, load, rng);
+  EXPECT_NEAR(lb::core::total_load(load), before, 1e-6);
+}
+
+TEST(SosTest, BeatsFosOnSlowCycle) {
+  // On C_n the spectral gap is tiny; the second-order scheme should be far
+  // ahead of FOS after the same number of rounds (the headline claim of
+  // [15], which the paper's related work cites).
+  lb::util::Rng rng(6);
+  const Graph g = lb::graph::make_cycle(40);
+  std::vector<double> fos_load = lb::workload::spike<double>(40, 4000.0);
+  std::vector<double> sos_load = fos_load;
+  lb::core::FirstOrderScheme fos;
+  lb::core::SecondOrderScheme sos;
+  for (int round = 0; round < 300; ++round) {
+    fos.step(g, fos_load, rng);
+    sos.step(g, sos_load, rng);
+  }
+  EXPECT_LT(lb::core::potential(sos_load), 0.5 * lb::core::potential(fos_load));
+}
+
+TEST(SosTest, ExplicitBetaAccepted) {
+  lb::util::Rng rng(7);
+  const Graph g = lb::graph::make_cycle(10);
+  std::vector<double> load = lb::workload::spike<double>(10, 100.0);
+  lb::core::SecondOrderScheme sos(1.5);
+  for (int i = 0; i < 10; ++i) sos.step(g, load, rng);
+  EXPECT_DOUBLE_EQ(sos.beta(), 1.5);
+}
+
+TEST(OpsTest, PerfectBalanceAfterScheduleLength) {
+  // OPS balances exactly after m rounds (m = #distinct nonzero Laplacian
+  // eigenvalues).  The hypercube Q_4 has only 4 distinct nonzero values.
+  lb::util::Rng rng(8);
+  const Graph g = lb::graph::make_hypercube(4);
+  std::vector<double> load = lb::workload::spike<double>(16, 1600.0);
+  lb::core::OptimalPolynomialScheme ops;
+  ops.step(g, load, rng);
+  const std::size_t m = ops.schedule_length();
+  EXPECT_EQ(m, 4u);
+  for (std::size_t k = 1; k < m; ++k) ops.step(g, load, rng);
+  EXPECT_NEAR(lb::core::potential(load), 0.0, 1e-12 * 1600.0 * 1600.0);
+}
+
+TEST(OpsTest, CompleteGraphBalancesInOneStep) {
+  // K_n has a single distinct nonzero eigenvalue (n).
+  lb::util::Rng rng(9);
+  const Graph g = lb::graph::make_complete(8);
+  std::vector<double> load = lb::workload::uniform_random<double>(8, 80.0, rng);
+  lb::core::OptimalPolynomialScheme ops;
+  ops.step(g, load, rng);
+  EXPECT_EQ(ops.schedule_length(), 1u);
+  for (double v : load) EXPECT_NEAR(v, 10.0, 1e-10);
+}
+
+TEST(OpsTest, LejaOrderingKeepsPathStable) {
+  // The path has ~n distinct eigenvalues; applying the OPS factors in
+  // ascending order overflows double.  With Leja ordering the iterate
+  // stays finite and the final state is balanced.
+  lb::util::Rng rng(77);
+  const Graph g = lb::graph::make_path(64);
+  std::vector<double> load = lb::workload::spike<double>(64, 6400.0);
+  lb::core::OptimalPolynomialScheme ops;
+  ops.step(g, load, rng);
+  const std::size_t m = ops.schedule_length();
+  EXPECT_GE(m, 32u);
+  for (std::size_t k = 1; k < m; ++k) {
+    ops.step(g, load, rng);
+    for (double v : load) ASSERT_TRUE(std::isfinite(v)) << "round " << k;
+  }
+  for (double v : load) EXPECT_NEAR(v, 100.0, 1e-3);
+}
+
+TEST(OpsTest, ConservesLoad) {
+  lb::util::Rng rng(10);
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  std::vector<double> load = lb::workload::zipf<double>(16, 1000.0, 1.0, rng);
+  lb::core::OptimalPolynomialScheme ops;
+  const double before = lb::core::total_load(load);
+  ops.step(g, load, rng);
+  const std::size_t m = ops.schedule_length();
+  for (std::size_t k = 1; k < m; ++k) ops.step(g, load, rng);
+  EXPECT_NEAR(lb::core::total_load(load), before, 1e-6);
+  EXPECT_NEAR(lb::core::potential(load), 0.0, 1e-9);
+}
+
+TEST(DimensionExchangeTest, ContinuousConservesAndConverges) {
+  lb::util::Rng rng(11);
+  const Graph g = lb::graph::make_torus2d(5, 5);
+  std::vector<double> load = lb::workload::spike<double>(25, 2500.0);
+  lb::core::ContinuousDimensionExchange de;
+  const double before = lb::core::total_load(load);
+  const double initial = lb::core::potential(load);
+  for (int round = 0; round < 1500; ++round) de.step(g, load, rng);
+  EXPECT_NEAR(lb::core::total_load(load), before, 1e-6);
+  EXPECT_LT(lb::core::potential(load), 1e-4 * initial);
+}
+
+TEST(DimensionExchangeTest, MatchedPairsAverageExactly) {
+  // On a single edge the matching is that edge and both endpoints end at
+  // the mean.
+  lb::util::Rng rng(12);
+  const Graph g = lb::graph::make_complete(2);
+  std::vector<double> load{10.0, 4.0};
+  lb::core::ContinuousDimensionExchange de(lb::core::MatchingStrategy::kRandomMaximal);
+  de.step(g, load, rng);
+  EXPECT_DOUBLE_EQ(load[0], 7.0);
+  EXPECT_DOUBLE_EQ(load[1], 7.0);
+}
+
+TEST(DimensionExchangeTest, DiscreteFloorsHalfDifference) {
+  lb::util::Rng rng(13);
+  const Graph g = lb::graph::make_complete(2);
+  std::vector<std::int64_t> load{10, 3};  // diff 7 -> move 3
+  lb::core::DiscreteDimensionExchange de(lb::core::MatchingStrategy::kRandomMaximal);
+  de.step(g, load, rng);
+  EXPECT_EQ(load[0], 7);
+  EXPECT_EQ(load[1], 6);
+}
+
+TEST(DimensionExchangeTest, DiscreteConservesTokens) {
+  lb::util::Rng rng(14);
+  const Graph g = lb::graph::make_random_regular(40, 4, rng);
+  std::vector<std::int64_t> load =
+      lb::workload::uniform_random<std::int64_t>(40, 40000, rng);
+  lb::core::DiscreteDimensionExchange de;
+  const std::int64_t before = lb::core::total_load(load);
+  for (int round = 0; round < 400; ++round) de.step(g, load, rng);
+  EXPECT_EQ(lb::core::total_load(load), before);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+}
+
+TEST(DimensionExchangeTest, RoundRobinBalancesHypercubeInDRounds) {
+  // Classic result: one sweep over the d dimensions balances Q_d exactly
+  // in the continuous model.
+  lb::util::Rng rng(15);
+  const std::size_t d = 4;
+  const Graph g = lb::graph::make_hypercube(d);
+  std::vector<double> load = lb::workload::spike<double>(16, 1600.0);
+  lb::core::ContinuousDimensionExchange de(
+      lb::core::MatchingStrategy::kHypercubeRoundRobin);
+  for (std::size_t k = 0; k < d; ++k) de.step(g, load, rng);
+  for (double v : load) EXPECT_NEAR(v, 100.0, 1e-9);
+}
+
+TEST(DimensionExchangeTest, PotentialNeverIncreases) {
+  lb::util::Rng rng(16);
+  const Graph g = lb::graph::make_cycle(20);
+  std::vector<std::int64_t> load = lb::workload::spike<std::int64_t>(20, 20000);
+  lb::core::DiscreteDimensionExchange de;
+  double prev = lb::core::potential(load);
+  for (int round = 0; round < 300; ++round) {
+    de.step(g, load, rng);
+    const double cur = lb::core::potential(load);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the theorem-bound calculators (lb/core/bounds.hpp): exact
+// formula checks against hand-computed values.
+#include "lb/core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+namespace bounds = lb::core::bounds;
+
+TEST(Lemma2BoundTest, Formula) {
+  EXPECT_DOUBLE_EQ(bounds::lemma2_drop_lower_bound(80.0, 4), 80.0 / 16.0);
+  EXPECT_DOUBLE_EQ(bounds::lemma2_drop_lower_bound(0.0, 7), 0.0);
+}
+
+TEST(Theorem4Test, DropFraction) {
+  EXPECT_DOUBLE_EQ(bounds::theorem4_drop_fraction(2.0, 4), 2.0 / 16.0);
+}
+
+TEST(Theorem4Test, RoundsFormula) {
+  // T = 4δ ln(1/ε)/λ2 with δ=4, λ2=2, ε=e^{-3}: T = 16*3/2 = 24.
+  EXPECT_NEAR(bounds::theorem4_rounds(2.0, 4, std::exp(-3.0)), 24.0, 1e-9);
+}
+
+TEST(Theorem4Test, MoreAccuracyCostsMoreRounds) {
+  EXPECT_LT(bounds::theorem4_rounds(1.0, 4, 1e-3),
+            bounds::theorem4_rounds(1.0, 4, 1e-6));
+}
+
+TEST(Theorem4Test, BetterExpansionCostsFewerRounds) {
+  EXPECT_GT(bounds::theorem4_rounds(0.1, 4, 1e-6),
+            bounds::theorem4_rounds(1.0, 4, 1e-6));
+}
+
+TEST(DiscreteThresholdTest, Formula) {
+  // 64 δ³ n / λ2 with δ=2, n=10, λ2=0.5: 64*8*10/0.5 = 10240.
+  EXPECT_DOUBLE_EQ(bounds::discrete_potential_threshold(2, 10, 0.5), 10240.0);
+}
+
+TEST(DiscreteThresholdTest, LinearInN) {
+  const double t1 = bounds::discrete_potential_threshold(4, 100, 1.0);
+  const double t2 = bounds::discrete_potential_threshold(4, 200, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+}
+
+TEST(Lemma5Test, DropFraction) {
+  EXPECT_DOUBLE_EQ(bounds::lemma5_drop_fraction(2.0, 4), 2.0 / 32.0);
+  // Half the continuous rate of Theorem 4.
+  EXPECT_DOUBLE_EQ(bounds::lemma5_drop_fraction(2.0, 4),
+                   bounds::theorem4_drop_fraction(2.0, 4) / 2.0);
+}
+
+TEST(Theorem6Test, ZeroWhenAlreadyBelowThreshold) {
+  const double threshold = bounds::discrete_potential_threshold(4, 16, 1.0);
+  EXPECT_DOUBLE_EQ(bounds::theorem6_rounds(1.0, 4, 16, threshold / 2.0), 0.0);
+}
+
+TEST(Theorem6Test, LogarithmicInInitialPotential) {
+  const double t_small = bounds::theorem6_rounds(1.0, 4, 16, 1e9);
+  const double t_large = bounds::theorem6_rounds(1.0, 4, 16, 1e12);
+  // Multiplying Φ by 10³ adds (8δ/λ2)·ln(10³).
+  EXPECT_NEAR(t_large - t_small, 32.0 * 3.0 * std::log(10.0), 1e-6);
+}
+
+TEST(DynamicAverageTest, UniformSequence) {
+  // λ2/δ = 0.5 every round -> A_K = 0.5.
+  const std::vector<double> l2{2.0, 2.0, 2.0};
+  const std::vector<std::size_t> d{4, 4, 4};
+  EXPECT_DOUBLE_EQ(bounds::dynamic_average_ratio(l2, d), 0.5);
+}
+
+TEST(DynamicAverageTest, DisconnectedRoundsContributeZero) {
+  const std::vector<double> l2{2.0, 0.0};
+  const std::vector<std::size_t> d{4, 0};
+  EXPECT_DOUBLE_EQ(bounds::dynamic_average_ratio(l2, d), 0.25);
+}
+
+TEST(Theorem7Test, Formula) {
+  // K = 4 ln(1/ε)/A_K.
+  EXPECT_NEAR(bounds::theorem7_rounds(0.5, std::exp(-2.0)), 16.0, 1e-9);
+}
+
+TEST(Theorem8Test, ThresholdTakesWorstRound) {
+  // Rounds with δ³/λ2 = 8/1 and 64/2: worst is 32; Φ* = 64n·32.
+  const std::vector<double> l2{1.0, 2.0};
+  const std::vector<std::size_t> d{2, 4};
+  EXPECT_DOUBLE_EQ(bounds::theorem8_threshold(10, l2, d), 64.0 * 10.0 * 32.0);
+}
+
+TEST(Theorem8Test, RoundsZeroBelowThreshold) {
+  EXPECT_DOUBLE_EQ(bounds::theorem8_rounds(0.5, 100.0, 200.0), 0.0);
+}
+
+TEST(Theorem8Test, RoundsFormula) {
+  // (8/A)·ln(Φ/Φ*) with A=0.5, Φ/Φ* = e².
+  EXPECT_NEAR(bounds::theorem8_rounds(0.5, std::exp(2.0) * 50.0, 50.0), 32.0, 1e-9);
+}
+
+TEST(RandomPartnerTest, Threshold) {
+  EXPECT_DOUBLE_EQ(bounds::random_partner_threshold(100), 320000.0);
+}
+
+TEST(RandomPartnerTest, Lemma11And13Factors) {
+  EXPECT_DOUBLE_EQ(bounds::kLemma11Factor, 0.95);
+  EXPECT_DOUBLE_EQ(bounds::kLemma13Factor, 0.975);
+}
+
+TEST(Theorem12Test, Formula) {
+  EXPECT_NEAR(bounds::theorem12_rounds(2.0, std::exp(3.0)), 720.0, 1e-9);
+}
+
+TEST(Theorem14Test, Formula) {
+  const std::size_t n = 10;
+  const double phi = 32000.0 * std::exp(2.0);
+  EXPECT_NEAR(bounds::theorem14_rounds(1.0, phi, n), 480.0, 1e-9);
+}
+
+TEST(Theorem14Test, ZeroBelowThreshold) {
+  EXPECT_DOUBLE_EQ(bounds::theorem14_rounds(1.0, 100.0, 10), 0.0);
+}
+
+TEST(BoundsDeathTest, InvalidArgumentsRejected) {
+  EXPECT_DEATH((void)bounds::theorem4_rounds(0.0, 4, 0.5), "lambda2");
+  EXPECT_DEATH((void)bounds::theorem4_rounds(1.0, 4, 1.5), "epsilon");
+  EXPECT_DEATH((void)bounds::theorem12_rounds(-1.0, 100.0), "c must be positive");
+}
+
+}  // namespace

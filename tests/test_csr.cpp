@@ -1,0 +1,103 @@
+// Unit tests for the CSR sparse matrix (lb/linalg/csr.hpp).
+#include "lb/linalg/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/graph/generators.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/util/rng.hpp"
+
+namespace {
+
+using lb::linalg::CsrMatrix;
+using lb::linalg::DenseMatrix;
+using lb::linalg::Vector;
+
+TEST(CsrTest, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_triplets(3, {}, {}, {});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.nonzeros(), 0u);
+  const Vector y = m.multiply({1.0, 2.0, 3.0});
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CsrTest, SimpleMultiply) {
+  // [[1, 2], [0, 3]]
+  const CsrMatrix m = CsrMatrix::from_triplets(2, {0, 0, 1}, {0, 1, 1}, {1.0, 2.0, 3.0});
+  const Vector y = m.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(CsrTest, DuplicateTripletsAreSummed) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {0, 0, 0}, {1, 1, 1}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(m.nonzeros(), 1u);
+  const Vector y = m.multiply({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST(CsrTest, UnsortedTripletsAreSorted) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(3, {2, 0, 1}, {0, 2, 1}, {7.0, 8.0, 9.0});
+  const DenseMatrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 8.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 9.0);
+}
+
+TEST(CsrTest, RowsWithNoEntries) {
+  const CsrMatrix m = CsrMatrix::from_triplets(4, {0, 3}, {3, 0}, {1.0, 1.0});
+  EXPECT_EQ(m.row_begin(1), m.row_end(1));
+  EXPECT_EQ(m.row_begin(2), m.row_end(2));
+  EXPECT_EQ(m.row_end(0) - m.row_begin(0), 1u);
+}
+
+TEST(CsrTest, DenseRoundTripOnLaplacian) {
+  const auto g = lb::graph::make_torus2d(4, 5);
+  const CsrMatrix sparse = lb::linalg::laplacian_csr(g);
+  const DenseMatrix dense = lb::linalg::laplacian_dense(g);
+  EXPECT_DOUBLE_EQ(sparse.to_dense().max_abs_diff(dense), 0.0);
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  const auto g = lb::graph::make_cycle(17);
+  const CsrMatrix sparse = lb::linalg::laplacian_csr(g);
+  const DenseMatrix dense = lb::linalg::laplacian_dense(g);
+  lb::util::Rng rng(5);
+  Vector x(g.num_nodes());
+  for (double& v : x) v = rng.next_double(-2.0, 2.0);
+  const Vector ys = sparse.multiply(x);
+  const Vector yd = dense.multiply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(CsrTest, ParallelMultiplyMatchesSequential) {
+  const auto g = lb::graph::make_hypercube(9);  // n = 512
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  lb::util::Rng rng(9);
+  Vector x(g.num_nodes());
+  for (double& v : x) v = rng.next_double(-1.0, 1.0);
+  Vector seq, par;
+  l.multiply(x, seq);
+  l.multiply_parallel(x, par);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) EXPECT_DOUBLE_EQ(seq[i], par[i]);
+}
+
+TEST(CsrTest, LaplacianRowsSumToZero) {
+  const auto g = lb::graph::make_de_bruijn(6);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  const Vector ones(g.num_nodes(), 1.0);
+  const Vector y = l.multiply(ones);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(CsrTest, NonzeroCountOnGraph) {
+  const auto g = lb::graph::make_complete(6);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  // n diagonal entries + 2m off-diagonal entries.
+  EXPECT_EQ(l.nonzeros(), 6u + 2u * g.num_edges());
+}
+
+}  // namespace

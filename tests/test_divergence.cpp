@@ -1,0 +1,90 @@
+// Tests for the discrete-vs-continuous local-divergence tracker
+// (lb/core/divergence.hpp) — the RSW [16] analysis quantity.
+#include "lb/core/divergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/graph/generators.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+TEST(DivergenceTest, BalancedStartNeverDiverges) {
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  const std::vector<std::int64_t> load(16, 100);
+  const auto result = lb::core::measure_divergence(g, load, 50);
+  EXPECT_DOUBLE_EQ(result.max_linf, 0.0);
+  EXPECT_DOUBLE_EQ(result.psi, 0.0);
+}
+
+TEST(DivergenceTest, RecordsOnePerRound) {
+  const Graph g = lb::graph::make_cycle(10);
+  const auto load = lb::workload::spike<std::int64_t>(10, 1000);
+  const auto result = lb::core::measure_divergence(g, load, 25);
+  ASSERT_EQ(result.records.size(), 25u);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(result.records[i].round, i + 1);
+    EXPECT_GE(result.records[i].linf_deviation, 0.0);
+  }
+}
+
+TEST(DivergenceTest, DeviationStaysBoundedByRswScale) {
+  // The whole point of [16]: rounding deviation is bounded by a topology
+  // constant O(delta log n / mu), independent of the spike height.
+  lb::util::Rng rng(3);
+  for (const char* family : {"cycle", "torus2d", "hypercube"}) {
+    const Graph g = lb::graph::make_named(family, 64, rng);
+    for (std::int64_t spike : {100000L, 100000000L}) {
+      const auto load = lb::workload::spike<std::int64_t>(g.num_nodes(), spike);
+      const auto result = lb::core::measure_divergence(g, load, 400);
+      EXPECT_GT(result.rsw_scale, 0.0);
+      EXPECT_LE(result.max_linf, result.rsw_scale)
+          << family << " spike " << spike << ": max deviation "
+          << result.max_linf << " vs RSW scale " << result.rsw_scale;
+    }
+  }
+}
+
+TEST(DivergenceTest, DeviationIndependentOfSpikeHeight) {
+  // 1000x more tokens must not mean 1000x more divergence.
+  const Graph g = lb::graph::make_torus2d(6, 6);
+  const auto small = lb::core::measure_divergence(
+      g, lb::workload::spike<std::int64_t>(36, 360000), 300);
+  const auto large = lb::core::measure_divergence(
+      g, lb::workload::spike<std::int64_t>(36, 360000000), 300);
+  EXPECT_LT(large.max_linf, 10.0 * std::max(small.max_linf, 1.0));
+}
+
+TEST(DivergenceTest, PerRoundRoundingBoundedByEdges) {
+  // Each edge contributes < 1 of fractional loss per round.
+  const Graph g = lb::graph::make_hypercube(5);
+  const auto load = lb::workload::spike<std::int64_t>(32, 320000);
+  const auto result = lb::core::measure_divergence(g, load, 100);
+  for (const auto& rec : result.records) {
+    EXPECT_LT(rec.rounding_this_round, static_cast<double>(g.num_edges()));
+  }
+}
+
+TEST(DivergenceTest, FinalRecordedValuesConsistent) {
+  const Graph g = lb::graph::make_cycle(16);
+  const auto load = lb::workload::spike<std::int64_t>(16, 16000);
+  const auto result = lb::core::measure_divergence(g, load, 60);
+  EXPECT_DOUBLE_EQ(result.final_linf, result.records.back().linf_deviation);
+  EXPECT_GE(result.max_linf, result.final_linf);
+  double psi = 0.0;
+  for (const auto& rec : result.records) psi += rec.rounding_this_round;
+  EXPECT_NEAR(result.psi, psi, 1e-9);
+}
+
+TEST(DivergenceTest, L2DominatesLinf) {
+  const Graph g = lb::graph::make_torus2d(5, 5);
+  const auto load = lb::workload::spike<std::int64_t>(25, 250000);
+  const auto result = lb::core::measure_divergence(g, load, 80);
+  for (const auto& rec : result.records) {
+    EXPECT_GE(rec.l2_deviation + 1e-12, rec.linf_deviation);
+  }
+}
+
+}  // namespace

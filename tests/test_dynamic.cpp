@@ -1,0 +1,130 @@
+// Tests for dynamic network sequences (lb/graph/dynamic.hpp).
+#include "lb/graph/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/graph/generators.hpp"
+#include "lb/graph/matching.hpp"
+#include "lb/graph/properties.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+TEST(StaticSequenceTest, AlwaysSameGraph) {
+  auto seq = lb::graph::make_static_sequence(lb::graph::make_cycle(8));
+  EXPECT_EQ(seq->num_nodes(), 8u);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_EQ(seq->at_round(k).num_edges(), 8u);
+  }
+}
+
+TEST(PeriodicSequenceTest, CyclesInOrder) {
+  std::vector<Graph> graphs;
+  graphs.push_back(lb::graph::make_cycle(6));       // 6 edges
+  graphs.push_back(lb::graph::make_path(6));        // 5 edges
+  graphs.push_back(lb::graph::make_complete(6));    // 15 edges
+  auto seq = lb::graph::make_periodic_sequence(std::move(graphs));
+  EXPECT_EQ(seq->at_round(1).num_edges(), 6u);
+  EXPECT_EQ(seq->at_round(2).num_edges(), 5u);
+  EXPECT_EQ(seq->at_round(3).num_edges(), 15u);
+  EXPECT_EQ(seq->at_round(4).num_edges(), 6u);  // wraps
+  EXPECT_EQ(seq->at_round(7).num_edges(), 6u);
+}
+
+TEST(PeriodicSequenceDeathTest, MismatchedNodeCountsRejected) {
+  std::vector<Graph> graphs;
+  graphs.push_back(lb::graph::make_cycle(6));
+  graphs.push_back(lb::graph::make_cycle(7));
+  EXPECT_DEATH((void)lb::graph::make_periodic_sequence(std::move(graphs)),
+               "share the node set");
+}
+
+TEST(BernoulliSequenceTest, KeepAllAndKeepNone) {
+  auto all = lb::graph::make_bernoulli_sequence(lb::graph::make_cycle(10), 1.0, 1);
+  EXPECT_EQ(all->at_round(1).num_edges(), 10u);
+  auto none = lb::graph::make_bernoulli_sequence(lb::graph::make_cycle(10), 0.0, 1);
+  EXPECT_EQ(none->at_round(1).num_edges(), 0u);
+}
+
+TEST(BernoulliSequenceTest, KeepFractionApproximatesP) {
+  auto seq =
+      lb::graph::make_bernoulli_sequence(lb::graph::make_complete(30), 0.4, 99);
+  const std::size_t base_edges = 30 * 29 / 2;
+  std::size_t total = 0;
+  constexpr std::size_t kRounds = 200;
+  for (std::size_t k = 1; k <= kRounds; ++k) total += seq->at_round(k).num_edges();
+  const double frac =
+      static_cast<double>(total) / static_cast<double>(kRounds * base_edges);
+  EXPECT_NEAR(frac, 0.4, 0.02);
+}
+
+TEST(BernoulliSequenceTest, SubgraphOfBase) {
+  const Graph base = lb::graph::make_torus2d(4, 4);
+  auto seq = lb::graph::make_bernoulli_sequence(base, 0.5, 7);
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const Graph& g = seq->at_round(k);
+    for (const auto& e : g.edges()) EXPECT_TRUE(base.has_edge(e.u, e.v));
+  }
+}
+
+TEST(BernoulliSequenceDeathTest, OutOfOrderRoundsRejected) {
+  auto seq = lb::graph::make_bernoulli_sequence(lb::graph::make_cycle(5), 0.5, 1);
+  (void)seq->at_round(1);
+  EXPECT_DEATH((void)seq->at_round(5), "in order");
+}
+
+TEST(MarkovSequenceTest, ZeroFailureKeepsEverything) {
+  auto seq = lb::graph::make_markov_failure_sequence(lb::graph::make_cycle(9), 0.0,
+                                                     0.5, 3);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_EQ(seq->at_round(k).num_edges(), 9u);
+  }
+}
+
+TEST(MarkovSequenceTest, CertainFailureWithoutRecoveryEmptiesNetwork) {
+  auto seq = lb::graph::make_markov_failure_sequence(lb::graph::make_cycle(9), 1.0,
+                                                     0.0, 3);
+  EXPECT_EQ(seq->at_round(1).num_edges(), 0u);
+  EXPECT_EQ(seq->at_round(2).num_edges(), 0u);
+}
+
+TEST(MarkovSequenceTest, StationaryUpFractionMatchesTheory) {
+  // Two-state chain: stationary P[up] = r / (f + r).
+  const double f = 0.2, r = 0.3;
+  auto seq = lb::graph::make_markov_failure_sequence(lb::graph::make_complete(20), f,
+                                                     r, 31);
+  const std::size_t base_edges = 190;
+  std::size_t total = 0;
+  constexpr std::size_t kRounds = 500;
+  // Skip a warm-up prefix so the chain approaches stationarity.
+  for (std::size_t k = 1; k <= 100; ++k) (void)seq->at_round(k);
+  for (std::size_t k = 101; k <= 100 + kRounds; ++k) {
+    total += seq->at_round(k).num_edges();
+  }
+  const double frac =
+      static_cast<double>(total) / static_cast<double>(kRounds * base_edges);
+  EXPECT_NEAR(frac, r / (f + r), 0.03);
+}
+
+TEST(MatchingSequenceTest, EveryRoundIsAMatching) {
+  const Graph base = lb::graph::make_torus2d(4, 4);
+  auto seq = lb::graph::make_matching_sequence(base, 17);
+  for (std::size_t k = 1; k <= 50; ++k) {
+    const Graph& g = seq->at_round(k);
+    EXPECT_LE(g.max_degree(), 1u) << "round " << k;
+    for (const auto& e : g.edges()) EXPECT_TRUE(base.has_edge(e.u, e.v));
+  }
+}
+
+TEST(SequenceNamesTest, DescriptiveNames) {
+  auto s1 = lb::graph::make_static_sequence(lb::graph::make_cycle(4));
+  EXPECT_NE(s1->name().find("static"), std::string::npos);
+  auto s2 = lb::graph::make_bernoulli_sequence(lb::graph::make_cycle(4), 0.5, 1);
+  EXPECT_NE(s2->name().find("bernoulli"), std::string::npos);
+  auto s3 =
+      lb::graph::make_markov_failure_sequence(lb::graph::make_cycle(4), 0.1, 0.9, 1);
+  EXPECT_NE(s3->name().find("markov"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Tests for the graph generators (lb/graph/generators.hpp): structural
+// invariants per family, parameterized over sizes.
+#include "lb/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/graph/properties.hpp"
+#include "lb/util/rng.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+TEST(PathTest, Structure) {
+  const Graph g = lb::graph::make_path(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(lb::graph::is_connected(g));
+  EXPECT_EQ(lb::graph::diameter(g), 4u);
+}
+
+TEST(CycleTest, TwoRegular) {
+  for (std::size_t n : {3u, 4u, 17u, 64u}) {
+    const Graph g = lb::graph::make_cycle(n);
+    EXPECT_EQ(g.num_edges(), n);
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_EQ(g.max_degree(), 2u);
+    EXPECT_TRUE(lb::graph::is_connected(g));
+  }
+}
+
+TEST(CompleteTest, AllPairs) {
+  const Graph g = lb::graph::make_complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_EQ(lb::graph::diameter(g), 1u);
+}
+
+TEST(StarTest, HubAndLeaves) {
+  const Graph g = lb::graph::make_star(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (lb::graph::NodeId i = 1; i < 10; ++i) EXPECT_EQ(g.degree(i), 1u);
+  EXPECT_EQ(lb::graph::diameter(g), 2u);
+}
+
+TEST(WheelTest, HubDegreeAndRim) {
+  const Graph g = lb::graph::make_wheel(9);  // hub + 8-cycle
+  EXPECT_EQ(g.degree(0), 8u);
+  for (lb::graph::NodeId i = 1; i < 9; ++i) EXPECT_EQ(g.degree(i), 3u);
+  EXPECT_EQ(g.num_edges(), 16u);
+}
+
+TEST(BinaryTreeTest, HeapStructure) {
+  const Graph g = lb::graph::make_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);   // root
+  EXPECT_EQ(g.degree(1), 3u);   // internal
+  EXPECT_EQ(g.degree(6), 1u);   // leaf
+  EXPECT_TRUE(lb::graph::is_connected(g));
+}
+
+TEST(Grid2dTest, CornerEdgeCenterDegrees) {
+  const Graph g = lb::graph::make_grid2d(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2u);        // corner
+  EXPECT_EQ(g.degree(1), 3u);        // edge
+  EXPECT_EQ(g.degree(5), 4u);        // interior (row 1, col 1)
+}
+
+TEST(Torus2dTest, FourRegular) {
+  const Graph g = lb::graph::make_torus2d(4, 6);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.num_edges(), 48u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(lb::graph::is_connected(g));
+}
+
+TEST(Torus3dTest, SixRegular) {
+  const Graph g = lb::graph::make_torus3d(3, 4, 5);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_EQ(g.num_edges(), 180u);
+}
+
+TEST(HypercubeTest, DRegularAndDiameterD) {
+  for (std::size_t d : {1u, 3u, 5u}) {
+    const Graph g = lb::graph::make_hypercube(d);
+    EXPECT_EQ(g.num_nodes(), std::size_t{1} << d);
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_EQ(g.max_degree(), d);
+    EXPECT_EQ(lb::graph::diameter(g), d);
+  }
+}
+
+TEST(DeBruijnTest, BoundedDegreeConnected) {
+  const Graph g = lb::graph::make_de_bruijn(5);
+  EXPECT_EQ(g.num_nodes(), 32u);
+  EXPECT_LE(g.max_degree(), 4u);
+  EXPECT_TRUE(lb::graph::is_connected(g));
+}
+
+TEST(RandomRegularTest, ExactDegreeAndConnectivity) {
+  lb::util::Rng rng(11);
+  for (std::size_t d : {3u, 4u, 6u}) {
+    const Graph g = lb::graph::make_random_regular(50, d, rng);
+    EXPECT_EQ(g.num_nodes(), 50u);
+    EXPECT_TRUE(g.is_regular()) << "d=" << d;
+    EXPECT_EQ(g.max_degree(), d);
+    EXPECT_TRUE(lb::graph::is_connected(g));
+  }
+}
+
+TEST(RandomRegularTest, DeterministicGivenSeed) {
+  lb::util::Rng a(5), b(5);
+  const Graph ga = lb::graph::make_random_regular(30, 4, a);
+  const Graph gb = lb::graph::make_random_regular(30, 4, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  lb::util::Rng rng(13);
+  const std::size_t n = 200;
+  const double p = 0.1;
+  const Graph g = lb::graph::make_erdos_renyi(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+}
+
+TEST(ErdosRenyiTest, PZeroAndPOne) {
+  lb::util::Rng rng(17);
+  EXPECT_EQ(lb::graph::make_erdos_renyi(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(lb::graph::make_erdos_renyi(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(ErdosRenyiTest, RequireConnectedDeliversConnected) {
+  lb::util::Rng rng(19);
+  const Graph g = lb::graph::make_erdos_renyi(60, 0.12, rng, true);
+  EXPECT_TRUE(lb::graph::is_connected(g));
+}
+
+TEST(BarbellTest, BridgeStructure) {
+  const Graph g = lb::graph::make_barbell(5);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 2u * 10u + 1u);
+  EXPECT_TRUE(lb::graph::is_connected(g));
+  EXPECT_TRUE(g.has_edge(4, 5));  // the bridge
+}
+
+TEST(LollipopTest, Structure) {
+  const Graph g = lb::graph::make_lollipop(4, 3);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 6u + 1u + 2u);
+  EXPECT_TRUE(lb::graph::is_connected(g));
+}
+
+TEST(PetersenTest, ThreeRegularGirthFive) {
+  const Graph g = lb::graph::make_petersen();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(lb::graph::diameter(g), 2u);
+}
+
+TEST(ChordalRingTest, SingleChordIsFourRegular) {
+  const Graph g = lb::graph::make_chordal_ring(16, {4});
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(lb::graph::is_connected(g));
+}
+
+TEST(ChordalRingTest, OppositeChordCollapsesDegree) {
+  // skip = n/2 pairs i with i+n/2 from both sides -> 3-regular.
+  const Graph g = lb::graph::make_chordal_ring(8, {4});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(ChordalRingTest, NoChordsIsCycle) {
+  const Graph g = lb::graph::make_chordal_ring(9, {});
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(ChordalRingTest, BetterDiameterThanCycle) {
+  const auto cycle_diam = lb::graph::diameter(lb::graph::make_cycle(64));
+  const auto chordal_diam = lb::graph::diameter(lb::graph::make_chordal_ring(64, {8}));
+  ASSERT_TRUE(cycle_diam && chordal_diam);
+  EXPECT_LT(*chordal_diam, *cycle_diam);
+}
+
+TEST(CccTest, ThreeRegularWithCorrectSize) {
+  for (std::size_t d : {3u, 4u, 5u}) {
+    const Graph g = lb::graph::make_cube_connected_cycles(d);
+    EXPECT_EQ(g.num_nodes(), d * (std::size_t{1} << d));
+    EXPECT_TRUE(g.is_regular()) << "d=" << d;
+    EXPECT_EQ(g.max_degree(), 3u);
+    EXPECT_TRUE(lb::graph::is_connected(g));
+  }
+}
+
+TEST(CccTest, EdgeCount) {
+  // 3-regular: m = 3n/2.
+  const Graph g = lb::graph::make_cube_connected_cycles(4);
+  EXPECT_EQ(g.num_edges(), 3 * g.num_nodes() / 2);
+}
+
+// --- make_named sweep: every family yields a valid connected graph ---
+
+class NamedFamilyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NamedFamilyTest, ProducesConnectedGraphNearRequestedSize) {
+  lb::util::Rng rng(23);
+  const Graph g = lb::graph::make_named(GetParam(), 64, rng);
+  EXPECT_GE(g.num_nodes(), 2u);
+  EXPECT_TRUE(lb::graph::is_connected(g)) << g.name();
+  // The realized size should be within a factor of 2 of the request
+  // (exact for most; petersen is fixed at 10).
+  if (GetParam() != "petersen") {
+    EXPECT_GE(g.num_nodes(), 32u) << g.name();
+    EXPECT_LE(g.num_nodes(), 160u) << g.name();
+  }
+  EXPECT_FALSE(g.name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, NamedFamilyTest,
+                         ::testing::ValuesIn(lb::graph::named_families()));
+
+TEST(NamedFamilyTest, UnknownFamilyDies) {
+  lb::util::Rng rng(1);
+  EXPECT_DEATH((void)lb::graph::make_named("nonsense", 8, rng), "unknown graph family");
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Unit tests for the immutable CSR graph and builder (lb/graph/graph.hpp).
+#include "lb/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using lb::graph::Edge;
+using lb::graph::Graph;
+using lb::graph::GraphBuilder;
+
+TEST(GraphBuilderTest, TriangleBasics) {
+  GraphBuilder b(3, "triangle");
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.name(), "triangle");
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesCoalesce) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, EdgesAreCanonical) {
+  GraphBuilder b(4);
+  b.add_edge(3, 1).add_edge(2, 0);
+  const Graph g = b.build();
+  for (const Edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+  EXPECT_TRUE(std::is_sorted(g.edges().begin(), g.edges().end()));
+}
+
+TEST(GraphBuilderTest, SingleNodeNoEdges) {
+  GraphBuilder b(1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(GraphTest, NeighborsSortedAndComplete) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4).add_edge(2, 0).add_edge(2, 3).add_edge(2, 1);
+  const Graph g = b.build();
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[3], 4u);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(GraphTest, AverageDegree) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(GraphTest, DegreeExtremes) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(SubgraphTest, KeepsSelectedEdgesOnly) {
+  GraphBuilder b(4, "square");
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+  const Graph g = b.build();
+  const Graph sub = lb::graph::subgraph_with_edges(g, {Edge{0, 1}, Edge{2, 3}}, "sub");
+  EXPECT_EQ(sub.num_nodes(), 4u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+  EXPECT_EQ(sub.name(), "sub");
+}
+
+TEST(SubgraphTest, EmptySelection) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const Graph sub = lb::graph::subgraph_with_edges(g, {}, "empty");
+  EXPECT_EQ(sub.num_edges(), 0u);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+}
+
+TEST(GraphDeathTest, SelfLoopRejected) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(1, 1), "self-loops");
+}
+
+TEST(GraphDeathTest, OutOfRangeEndpointRejected) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(0, 3), "out of range");
+}
+
+TEST(GraphDeathTest, BuilderSingleUse) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  (void)b.build();
+  EXPECT_DEATH((void)b.build(), "already consumed");
+}
+
+TEST(GraphDeathTest, SubgraphEdgeMustExist) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_DEATH((void)lb::graph::subgraph_with_edges(g, {Edge{1, 2}}, "bad"),
+               "not present");
+}
+
+TEST(EdgeTest, OrderingAndEquality) {
+  EXPECT_EQ((Edge{1, 2}), (Edge{1, 2}));
+  EXPECT_LT((Edge{0, 5}), (Edge{1, 2}));
+  EXPECT_LT((Edge{1, 2}), (Edge{1, 3}));
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Tests for heterogeneous (speed-weighted) diffusion
+// (lb/core/heterogeneous.hpp).
+#include "lb/core/heterogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+std::vector<double> alternating_speeds(std::size_t n, double slow, double fast) {
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i) s[i] = (i % 2 == 0) ? fast : slow;
+  return s;
+}
+
+TEST(WeightedPotentialTest, ZeroAtProportionalShare) {
+  const std::vector<double> speed{1.0, 2.0, 3.0};
+  // Total 60 -> shares 10, 20, 30.
+  const std::vector<double> load{10.0, 20.0, 30.0};
+  EXPECT_NEAR(lb::core::weighted_potential(load, speed), 0.0, 1e-18);
+  EXPECT_NEAR(lb::core::weighted_discrepancy(load, speed), 0.0, 1e-12);
+}
+
+TEST(WeightedPotentialTest, ReducesToPlainPotentialForUnitSpeeds) {
+  const std::vector<double> speed(5, 1.0);
+  const std::vector<double> load{1.0, 4.0, 2.0, 8.0, 0.0};
+  EXPECT_NEAR(lb::core::weighted_potential(load, speed), lb::core::potential(load),
+              1e-12);
+}
+
+TEST(WeightedPotentialTest, KnownValue) {
+  // speeds (1, 3), loads (4, 0): W/S = 1; Φ_s = 1·(4−1)² + 3·(0−1)² = 12.
+  EXPECT_DOUBLE_EQ(
+      lb::core::weighted_potential(std::vector<double>{4.0, 0.0}, {1.0, 3.0}), 12.0);
+}
+
+TEST(HeterogeneousTest, UnitSpeedsMatchStandardDiffusion) {
+  lb::util::Rng rng(1);
+  const Graph g = lb::graph::make_torus2d(4, 5);
+  auto a = lb::workload::uniform_random<double>(20, 2000.0, rng);
+  auto b = a;
+  lb::core::ContinuousHeterogeneousDiffusion het(std::vector<double>(20, 1.0));
+  lb::core::ContinuousDiffusion plain;
+  for (int round = 0; round < 25; ++round) {
+    het.step(g, a, rng);
+    plain.step(g, b, rng);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a[i], b[i], 1e-9) << "round " << round;
+    }
+  }
+}
+
+TEST(HeterogeneousTest, ConservesLoad) {
+  lb::util::Rng rng(2);
+  const Graph g = lb::graph::make_hypercube(5);
+  auto load = lb::workload::spike<double>(32, 3200.0);
+  lb::core::ContinuousHeterogeneousDiffusion alg(alternating_speeds(32, 1.0, 4.0));
+  for (int round = 0; round < 100; ++round) alg.step(g, load, rng);
+  EXPECT_NEAR(lb::core::total_load(load), 3200.0, 1e-8);
+}
+
+TEST(HeterogeneousTest, WeightedPotentialMonotone) {
+  lb::util::Rng rng(3);
+  const Graph g = lb::graph::make_cycle(16);
+  const auto speed = alternating_speeds(16, 0.5, 2.0);
+  auto load = lb::workload::spike<double>(16, 1600.0);
+  lb::core::ContinuousHeterogeneousDiffusion alg(speed);
+  double prev = lb::core::weighted_potential(load, speed);
+  for (int round = 0; round < 200; ++round) {
+    alg.step(g, load, rng);
+    const double cur = lb::core::weighted_potential(load, speed);
+    EXPECT_LE(cur, prev + 1e-9) << "round " << round;
+    prev = cur;
+  }
+}
+
+TEST(HeterogeneousTest, ConvergesToProportionalShares) {
+  lb::util::Rng rng(4);
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  std::vector<double> speed(16);
+  for (std::size_t i = 0; i < 16; ++i) speed[i] = 1.0 + static_cast<double>(i % 4);
+  double total_speed = 0.0;
+  for (double s : speed) total_speed += s;
+
+  auto load = lb::workload::spike<double>(16, 1600.0);
+  lb::core::ContinuousHeterogeneousDiffusion alg(speed);
+  for (int round = 0; round < 3000; ++round) alg.step(g, load, rng);
+
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(load[i], 1600.0 * speed[i] / total_speed, 0.01) << "node " << i;
+  }
+}
+
+TEST(HeterogeneousTest, DiscreteConservesAndApproachesShares) {
+  lb::util::Rng rng(5);
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  const auto speed = alternating_speeds(16, 1.0, 3.0);
+  auto load = lb::workload::spike<std::int64_t>(16, 160000);
+  lb::core::DiscreteHeterogeneousDiffusion alg(speed);
+  for (int round = 0; round < 3000; ++round) alg.step(g, load, rng);
+  EXPECT_EQ(lb::core::total_load(load), 160000);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+  // Fast nodes (speed 3) should hold roughly 3x the slow nodes' load.
+  // Totals: slow share 160000/(8·1+8·3)·1 = 5000, fast share 15000.
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double expect = (i % 2 == 0) ? 15000.0 : 5000.0;
+    EXPECT_NEAR(static_cast<double>(load[i]), expect, 0.1 * expect) << "node " << i;
+  }
+}
+
+TEST(HeterogeneousTest, LoadsStayNonNegative) {
+  lb::util::Rng rng(6);
+  const Graph g = lb::graph::make_star(12);
+  const auto speed = alternating_speeds(12, 0.25, 8.0);
+  auto load = lb::workload::spike<double>(12, 120.0);
+  lb::core::ContinuousHeterogeneousDiffusion alg(speed);
+  for (int round = 0; round < 500; ++round) {
+    alg.step(g, load, rng);
+    ASSERT_TRUE(lb::core::all_non_negative(load)) << "round " << round;
+  }
+}
+
+TEST(HeterogeneousDeathTest, NonPositiveSpeedRejected) {
+  EXPECT_DEATH(lb::core::ContinuousHeterogeneousDiffusion({1.0, 0.0}), "positive");
+  EXPECT_DEATH(lb::core::ContinuousHeterogeneousDiffusion({-1.0}), "positive");
+}
+
+TEST(HeterogeneousTest, FactoryNames) {
+  EXPECT_EQ(lb::core::make_heterogeneous_continuous({1.0})->name(),
+            "hetero-diffusion-cont");
+  EXPECT_EQ(lb::core::make_heterogeneous_discrete({1.0})->name(),
+            "hetero-diffusion-disc");
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// End-to-end integration sweep: every algorithm on every topology family
+// from every workload must (a) conserve load exactly, (b) keep loads
+// non-negative (where guaranteed), and (c) make substantial progress
+// toward balance within a generous round budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/fos.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+// ---- continuous sweep ----
+
+class ContinuousIntegrationTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+std::unique_ptr<lb::core::ContinuousBalancer> make_continuous(const std::string& algo) {
+  if (algo == "diffusion") return lb::core::make_diffusion_continuous();
+  if (algo == "fos") return lb::core::make_fos_continuous();
+  if (algo == "dimexch") return lb::core::make_dimension_exchange_continuous();
+  if (algo == "randpartner") return lb::core::make_random_partner_continuous();
+  ADD_FAILURE() << "unknown algorithm " << algo;
+  return nullptr;
+}
+
+TEST_P(ContinuousIntegrationTest, ConservesAndConverges) {
+  const auto& [algo, family] = GetParam();
+  lb::util::Rng rng(1234);
+  const Graph g = lb::graph::make_named(family, 36, rng);
+  auto load = lb::workload::spike<double>(g.num_nodes(),
+                                          100.0 * static_cast<double>(g.num_nodes()));
+  const double total_before = lb::core::total_load(load);
+  const double phi0 = lb::core::potential(load);
+
+  auto alg = make_continuous(algo);
+  ASSERT_NE(alg, nullptr);
+  lb::core::EngineConfig cfg;
+  cfg.max_rounds = 20000;
+  cfg.target_potential = 1e-4 * phi0;
+  cfg.stall_rounds = 0;  // continuous transfers never fully stop
+  const auto result = lb::core::run_static(*alg, g, load, cfg);
+
+  EXPECT_TRUE(result.reached_target)
+      << algo << " on " << g.name() << " final=" << result.final_potential;
+  EXPECT_NEAR(lb::core::total_load(load), total_before, 1e-6 * total_before);
+  if (algo != "fos") {
+    // FOS can transiently move load through fractional exchanges but is
+    // also non-negative; diffusion/dimexch/randpartner are guaranteed.
+    EXPECT_TRUE(lb::core::all_non_negative(load)) << algo << " on " << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmTopologySweep, ContinuousIntegrationTest,
+    ::testing::Combine(::testing::Values("diffusion", "fos", "dimexch", "randpartner"),
+                       ::testing::Values("cycle", "torus2d", "hypercube", "star",
+                                         "tree", "regular", "complete")));
+
+// ---- discrete sweep ----
+
+class DiscreteIntegrationTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+std::unique_ptr<lb::core::DiscreteBalancer> make_discrete(const std::string& algo) {
+  if (algo == "diffusion") return lb::core::make_diffusion_discrete();
+  if (algo == "fos") return lb::core::make_fos_discrete();
+  if (algo == "dimexch") return lb::core::make_dimension_exchange_discrete();
+  if (algo == "randpartner") return lb::core::make_random_partner_discrete();
+  ADD_FAILURE() << "unknown algorithm " << algo;
+  return nullptr;
+}
+
+TEST_P(DiscreteIntegrationTest, ConservesTokensAndReducesPotential) {
+  const auto& [algo, family] = GetParam();
+  lb::util::Rng rng(4321);
+  const Graph g = lb::graph::make_named(family, 36, rng);
+  auto load = lb::workload::spike<std::int64_t>(
+      g.num_nodes(), 10000 * static_cast<std::int64_t>(g.num_nodes()));
+  const std::int64_t total_before = lb::core::total_load(load);
+  const double phi0 = lb::core::potential(load);
+
+  auto alg = make_discrete(algo);
+  ASSERT_NE(alg, nullptr);
+  lb::core::EngineConfig cfg;
+  cfg.max_rounds = 20000;
+  cfg.target_potential = 0.01 * phi0;
+  // Randomized matchings can idle for a few consecutive rounds while the
+  // spike's node is unmatched; only a long silence means a fixed point.
+  cfg.stall_rounds = 100;
+  const auto result = lb::core::run_static(*alg, g, load, cfg);
+
+  EXPECT_EQ(lb::core::total_load(load), total_before) << algo << " on " << g.name();
+  EXPECT_TRUE(lb::core::all_non_negative(load)) << algo << " on " << g.name();
+  // Either the run reached 1% of the initial potential or it stalled at
+  // the discrete fixed point — and the fixed-point potential above the
+  // 1% mark would mean the algorithm failed to spread a 10000x spike.
+  EXPECT_TRUE(result.reached_target)
+      << algo << " on " << g.name() << " final=" << result.final_potential
+      << " (stalled=" << result.stalled << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmTopologySweep, DiscreteIntegrationTest,
+    ::testing::Combine(::testing::Values("diffusion", "fos", "dimexch", "randpartner"),
+                       ::testing::Values("cycle", "torus2d", "hypercube", "star",
+                                         "tree", "regular", "complete")));
+
+// ---- workload sweep on a fixed machine ----
+
+class WorkloadIntegrationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadIntegrationTest, DiscreteDiffusionHandlesEveryWorkload) {
+  lb::util::Rng rng(99);
+  const Graph g = lb::graph::make_torus2d(6, 6);
+  auto load = lb::workload::make_named<std::int64_t>(GetParam(), g.num_nodes(),
+                                                     360000, rng);
+  const std::int64_t before = lb::core::total_load(load);
+  lb::core::DiscreteDiffusion alg;
+  lb::core::EngineConfig cfg;
+  cfg.max_rounds = 10000;
+  cfg.target_potential = 0.0;  // run to the fixed point
+  const auto result = lb::core::run_static(alg, g, load, cfg);
+  EXPECT_EQ(lb::core::total_load(load), before);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+  EXPECT_TRUE(result.stalled || result.reached_target);
+  // At the fixed point the discrepancy is bounded by what floors can hide:
+  // every neighbouring pair differs by < 4·max(d_i,d_j)+... conservatively
+  // diameter * 4δ; on the 6x6 torus (δ=4, diam=6) allow 2·6·16.
+  EXPECT_LE(lb::core::discrepancy(load), 2.0 * 6.0 * 16.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadIntegrationTest,
+                         ::testing::ValuesIn(lb::workload::named_workloads()));
+
+// ---- failure injection ----
+
+TEST(FailureInjectionTest, DisconnectedNetworkBalancesWithinComponents) {
+  // Two disjoint cycles: totals inside each component are conserved and
+  // the potential converges to the two-component fixed point, not to 0.
+  lb::graph::GraphBuilder b(8, "two-cycles");
+  for (lb::graph::NodeId i = 0; i < 4; ++i) {
+    b.add_edge(i, static_cast<lb::graph::NodeId>((i + 1) % 4));
+    b.add_edge(static_cast<lb::graph::NodeId>(4 + i),
+               static_cast<lb::graph::NodeId>(4 + (i + 1) % 4));
+  }
+  const Graph g = b.build();
+  std::vector<double> load{8.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  lb::util::Rng rng(3);
+  lb::core::ContinuousDiffusion alg;
+  for (int round = 0; round < 2000; ++round) alg.step(g, load, rng);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(load[i], 2.0, 1e-6);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_NEAR(load[i], 0.0, 1e-12);
+}
+
+TEST(FailureInjectionTest, ZeroLoadIsFixedPointEverywhere) {
+  lb::util::Rng rng(5);
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  std::vector<std::int64_t> load(16, 0);
+  lb::core::DiscreteDiffusion alg;
+  const auto stats = alg.step(g, load, rng);
+  EXPECT_EQ(stats.transferred, 0.0);
+  for (auto v : load) EXPECT_EQ(v, 0);
+}
+
+TEST(FailureInjectionTest, SingleNodeGraphIsTrivial) {
+  lb::graph::GraphBuilder b(1);
+  const Graph g = b.build();
+  std::vector<std::int64_t> load{42};
+  lb::util::Rng rng(7);
+  lb::core::DiscreteDiffusion alg;
+  const auto stats = alg.step(g, load, rng);
+  EXPECT_EQ(stats.transferred, 0.0);
+  EXPECT_EQ(load[0], 42);
+}
+
+TEST(FailureInjectionTest, EdgelessRoundsInDynamicSequenceAreHarmless) {
+  // A Bernoulli sequence with keep=0 gives edgeless graphs; the engine
+  // must stall gracefully with load untouched.
+  auto seq = lb::graph::make_bernoulli_sequence(lb::graph::make_cycle(6), 0.0, 1);
+  std::vector<std::int64_t> load{6, 0, 0, 0, 0, 0};
+  lb::core::DiscreteDiffusion alg;
+  lb::core::EngineConfig cfg;
+  cfg.max_rounds = 100;
+  const auto result = lb::core::run(alg, *seq, load, cfg);
+  EXPECT_TRUE(result.stalled);
+  EXPECT_EQ(load[0], 6);
+}
+
+TEST(FailureInjectionTest, HugeTokenCountsDoNotOverflow) {
+  // 2^40 tokens on 16 nodes: all arithmetic stays in int64/double range.
+  lb::util::Rng rng(11);
+  const Graph g = lb::graph::make_hypercube(4);
+  const std::int64_t total = std::int64_t{1} << 40;
+  auto load = lb::workload::spike<std::int64_t>(16, total);
+  lb::core::DiscreteDiffusion alg;
+  for (int round = 0; round < 200; ++round) alg.step(g, load, rng);
+  EXPECT_EQ(lb::core::total_load(load), total);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+  EXPECT_LT(lb::core::discrepancy(load), 1e6);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Unit tests for the Lanczos extreme-eigenvalue solver
+// (lb/linalg/lanczos.hpp), validated against closed-form graph spectra and
+// the dense solvers.
+#include "lb/linalg/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lb/graph/generators.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/linalg/tridiag.hpp"
+
+namespace {
+
+using lb::linalg::CsrMatrix;
+using lb::linalg::LanczosOptions;
+using lb::linalg::LanczosResult;
+using lb::linalg::Vector;
+
+TEST(LanczosTest, DiagonalOperatorExtremes) {
+  // Operator diag(1..10) via a function handle.
+  constexpr std::size_t n = 10;
+  auto apply = [](const Vector& x, Vector& y) {
+    y.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = static_cast<double>(i + 1) * x[i];
+    }
+  };
+  const LanczosResult smallest = lb::linalg::lanczos_smallest(apply, n);
+  const LanczosResult largest = lb::linalg::lanczos_largest(apply, n);
+  ASSERT_TRUE(smallest.converged);
+  ASSERT_TRUE(largest.converged);
+  EXPECT_NEAR(smallest.eigenvalue, 1.0, 1e-8);
+  EXPECT_NEAR(largest.eigenvalue, 10.0, 1e-8);
+}
+
+TEST(LanczosTest, CsrLaplacianOfCycleSmallestIsZero) {
+  const auto g = lb::graph::make_cycle(50);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  const LanczosResult r = lb::linalg::lanczos_smallest(l);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 0.0, 1e-8);
+}
+
+TEST(LanczosTest, DeflatedCycleGivesLambda2) {
+  const auto g = lb::graph::make_cycle(60);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  LanczosOptions opts;
+  opts.deflate = {Vector(g.num_nodes(), 1.0)};
+  const LanczosResult r = lb::linalg::lanczos_smallest(l, opts);
+  ASSERT_TRUE(r.converged);
+  const double expected = 2.0 * (1.0 - std::cos(2.0 * M_PI / 60.0));
+  EXPECT_NEAR(r.eigenvalue, expected, 1e-7);
+}
+
+TEST(LanczosTest, DeflatedPathGivesLambda2) {
+  const auto g = lb::graph::make_path(80);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  LanczosOptions opts;
+  opts.deflate = {Vector(g.num_nodes(), 1.0)};
+  const LanczosResult r = lb::linalg::lanczos_smallest(l, opts);
+  ASSERT_TRUE(r.converged);
+  const double expected = 2.0 * (1.0 - std::cos(M_PI / 80.0));
+  EXPECT_NEAR(r.eigenvalue, expected, 1e-8);
+}
+
+TEST(LanczosTest, HypercubeLambda2IsTwo) {
+  const auto g = lb::graph::make_hypercube(8);  // n = 256
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  LanczosOptions opts;
+  opts.deflate = {Vector(g.num_nodes(), 1.0)};
+  const LanczosResult r = lb::linalg::lanczos_smallest(l, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 2.0, 1e-7);
+}
+
+TEST(LanczosTest, LargestMatchesDenseSolver) {
+  const auto g = lb::graph::make_torus2d(6, 7);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  const LanczosResult r = lb::linalg::lanczos_largest(l);
+  ASSERT_TRUE(r.converged);
+  const Vector spectrum = lb::linalg::laplacian_spectrum(g);
+  EXPECT_NEAR(r.eigenvalue, spectrum.back(), 1e-7);
+}
+
+TEST(LanczosTest, EigenvectorHasSmallResidual) {
+  const auto g = lb::graph::make_torus2d(8, 8);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  LanczosOptions opts;
+  opts.deflate = {Vector(g.num_nodes(), 1.0)};
+  const LanczosResult r = lb::linalg::lanczos_smallest(l, opts);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.eigenvector.size(), g.num_nodes());
+  Vector lv;
+  l.multiply(r.eigenvector, lv);
+  double resid = 0.0;
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    const double d = lv[i] - r.eigenvalue * r.eigenvector[i];
+    resid += d * d;
+  }
+  EXPECT_LT(std::sqrt(resid), 1e-6);
+}
+
+TEST(LanczosTest, DeterministicForFixedSeed) {
+  const auto g = lb::graph::make_cycle(40);
+  const CsrMatrix l = lb::linalg::laplacian_csr(g);
+  LanczosOptions opts;
+  opts.deflate = {Vector(g.num_nodes(), 1.0)};
+  opts.seed = 777;
+  const LanczosResult a = lb::linalg::lanczos_smallest(l, opts);
+  const LanczosResult b = lb::linalg::lanczos_smallest(l, opts);
+  EXPECT_DOUBLE_EQ(a.eigenvalue, b.eigenvalue);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(LanczosTest, FullDeflationReturnsTrivially) {
+  // Deflating both axes of a 2-node operator leaves nothing.
+  auto apply = [](const Vector& x, Vector& y) { y = x; };
+  LanczosOptions opts;
+  opts.deflate = {{1.0, 0.0}, {0.0, 1.0}};
+  const LanczosResult r = lb::linalg::lanczos_smallest(apply, 2, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(LanczosTest, TinySpaceExactlyDiagonalized) {
+  // n = 3 with one deflated direction -> 2-dimensional Krylov space.
+  auto apply = [](const Vector& x, Vector& y) {
+    y.resize(3);
+    y[0] = 2.0 * x[0];
+    y[1] = 3.0 * x[1];
+    y[2] = 4.0 * x[2];
+  };
+  LanczosOptions opts;
+  opts.deflate = {{1.0, 0.0, 0.0}};
+  const LanczosResult r = lb::linalg::lanczos_smallest(apply, 3, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 3.0, 1e-9);
+}
+
+}  // namespace

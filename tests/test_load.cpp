@@ -1,0 +1,124 @@
+// Tests for load vectors and the potential function (lb/core/load.hpp),
+// including the exact identity of Lemma 10.
+#include "lb/core/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/graph/generators.hpp"
+#include "lb/util/rng.hpp"
+
+namespace {
+
+TEST(LoadTest, TotalAndAverage) {
+  const std::vector<std::int64_t> load{1, 2, 3, 4};
+  EXPECT_EQ(lb::core::total_load(load), 10);
+  EXPECT_DOUBLE_EQ(lb::core::average_load(load), 2.5);
+}
+
+TEST(LoadTest, PotentialOfBalancedIsZero) {
+  const std::vector<double> load(7, 3.25);
+  EXPECT_DOUBLE_EQ(lb::core::potential(load), 0.0);
+}
+
+TEST(LoadTest, PotentialKnownValue) {
+  // loads 0, 4 -> avg 2, potential 4 + 4 = 8.
+  const std::vector<double> load{0.0, 4.0};
+  EXPECT_DOUBLE_EQ(lb::core::potential(load), 8.0);
+}
+
+TEST(LoadTest, SpikePotentialFormula) {
+  // Spike W on node 0 of n nodes: Φ = W²(1 − 1/n).
+  const std::int64_t w = 1000;
+  for (std::size_t n : {2u, 10u, 64u}) {
+    std::vector<std::int64_t> load(n, 0);
+    load[0] = w;
+    const double expect =
+        static_cast<double>(w) * static_cast<double>(w) *
+        (1.0 - 1.0 / static_cast<double>(n));
+    EXPECT_NEAR(lb::core::potential(load), expect, 1e-6);
+  }
+}
+
+TEST(LoadTest, DiscrepancyAndSummary) {
+  const std::vector<std::int64_t> load{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(lb::core::discrepancy(load), 8.0);
+  const auto s = lb::core::summarize(load);
+  EXPECT_EQ(s.total, 18);
+  EXPECT_DOUBLE_EQ(s.average, 4.5);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 9);
+  EXPECT_DOUBLE_EQ(s.discrepancy, 8.0);
+  EXPECT_NEAR(s.potential, lb::core::potential(load), 1e-12);
+}
+
+TEST(LoadTest, EmptyVectorsSafe) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(lb::core::potential(empty), 0.0);
+  EXPECT_DOUBLE_EQ(lb::core::discrepancy(empty), 0.0);
+}
+
+TEST(Lemma10Test, IdentityHoldsExactly) {
+  // Lemma 10: Σ_i Σ_j (ℓ_i − ℓ_j)² = 2n·Φ(L).
+  lb::util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> load(50);
+    for (double& v : load) v = rng.next_double(0.0, 100.0);
+    const double lhs = lb::core::pairwise_square_sum(load);
+    const double rhs = 2.0 * 50.0 * lb::core::potential(load);
+    EXPECT_NEAR(lhs, rhs, 1e-6 * std::max(1.0, lhs));
+  }
+}
+
+TEST(Lemma10Test, ClosedFormMatchesNaive) {
+  lb::util::Rng rng(7);
+  std::vector<std::int64_t> load(30);
+  for (auto& v : load) v = rng.next_in(0, 1000);
+  EXPECT_NEAR(lb::core::pairwise_square_sum(load),
+              lb::core::pairwise_square_sum_naive(load), 1e-6);
+}
+
+TEST(Lemma10Test, IntegerLoads) {
+  const std::vector<std::int64_t> load{0, 1, 2, 3};
+  // Direct: pairs (diff²): 2*(1+4+9+1+4+1) = 40; 2nΦ = 2*4*5 = 40.
+  EXPECT_DOUBLE_EQ(lb::core::pairwise_square_sum(load), 40.0);
+  EXPECT_DOUBLE_EQ(2.0 * 4.0 * lb::core::potential(load), 40.0);
+}
+
+TEST(EdgeDifferenceSumTest, PathRamp) {
+  // Path 0-1-2-3 with loads 0,1,2,3: each edge differs by 1 -> sum 3.
+  const auto g = lb::graph::make_path(4);
+  const std::vector<std::int64_t> load{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(lb::core::edge_difference_sum(g, load), 3.0);
+}
+
+TEST(EdgeDifferenceSumTest, BalancedIsZero) {
+  const auto g = lb::graph::make_cycle(6);
+  const std::vector<double> load(6, 2.0);
+  EXPECT_DOUBLE_EQ(lb::core::edge_difference_sum(g, load), 0.0);
+}
+
+TEST(EdgeDifferenceSumTest, DirichletFormEqualsXtLx) {
+  // Σ_E (ℓ_i − ℓ_j)² = x^T L x: validate against the dense Laplacian.
+  const auto g = lb::graph::make_torus2d(3, 4);
+  lb::util::Rng rng(11);
+  std::vector<double> load(g.num_nodes());
+  for (double& v : load) v = rng.next_double(0.0, 10.0);
+  double direct = lb::core::edge_difference_sum(g, load);
+  // x^T L x computed by hand.
+  double xtlx = 0.0;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    xtlx += static_cast<double>(g.degree(static_cast<lb::graph::NodeId>(u))) *
+            load[u] * load[u];
+  }
+  for (const auto& e : g.edges()) xtlx -= 2.0 * load[e.u] * load[e.v];
+  EXPECT_NEAR(direct, xtlx, 1e-9);
+}
+
+TEST(NonNegativityTest, DetectsNegative) {
+  EXPECT_TRUE(lb::core::all_non_negative(std::vector<double>{0.0, 1.0}));
+  EXPECT_FALSE(lb::core::all_non_negative(std::vector<double>{0.0, -0.1}));
+  EXPECT_TRUE(lb::core::all_non_negative(std::vector<std::int64_t>{0, 5}));
+  EXPECT_FALSE(lb::core::all_non_negative(std::vector<std::int64_t>{-1, 5}));
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Tests for the logging utility (lb/util/logging.hpp).
+#include "lb/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using lb::util::LogLevel;
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(lb::util::log_level()) {}
+  ~LogLevelGuard() { lb::util::set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarn) {
+  // The suite may have changed it; only check the setter/getter contract.
+  LogLevelGuard guard;
+  lb::util::set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(lb::util::log_level(), LogLevel::kWarn);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    lb::util::set_log_level(level);
+    EXPECT_EQ(lb::util::log_level(), level);
+  }
+}
+
+TEST(LoggingTest, EmitsToStderrAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  lb::util::set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  lb::util::log_info("visible message");
+  lb::util::log_debug("hidden message");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("visible message"), std::string::npos);
+  EXPECT_EQ(captured.find("hidden message"), std::string::npos);
+  EXPECT_NE(captured.find("[lb info]"), std::string::npos);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  LogLevelGuard guard;
+  lb::util::set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  lb::util::log_error("should not appear");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LoggingTest, ConvenienceWrappersUseTheirLevels) {
+  LogLevelGuard guard;
+  lb::util::set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  lb::util::log_debug("d");
+  lb::util::log_warn("w");
+  lb::util::log_error("e");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[lb debug]"), std::string::npos);
+  EXPECT_NE(captured.find("[lb warn]"), std::string::npos);
+  EXPECT_NE(captured.find("[lb error]"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for matchings (lb/graph/matching.hpp), including the
+// Ghosh–Muthukrishnan edge-inclusion probability that their dimension-
+// exchange analysis (and the paper's comparison) relies on.
+#include "lb/graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lb/graph/generators.hpp"
+
+namespace {
+
+using lb::graph::Edge;
+using lb::graph::Graph;
+using lb::graph::Matching;
+
+TEST(GmMatchingTest, AlwaysValid) {
+  lb::util::Rng rng(1);
+  const Graph g = lb::graph::make_torus2d(5, 5);
+  for (int round = 0; round < 200; ++round) {
+    const Matching m = lb::graph::gm_random_matching(g, rng);
+    EXPECT_TRUE(lb::graph::is_valid_matching(g, m));
+  }
+}
+
+TEST(GmMatchingTest, EdgeInclusionProbabilityAtLeastOneOver8Delta) {
+  // [12] proves Pr[e in M] >= 1/(8δ).  Monte-Carlo every edge of a small
+  // torus; with 20000 rounds the estimate is accurate to ~±0.005.
+  lb::util::Rng rng(2);
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  const double bound = 1.0 / (8.0 * static_cast<double>(g.max_degree()));
+  std::map<Edge, int> hits;
+  constexpr int kRounds = 20000;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const Edge& e : lb::graph::gm_random_matching(g, rng)) ++hits[e];
+  }
+  for (const Edge& e : g.edges()) {
+    const double p = static_cast<double>(hits[e]) / kRounds;
+    EXPECT_GE(p, bound) << "edge (" << e.u << "," << e.v << ") p=" << p;
+  }
+}
+
+TEST(GmMatchingTest, EmptyOnEdgelessGraph) {
+  lb::util::Rng rng(3);
+  lb::graph::GraphBuilder b(4);
+  const Graph g = b.build();
+  EXPECT_TRUE(lb::graph::gm_random_matching(g, rng).empty());
+}
+
+TEST(MaximalMatchingTest, IsMaximal) {
+  lb::util::Rng rng(5);
+  const Graph g = lb::graph::make_cycle(12);
+  for (int round = 0; round < 100; ++round) {
+    const Matching m = lb::graph::random_maximal_matching(g, rng);
+    ASSERT_TRUE(lb::graph::is_valid_matching(g, m));
+    // Maximality: no remaining edge has both endpoints free.
+    std::vector<bool> used(g.num_nodes(), false);
+    for (const Edge& e : m) used[e.u] = used[e.v] = true;
+    for (const Edge& e : g.edges()) {
+      EXPECT_TRUE(used[e.u] || used[e.v])
+          << "edge (" << e.u << "," << e.v << ") extends the matching";
+    }
+  }
+}
+
+TEST(MaximalMatchingTest, CycleMatchingSizeRange) {
+  lb::util::Rng rng(7);
+  const Graph g = lb::graph::make_cycle(10);
+  for (int round = 0; round < 50; ++round) {
+    const Matching m = lb::graph::random_maximal_matching(g, rng);
+    // A maximal matching of C_10 has between ceil(10/3)=4 and 5 edges.
+    EXPECT_GE(m.size(), 4u);
+    EXPECT_LE(m.size(), 5u);
+  }
+}
+
+TEST(ValidityTest, RejectsSharedVertex) {
+  const Graph g = lb::graph::make_path(4);
+  EXPECT_FALSE(lb::graph::is_valid_matching(g, {Edge{0, 1}, Edge{1, 2}}));
+}
+
+TEST(ValidityTest, RejectsNonEdge) {
+  const Graph g = lb::graph::make_path(4);
+  EXPECT_FALSE(lb::graph::is_valid_matching(g, {Edge{0, 2}}));
+}
+
+TEST(ValidityTest, AcceptsEmpty) {
+  const Graph g = lb::graph::make_path(4);
+  EXPECT_TRUE(lb::graph::is_valid_matching(g, {}));
+}
+
+TEST(HypercubeMatchingTest, EachColourIsPerfect) {
+  const std::size_t d = 4;
+  const Graph g = lb::graph::make_hypercube(d);
+  for (std::size_t colour = 0; colour < d; ++colour) {
+    const Matching m = lb::graph::hypercube_dimension_matching(g, d, colour);
+    EXPECT_TRUE(lb::graph::is_valid_matching(g, m));
+    EXPECT_EQ(m.size(), g.num_nodes() / 2) << "colour " << colour;
+  }
+}
+
+TEST(HypercubeMatchingTest, ColoursPartitionEdges) {
+  const std::size_t d = 3;
+  const Graph g = lb::graph::make_hypercube(d);
+  std::map<Edge, int> seen;
+  for (std::size_t colour = 0; colour < d; ++colour) {
+    for (const Edge& e : lb::graph::hypercube_dimension_matching(g, d, colour)) {
+      ++seen[e];
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_edges());
+  for (const auto& [e, count] : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(HypercubeMatchingDeathTest, WrongNodeCountRejected) {
+  const Graph g = lb::graph::make_cycle(6);
+  EXPECT_DEATH((void)lb::graph::hypercube_dimension_matching(g, 3, 0), "hypercube");
+}
+
+TEST(HypercubeMatchingDeathTest, MissingDimensionEdgeRejected) {
+  // cycle(8) has 2^3 nodes and colour-0 pairs (2i, 2i+1) all exist, but
+  // colour 1 needs chords like (0,2) that a cycle lacks.
+  const Graph g = lb::graph::make_cycle(8);
+  EXPECT_DEATH((void)lb::graph::hypercube_dimension_matching(g, 3, 1), "hypercube");
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Unit tests for the CLI option parser (lb/util/options.hpp).
+#include "lb/util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using lb::util::Options;
+
+// Helper: build argv from string literals.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    ptrs.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+Options make_options() {
+  Options o("test program");
+  o.add_int("n", 100, "node count")
+      .add_double("eps", 0.5, "epsilon")
+      .add_string("family", "torus2d", "graph family")
+      .add_flag("verbose", "chatty output");
+  return o;
+}
+
+TEST(OptionsTest, DefaultsApplyWithoutArgs) {
+  Options o = make_options();
+  Argv a({});
+  o.parse(a.argc(), a.argv());
+  EXPECT_EQ(o.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(o.get_double("eps"), 0.5);
+  EXPECT_EQ(o.get_string("family"), "torus2d");
+  EXPECT_FALSE(o.get_flag("verbose"));
+}
+
+TEST(OptionsTest, EqualsSyntax) {
+  Options o = make_options();
+  Argv a({"--n=42", "--eps=0.125", "--family=cycle"});
+  o.parse(a.argc(), a.argv());
+  EXPECT_EQ(o.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(o.get_double("eps"), 0.125);
+  EXPECT_EQ(o.get_string("family"), "cycle");
+}
+
+TEST(OptionsTest, SpaceSyntax) {
+  Options o = make_options();
+  Argv a({"--n", "7", "--family", "path"});
+  o.parse(a.argc(), a.argv());
+  EXPECT_EQ(o.get_int("n"), 7);
+  EXPECT_EQ(o.get_string("family"), "path");
+}
+
+TEST(OptionsTest, FlagSets) {
+  Options o = make_options();
+  Argv a({"--verbose"});
+  o.parse(a.argc(), a.argv());
+  EXPECT_TRUE(o.get_flag("verbose"));
+}
+
+TEST(OptionsTest, NegativeNumbers) {
+  Options o = make_options();
+  Argv a({"--n=-5", "--eps=-0.25"});
+  o.parse(a.argc(), a.argv());
+  EXPECT_EQ(o.get_int("n"), -5);
+  EXPECT_DOUBLE_EQ(o.get_double("eps"), -0.25);
+}
+
+TEST(OptionsTest, UsageMentionsAllOptions) {
+  Options o = make_options();
+  const std::string u = o.usage();
+  for (const char* name : {"--n", "--eps", "--family", "--verbose", "--help"}) {
+    EXPECT_NE(u.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(OptionsDeathTest, UnknownOptionExits) {
+  Options o = make_options();
+  Argv a({"--bogus=1"});
+  EXPECT_EXIT(o.parse(a.argc(), a.argv()), testing::ExitedWithCode(2), "unknown option");
+}
+
+TEST(OptionsDeathTest, BadIntExits) {
+  Options o = make_options();
+  Argv a({"--n=abc"});
+  EXPECT_EXIT(o.parse(a.argc(), a.argv()), testing::ExitedWithCode(2), "invalid value");
+}
+
+TEST(OptionsDeathTest, MissingValueExits) {
+  Options o = make_options();
+  Argv a({"--n"});
+  EXPECT_EXIT(o.parse(a.argc(), a.argv()), testing::ExitedWithCode(2), "needs a value");
+}
+
+TEST(OptionsDeathTest, FlagWithValueExits) {
+  Options o = make_options();
+  Argv a({"--verbose=1"});
+  EXPECT_EXIT(o.parse(a.argc(), a.argv()), testing::ExitedWithCode(2),
+              "does not take a value");
+}
+
+TEST(OptionsDeathTest, HelpExitsZero) {
+  Options o = make_options();
+  Argv a({"--help"});
+  EXPECT_EXIT(o.parse(a.argc(), a.argv()), testing::ExitedWithCode(0), "");
+}
+
+TEST(OptionsDeathTest, PositionalArgumentExits) {
+  Options o = make_options();
+  Argv a({"positional"});
+  EXPECT_EXIT(o.parse(a.argc(), a.argv()), testing::ExitedWithCode(2), "positional");
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for structural graph properties (lb/graph/properties.hpp).
+#include "lb/graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lb/graph/generators.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+using lb::graph::GraphBuilder;
+
+TEST(ConnectivityTest, ConnectedFamilies) {
+  EXPECT_TRUE(lb::graph::is_connected(lb::graph::make_path(10)));
+  EXPECT_TRUE(lb::graph::is_connected(lb::graph::make_cycle(10)));
+  EXPECT_TRUE(lb::graph::is_connected(lb::graph::make_star(10)));
+  EXPECT_TRUE(lb::graph::is_connected(lb::graph::make_hypercube(4)));
+}
+
+TEST(ConnectivityTest, DisconnectedDetected) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_FALSE(lb::graph::is_connected(g));
+  EXPECT_EQ(lb::graph::component_count(g), 3u);  // {0,1}, {2,3}, {4}
+}
+
+TEST(ConnectivityTest, SingleNodeIsConnected) {
+  GraphBuilder b(1);
+  EXPECT_TRUE(lb::graph::is_connected(b.build()));
+}
+
+TEST(BfsTest, PathDistances) {
+  const Graph g = lb::graph::make_path(6);
+  const auto dist = lb::graph::bfs_distances(g, 0);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsTest, UnreachableIsInfinite) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto dist = lb::graph::bfs_distances(b.build(), 0);
+  EXPECT_EQ(dist[2], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(DiameterTest, KnownValues) {
+  EXPECT_EQ(lb::graph::diameter(lb::graph::make_path(10)), 9u);
+  EXPECT_EQ(lb::graph::diameter(lb::graph::make_cycle(10)), 5u);
+  EXPECT_EQ(lb::graph::diameter(lb::graph::make_cycle(11)), 5u);
+  EXPECT_EQ(lb::graph::diameter(lb::graph::make_complete(5)), 1u);
+  EXPECT_EQ(lb::graph::diameter(lb::graph::make_star(8)), 2u);
+  EXPECT_EQ(lb::graph::diameter(lb::graph::make_hypercube(6)), 6u);
+}
+
+TEST(DiameterTest, DisconnectedIsNullopt) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(lb::graph::diameter(b.build()).has_value());
+}
+
+TEST(ExpansionTest, CompleteGraph) {
+  // K_4: every subset S has |E(S, S̄)| = |S|·|S̄|; minimized at |S|=2:
+  // 4/2 = 2.
+  EXPECT_NEAR(lb::graph::edge_expansion_exact(lb::graph::make_complete(4)), 2.0,
+              1e-12);
+}
+
+TEST(ExpansionTest, CycleIsTwoOverHalf) {
+  // C_n: best cut is an arc of n/2 nodes with 2 crossing edges.
+  const Graph g = lb::graph::make_cycle(8);
+  EXPECT_NEAR(lb::graph::edge_expansion_exact(g), 2.0 / 4.0, 1e-12);
+}
+
+TEST(ExpansionTest, PathEndpointCut) {
+  // P_n: cutting in the middle gives 1/(n/2).
+  const Graph g = lb::graph::make_path(8);
+  EXPECT_NEAR(lb::graph::edge_expansion_exact(g), 1.0 / 4.0, 1e-12);
+}
+
+TEST(ExpansionTest, BarbellBridgeDominates) {
+  const Graph g = lb::graph::make_barbell(4);  // n=8, bridge cut = 1/4
+  EXPECT_NEAR(lb::graph::edge_expansion_exact(g), 0.25, 1e-12);
+}
+
+TEST(DegreeHistogramTest, StarShape) {
+  const auto hist = lb::graph::degree_histogram(lb::graph::make_star(6));
+  ASSERT_EQ(hist.size(), 6u);  // degrees 0..5
+  EXPECT_EQ(hist[1], 5u);
+  EXPECT_EQ(hist[5], 1u);
+  EXPECT_EQ(hist[2], 0u);
+}
+
+TEST(DegreeHistogramTest, RegularGraphSingleBucket) {
+  const auto hist = lb::graph::degree_histogram(lb::graph::make_cycle(7));
+  EXPECT_EQ(hist[2], 7u);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Tests for Algorithm 2 (lb/core/random_partner.hpp): link sampling,
+// conservation, and Monte-Carlo validation of Lemma 9, Lemma 11 and
+// Lemma 13.
+#include "lb/core/random_partner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/stats.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+// Algorithm 2 ignores the network; any placeholder graph works.
+const lb::graph::Graph& dummy_graph() {
+  static const lb::graph::Graph g = lb::graph::make_complete(2);
+  return g;
+}
+
+TEST(PartnerLinksTest, EveryNodePicksSomeoneElse) {
+  lb::util::Rng rng(1);
+  const auto links = lb::core::sample_partner_links(50, rng);
+  ASSERT_EQ(links.partner.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NE(links.partner[i], i);
+    EXPECT_LT(links.partner[i], 50u);
+  }
+}
+
+TEST(PartnerLinksTest, DegreesCountBothDirections) {
+  lb::util::Rng rng(2);
+  const auto links = lb::core::sample_partner_links(100, rng);
+  // Sum of degrees = 2 * number of links = 2n.
+  std::size_t total = 0;
+  for (auto d : links.degree) total += d;
+  EXPECT_EQ(total, 200u);
+  // Every node has degree >= 1 (its own pick).
+  for (auto d : links.degree) EXPECT_GE(d, 1u);
+}
+
+TEST(PartnerLinksTest, PartnerChoiceIsUniform) {
+  lb::util::Rng rng(3);
+  constexpr std::size_t kN = 10;
+  constexpr int kTrials = 90000;
+  std::vector<int> counts(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto links = lb::core::sample_partner_links(kN, rng);
+    ++counts[links.partner[0]];
+  }
+  // Node 0 picks each of 1..9 with probability 1/9.
+  EXPECT_EQ(counts[0], 0);
+  for (std::size_t j = 1; j < kN; ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]), kTrials / 9.0, kTrials * 0.01);
+  }
+}
+
+TEST(Lemma9Test, BothEndpointDegreesAtMostFiveWithProbabilityOverHalf) {
+  // Lemma 9: for a fixed link (i,j), Pr[max(d_i,d_j) <= 5] > 0.5.
+  // Monte-Carlo over the link built by node 0.
+  lb::util::Rng rng(4);
+  constexpr std::size_t kN = 1000;
+  constexpr int kTrials = 20000;
+  int good = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto links = lb::core::sample_partner_links(kN, rng);
+    const auto j = links.partner[0];
+    if (std::max(links.degree[0], links.degree[j]) <= 5) ++good;
+  }
+  const double p = static_cast<double>(good) / kTrials;
+  EXPECT_GT(p, lb::core::bounds::kLemma9Probability);
+}
+
+TEST(RandomPartnerContinuousTest, ConservesLoad) {
+  lb::util::Rng rng(5);
+  std::vector<double> load = lb::workload::uniform_random<double>(64, 640.0, rng);
+  lb::core::ContinuousRandomPartner alg;
+  const double before = lb::core::total_load(load);
+  for (int round = 0; round < 100; ++round) alg.step(dummy_graph(), load, rng);
+  EXPECT_NEAR(lb::core::total_load(load), before, 1e-8);
+}
+
+TEST(RandomPartnerContinuousTest, NonNegativeAndMonotonePotential) {
+  lb::util::Rng rng(6);
+  std::vector<double> load = lb::workload::spike<double>(64, 6400.0);
+  lb::core::ContinuousRandomPartner alg;
+  double prev = lb::core::potential(load);
+  for (int round = 0; round < 200; ++round) {
+    alg.step(dummy_graph(), load, rng);
+    EXPECT_TRUE(lb::core::all_non_negative(load));
+    const double cur = lb::core::potential(load);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(RandomPartnerContinuousTest, UsesNoNetwork) {
+  lb::core::ContinuousRandomPartner alg;
+  EXPECT_FALSE(alg.uses_network());
+}
+
+TEST(Lemma11Test, ExpectedDropFactorAtMost19Over20) {
+  // Average the one-round ratio Φ^{t+1}/Φ^t over many independent rounds
+  // from the same start state; Lemma 11 bounds the mean by 19/20.
+  constexpr std::size_t kN = 256;
+  constexpr int kTrials = 400;
+  std::vector<double> start = lb::workload::spike<double>(kN, 25600.0);
+  const double phi0 = lb::core::potential(start);
+  lb::util::Rng rng(7);
+  lb::util::RunningStats ratio;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> load = start;
+    lb::core::ContinuousRandomPartner alg;
+    alg.step(dummy_graph(), load, rng);
+    ratio.add(lb::core::potential(load) / phi0);
+  }
+  // Allow the Monte-Carlo CI on top of the bound.
+  EXPECT_LT(ratio.mean() - ratio.ci_halfwidth(), lb::core::bounds::kLemma11Factor);
+}
+
+TEST(Theorem12Test, LogarithmicConvergence) {
+  // After T = 120·c·lnΦ rounds, Φ should be tiny (continuous case).
+  constexpr std::size_t kN = 128;
+  std::vector<double> load = lb::workload::spike<double>(kN, 12800.0);
+  const double phi0 = lb::core::potential(load);
+  const double T = lb::core::bounds::theorem12_rounds(1.0, phi0);
+  lb::util::Rng rng(8);
+  lb::core::ContinuousRandomPartner alg;
+  for (std::size_t round = 0; round < static_cast<std::size_t>(T); ++round) {
+    alg.step(dummy_graph(), load, rng);
+  }
+  // Theorem 12 with c=1 guarantees Φ <= e^{-1} whp; measured runs land far
+  // below the bound.
+  EXPECT_LT(lb::core::potential(load), std::exp(-1.0));
+}
+
+TEST(RandomPartnerDiscreteTest, ConservesTokens) {
+  lb::util::Rng rng(9);
+  std::vector<std::int64_t> load =
+      lb::workload::uniform_random<std::int64_t>(64, 64000, rng);
+  lb::core::DiscreteRandomPartner alg;
+  const std::int64_t before = lb::core::total_load(load);
+  for (int round = 0; round < 100; ++round) alg.step(dummy_graph(), load, rng);
+  EXPECT_EQ(lb::core::total_load(load), before);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+}
+
+TEST(Lemma13Test, DiscreteDropFactorAboveThreshold) {
+  // While Φ >= 3200n, Lemma 13 bounds E[Φ^{t+1}] <= (39/40)Φ^t.
+  constexpr std::size_t kN = 128;
+  const double threshold = lb::core::bounds::random_partner_threshold(kN);
+  std::vector<std::int64_t> start = lb::workload::spike<std::int64_t>(kN, 12800000);
+  const double phi0 = lb::core::potential(start);
+  ASSERT_GT(phi0, threshold);
+  lb::util::Rng rng(10);
+  lb::util::RunningStats ratio;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<std::int64_t> load = start;
+    lb::core::DiscreteRandomPartner alg;
+    alg.step(dummy_graph(), load, rng);
+    ratio.add(lb::core::potential(load) / phi0);
+  }
+  EXPECT_LT(ratio.mean() - ratio.ci_halfwidth(), lb::core::bounds::kLemma13Factor);
+}
+
+TEST(Theorem14Test, DiscreteReachesThresholdWithinBound) {
+  constexpr std::size_t kN = 128;
+  std::vector<std::int64_t> load = lb::workload::spike<std::int64_t>(kN, 12800000);
+  const double phi0 = lb::core::potential(load);
+  const double threshold = lb::core::bounds::random_partner_threshold(kN);
+  const double T = lb::core::bounds::theorem14_rounds(1.0, phi0, kN);
+  ASSERT_GT(T, 0.0);
+  lb::util::Rng rng(11);
+  lb::core::DiscreteRandomPartner alg;
+  std::size_t reached_at = 0;
+  for (std::size_t round = 1; round <= static_cast<std::size_t>(T); ++round) {
+    alg.step(dummy_graph(), load, rng);
+    if (lb::core::potential(load) <= threshold) {
+      reached_at = round;
+      break;
+    }
+  }
+  EXPECT_GT(reached_at, 0u) << "did not reach 3200n within the Theorem-14 budget";
+  EXPECT_LE(static_cast<double>(reached_at), T);
+}
+
+TEST(RandomPartnerDeterminismTest, SameSeedSameTrajectory) {
+  std::vector<double> a = lb::workload::spike<double>(32, 320.0);
+  std::vector<double> b = a;
+  lb::util::Rng ra(42), rb(42);
+  lb::core::ContinuousRandomPartner alg_a, alg_b;
+  for (int round = 0; round < 20; ++round) {
+    alg_a.step(dummy_graph(), a, ra);
+    alg_b.step(dummy_graph(), b, rb);
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

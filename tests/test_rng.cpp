@@ -1,0 +1,268 @@
+// Unit tests for the deterministic PRNG substrate (lb/util/rng.hpp).
+#include "lb/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using lb::util::Rng;
+using lb::util::SplitMix64;
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next() != b.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 50; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 45u);
+}
+
+TEST(RngTest, SplitDecorrelates) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // Child and parent streams should not coincide.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(5), b(5);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng r(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng r(23);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kTrials = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[r.next_below(kBound)];
+  // Each bucket expects 10000; allow 5% deviation (well beyond 5 sigma).
+  for (int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(RngTest, NextInCoversRangeInclusive) {
+  Rng r(31);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(37);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng r(41);
+  double sum = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng r(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng r(47);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(53);
+  double sum = 0, sum_sq = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kTrials, 1.0, 0.03);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng r(59);
+  EXPECT_EQ(r.next_binomial(0, 0.5), 0);
+  EXPECT_EQ(r.next_binomial(10, 0.0), 0);
+  EXPECT_EQ(r.next_binomial(10, 1.0), 10);
+}
+
+TEST(RngTest, BinomialSmallNpMoments) {
+  // The Lemma-9 regime: B(n-1, 1/n) with mean about 1.
+  Rng r(61);
+  constexpr int kTrials = 200000;
+  constexpr std::int64_t kN = 1000;
+  const double p = 1.0 / static_cast<double>(kN);
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const double v = static_cast<double>(r.next_binomial(kN - 1, p));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+  const double expect_mean = static_cast<double>(kN - 1) * p;
+  EXPECT_NEAR(mean, expect_mean, 0.02);
+  EXPECT_NEAR(var, expect_mean * (1 - p), 0.05);
+}
+
+TEST(RngTest, BinomialLargeNpMoments) {
+  Rng r(67);
+  constexpr int kTrials = 50000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::int64_t v = r.next_binomial(10000, 0.25);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 10000);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kTrials, 2500.0, 5.0);
+}
+
+TEST(RngTest, BinomialMirroredP) {
+  Rng r(71);
+  double sum = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) sum += static_cast<double>(r.next_binomial(10, 0.9));
+  EXPECT_NEAR(sum / kTrials, 9.0, 0.05);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng r(73);
+  constexpr double kP = 0.2;
+  constexpr int kTrials = 100000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) sum += static_cast<double>(r.next_geometric(kP));
+  // Mean of failures-before-success is (1-p)/p = 4.
+  EXPECT_NEAR(sum / kTrials, 4.0, 0.1);
+}
+
+TEST(RngTest, GeometricPOneIsZero) {
+  Rng r(79);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_geometric(1.0), 0);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng r(83);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.next_zipf(100, 1.0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(RngTest, ZipfRankOneIsMostFrequent) {
+  Rng r(89);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[r.next_zipf(10, 1.2)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[5]);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng r(97);
+  std::vector<int> counts(6, 0);
+  constexpr int kTrials = 60000;
+  for (int i = 0; i < kTrials; ++i) ++counts[r.next_zipf(5, 0.0)];
+  for (int k = 1; k <= 5; ++k) EXPECT_NEAR(counts[k], kTrials / 5, kTrials / 50);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng r(101);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto sorted = v;
+  r.shuffle(v);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng r(103);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = r.sample_without_replacement(100, 30);
+    EXPECT_EQ(s.size(), 30u);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 30u);
+    for (std::size_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation) {
+  Rng r(107);
+  const auto s = r.sample_without_replacement(10, 10);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng r(109);
+  EXPECT_TRUE(r.sample_without_replacement(10, 0).empty());
+}
+
+}  // namespace

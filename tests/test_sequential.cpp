@@ -1,0 +1,199 @@
+// Tests for the sequentialization toolkit (lb/core/sequential.hpp) — the
+// executable form of the paper's proof technique.  The key properties:
+//   * the ledger's per-edge drops sum exactly to the concurrent round's
+//     total drop (the decomposition is an identity);
+//   * every activation satisfies the Lemma-1 certificate;
+//   * the summed certificates dominate the Lemma-2 bound;
+//   * the concurrent round's drop is at least ~1/2 the greedy-sequential
+//     round's drop (the paper's factor-2 claim, §3).
+#include "lb/core/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::core::DiffusionConfig;
+using lb::core::SequentialLedger;
+using lb::graph::Graph;
+
+// ---- parameterized property sweep: topology x workload ----
+
+struct Instance {
+  std::string family;
+  std::string workload;
+};
+
+class SequentialPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+ protected:
+  static constexpr std::size_t kNodes = 48;
+
+  Graph make_graph(lb::util::Rng& rng) const {
+    return lb::graph::make_named(std::get<0>(GetParam()), kNodes, rng);
+  }
+
+  template <class T>
+  std::vector<T> make_load(std::size_t n, lb::util::Rng& rng) const {
+    return lb::workload::make_named<T>(std::get<1>(GetParam()), n,
+                                       static_cast<T>(100 * n), rng);
+  }
+};
+
+TEST_P(SequentialPropertyTest, LedgerDecomposesConcurrentRoundExactly) {
+  lb::util::Rng rng(101);
+  const Graph g = make_graph(rng);
+  std::vector<double> load = make_load<double>(g.num_nodes(), rng);
+
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+
+  // Run the actual concurrent round and compare end potentials.
+  lb::core::ContinuousDiffusion alg;
+  alg.step(g, load, rng);
+  const double concurrent_final = lb::core::potential(load);
+  EXPECT_NEAR(ledger.final_potential, concurrent_final,
+              1e-7 * std::max(1.0, concurrent_final));
+  EXPECT_NEAR(ledger.initial_potential - ledger.final_potential, ledger.total_drop,
+              1e-6 * std::max(1.0, ledger.initial_potential));
+}
+
+TEST_P(SequentialPropertyTest, Lemma1CertificatesHoldContinuous) {
+  lb::util::Rng rng(102);
+  const Graph g = make_graph(rng);
+  const std::vector<double> load = make_load<double>(g.num_nodes(), rng);
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+  EXPECT_TRUE(ledger.all_certified);
+  for (const auto& act : ledger.activations) {
+    EXPECT_TRUE(act.certified) << "edge (" << act.edge.u << "," << act.edge.v
+                               << ") drop " << act.potential_drop << " < bound "
+                               << act.lemma1_bound;
+  }
+}
+
+TEST_P(SequentialPropertyTest, Lemma1CertificatesHoldDiscrete) {
+  lb::util::Rng rng(103);
+  const Graph g = make_graph(rng);
+  const std::vector<std::int64_t> load = make_load<std::int64_t>(g.num_nodes(), rng);
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+  EXPECT_TRUE(ledger.all_certified);
+}
+
+TEST_P(SequentialPropertyTest, TotalDropDominatesLemma2Bound) {
+  lb::util::Rng rng(104);
+  const Graph g = make_graph(rng);
+  const std::vector<double> load = make_load<double>(g.num_nodes(), rng);
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+  EXPECT_GE(ledger.total_drop, ledger.lemma2_bound - 1e-9);
+}
+
+TEST_P(SequentialPropertyTest, ConcurrentAtLeastHalfOfGreedySequential) {
+  // §3: "the concurrency can degrade our algorithm performance by at most
+  // a factor of two."  Compare the concurrent drop against the greedy
+  // re-evaluating sequential round on the same start state.
+  lb::util::Rng rng(105);
+  const Graph g = make_graph(rng);
+  std::vector<double> concurrent_load = make_load<double>(g.num_nodes(), rng);
+  std::vector<double> greedy_load = concurrent_load;
+
+  const double phi0 = lb::core::potential(concurrent_load);
+  lb::core::ContinuousDiffusion alg;
+  alg.step(g, concurrent_load, rng);
+  const double concurrent_drop = phi0 - lb::core::potential(concurrent_load);
+
+  const auto greedy = lb::core::greedy_sequential_round(g, greedy_load);
+  if (greedy.total_drop <= 0.0) {
+    EXPECT_GE(concurrent_drop, -1e-9);
+    return;
+  }
+  EXPECT_GE(concurrent_drop, 0.5 * greedy.total_drop - 1e-9)
+      << "concurrent=" << concurrent_drop << " greedy=" << greedy.total_drop;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologyWorkloadSweep, SequentialPropertyTest,
+    ::testing::Combine(::testing::Values("path", "cycle", "torus2d", "hypercube",
+                                         "star", "tree", "regular", "complete"),
+                       ::testing::Values("spike", "uniform", "bimodal", "zipf")));
+
+// ---- directed unit tests ----
+
+TEST(SequentialTest, ActivationsAreAscendingByWeight) {
+  lb::util::Rng rng(1);
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  const auto load = lb::workload::uniform_random<double>(16, 1600.0, rng);
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+  for (std::size_t k = 1; k < ledger.activations.size(); ++k) {
+    EXPECT_LE(ledger.activations[k - 1].raw_weight,
+              ledger.activations[k].raw_weight + 1e-15);
+  }
+}
+
+TEST(SequentialTest, BalancedLoadProducesZeroLedger) {
+  const Graph g = lb::graph::make_cycle(8);
+  const std::vector<double> load(8, 5.0);
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+  EXPECT_DOUBLE_EQ(ledger.total_drop, 0.0);
+  EXPECT_TRUE(ledger.all_certified);
+  for (const auto& act : ledger.activations) {
+    EXPECT_DOUBLE_EQ(act.weight, 0.0);
+    EXPECT_DOUBLE_EQ(act.potential_drop, 0.0);
+  }
+}
+
+TEST(SequentialTest, SingleEdgeExactDrop) {
+  // Two nodes (4, 0): w = 1, ΔΦ = 2·1·(4 − 0 − 1) = 6.
+  const Graph g = lb::graph::make_complete(2);
+  const std::vector<double> load{4.0, 0.0};
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+  ASSERT_EQ(ledger.activations.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.activations[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.activations[0].potential_drop, 6.0);
+  EXPECT_DOUBLE_EQ(ledger.activations[0].lemma1_bound, 4.0);
+  EXPECT_TRUE(ledger.all_certified);
+}
+
+TEST(SequentialTest, DiscreteWeightsAreFloored) {
+  const Graph g = lb::graph::make_complete(2);
+  const std::vector<std::int64_t> load{10, 3};  // raw w = 7/4 -> move 1
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load);
+  ASSERT_EQ(ledger.activations.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.activations[0].raw_weight, 1.75);
+  EXPECT_DOUBLE_EQ(ledger.activations[0].weight, 1.0);
+}
+
+TEST(SequentialTest, GreedySequentialNeverIncreasesPotential) {
+  lb::util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = lb::graph::make_random_regular(30, 4, rng);
+    auto load = lb::workload::uniform_random<double>(30, 3000.0, rng);
+    const auto r = lb::core::greedy_sequential_round(g, load);
+    EXPECT_GE(r.total_drop, -1e-9);
+    EXPECT_NEAR(r.initial_potential - r.final_potential, r.total_drop, 1e-8);
+  }
+}
+
+TEST(SequentialTest, GreedySequentialConservesLoad) {
+  lb::util::Rng rng(3);
+  const Graph g = lb::graph::make_torus2d(4, 5);
+  auto load = lb::workload::spike<std::int64_t>(20, 20000);
+  const std::int64_t before = lb::core::total_load(load);
+  (void)lb::core::greedy_sequential_round(g, load);
+  EXPECT_EQ(lb::core::total_load(load), before);
+}
+
+TEST(SequentialTest, CustomConfigRespected) {
+  // Factor 8 halves the weights relative to the default 4.
+  const Graph g = lb::graph::make_complete(2);
+  const std::vector<double> load{8.0, 0.0};
+  DiffusionConfig cfg;
+  cfg.factor = 8.0;
+  const SequentialLedger ledger = lb::core::sequentialize_round(g, load, cfg);
+  ASSERT_EQ(ledger.activations.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.activations[0].raw_weight, 1.0);
+}
+
+}  // namespace

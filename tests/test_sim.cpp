@@ -1,0 +1,120 @@
+// Tests for the synchronous message-passing simulator (lb/sim): the
+// distributed execution must be *bit-identical* to the centralized
+// DiffusionBalancer round for round, conserve tokens, and account its
+// messages correctly.
+#include "lb/sim/message_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::graph::Graph;
+
+class SimEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimEquivalenceTest, DiscreteTrajectoryMatchesCentralizedBalancer) {
+  lb::util::Rng rng(17);
+  const Graph g = lb::graph::make_named(GetParam(), 48, rng);
+  auto load = lb::workload::uniform_random<std::int64_t>(
+      g.num_nodes(), 1000 * static_cast<std::int64_t>(g.num_nodes()), rng);
+
+  lb::sim::DiscreteMessageSimulator sim(g, load);
+  lb::core::DiscreteDiffusion central;
+  for (int round = 0; round < 30; ++round) {
+    sim.step();
+    central.step(g, load, rng);
+    const auto sim_load = sim.snapshot();
+    for (std::size_t i = 0; i < load.size(); ++i) {
+      ASSERT_EQ(sim_load[i], load[i])
+          << GetParam() << " diverged at round " << round << " node " << i;
+    }
+  }
+}
+
+TEST_P(SimEquivalenceTest, ContinuousTrajectoryMatchesCentralizedBalancer) {
+  lb::util::Rng rng(19);
+  const Graph g = lb::graph::make_named(GetParam(), 48, rng);
+  auto load = lb::workload::spike<double>(g.num_nodes(),
+                                          100.0 * static_cast<double>(g.num_nodes()));
+
+  lb::sim::ContinuousMessageSimulator sim(g, load);
+  lb::core::ContinuousDiffusion central;
+  for (int round = 0; round < 30; ++round) {
+    sim.step();
+    central.step(g, load, rng);
+    const auto sim_load = sim.snapshot();
+    for (std::size_t i = 0; i < load.size(); ++i) {
+      ASSERT_NEAR(sim_load[i], load[i], 1e-9)
+          << GetParam() << " diverged at round " << round << " node " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, SimEquivalenceTest,
+                         ::testing::Values("path", "cycle", "torus2d", "hypercube",
+                                           "star", "tree", "regular"));
+
+TEST(SimTest, ConservesTokens) {
+  lb::util::Rng rng(5);
+  const Graph g = lb::graph::make_torus2d(6, 6);
+  auto load = lb::workload::spike<std::int64_t>(36, 360000);
+  lb::sim::DiscreteMessageSimulator sim(g, load);
+  for (int round = 0; round < 100; ++round) sim.step();
+  const auto snapshot = sim.snapshot();
+  EXPECT_EQ(lb::core::total_load(snapshot), 360000);
+  EXPECT_TRUE(lb::core::all_non_negative(snapshot));
+}
+
+TEST(SimTest, MessageCountIsFourPerEdge) {
+  // Each round: one LOAD_ANNOUNCE per directed edge + one TOKEN_TRANSFER
+  // per directed edge = 4m messages.
+  const Graph g = lb::graph::make_cycle(10);
+  lb::sim::DiscreteMessageSimulator sim(
+      g, lb::workload::spike<std::int64_t>(10, 1000));
+  const auto stats = sim.step();
+  EXPECT_EQ(stats.messages_sent, 4 * g.num_edges());
+}
+
+TEST(SimTest, BalancedLoadSendsNoTokens) {
+  const Graph g = lb::graph::make_hypercube(4);
+  lb::sim::DiscreteMessageSimulator sim(g, std::vector<std::int64_t>(16, 100));
+  const auto stats = sim.step();
+  EXPECT_EQ(stats.tokens_moved_messages, 0u);
+  EXPECT_DOUBLE_EQ(stats.total_payload, 0.0);
+}
+
+TEST(SimTest, RoundCounterAdvances) {
+  const Graph g = lb::graph::make_cycle(5);
+  lb::sim::DiscreteMessageSimulator sim(g, std::vector<std::int64_t>(5, 1));
+  EXPECT_EQ(sim.round(), 0u);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.round(), 2u);
+}
+
+TEST(SimTest, PotentialNonIncreasing) {
+  lb::util::Rng rng(7);
+  const Graph g = lb::graph::make_random_regular(40, 4, rng);
+  auto load = lb::workload::uniform_random<std::int64_t>(40, 40000, rng);
+  lb::sim::DiscreteMessageSimulator sim(g, load);
+  double prev = lb::core::potential(sim.snapshot());
+  for (int round = 0; round < 50; ++round) {
+    sim.step();
+    const double cur = lb::core::potential(sim.snapshot());
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(SimTest, LocalLoadAccessor) {
+  const Graph g = lb::graph::make_path(3);
+  lb::sim::DiscreteMessageSimulator sim(g, {5, 0, 0});
+  EXPECT_EQ(sim.load(0), 5);
+  EXPECT_EQ(sim.load(2), 0);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Unit tests for descriptive statistics (lb/util/stats.hpp).
+#include "lb/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using lb::util::Histogram;
+using lb::util::LinearFit;
+using lb::util::RunningStats;
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), lb::util::mean(xs), 1e-9);
+  EXPECT_NEAR(s.stddev(), lb::util::stddev(xs), 1e-9);
+}
+
+TEST(RunningStatsTest, CiShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(static_cast<double>(i % 3));
+  for (int i = 0; i < 1000; ++i) large.add(static_cast<double>(i % 3));
+  EXPECT_LT(large.ci_halfwidth(), small.ci_halfwidth());
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(lb::util::quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> xs{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(lb::util::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lb::util::quantile(xs, 1.0), 9.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStats) {
+  // Sorted: 0, 10. q=0.25 -> 2.5.
+  EXPECT_DOUBLE_EQ(lb::util::quantile({10.0, 0.0}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(lb::util::quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 - 0.5 * static_cast<double>(i));
+  }
+  const LinearFit fit = lb::util::linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, -0.5, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, ConstantInput) {
+  const LinearFit fit = lb::util::linear_fit({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineRecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(2.0 * i + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const LinearFit fit = lb::util::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-3);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(50.0);   // clamped to bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100) / 100.0);
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    const double c = h.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(h.cdf(1.0), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyCdfIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.0);
+}
+
+}  // namespace

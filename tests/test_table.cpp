@@ -1,0 +1,90 @@
+// Unit tests for the table/CSV formatter (lb/util/table.hpp).
+#include "lb/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using lb::util::Table;
+
+TEST(TableTest, HeaderOnlyRendersRule) {
+  Table t({"a", "bb"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().add("x").add(std::int64_t{1});
+  t.row().add("longer-name").add(std::int64_t{22});
+  const std::string s = t.to_string();
+  std::istringstream is(s);
+  std::string header, rule, row1, row2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  // "value" starts at the same column in header and data rows.
+  const auto col = header.find("value");
+  ASSERT_NE(col, std::string::npos);
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(TableTest, FormatsDoubles) {
+  Table t({"v"});
+  t.row().add(3.14159265, 3);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(TableTest, FormatsScientific) {
+  Table t({"v"});
+  t.row().add_sci(123456.789, 2);
+  EXPECT_NE(t.to_string().find("1.23e+05"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.row().add("x").add(std::int64_t{1});
+  t.row().add("y").add(std::int64_t{2});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,1\ny,2\n");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"a"});
+  t.row().add("has,comma");
+  t.row().add("has\"quote");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, RowAndColCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().add("1").add("2").add("3");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableTest, PrintWithCaption) {
+  Table t({"x"});
+  t.row().add(std::int64_t{5});
+  std::ostringstream os;
+  t.print(os, "My caption");
+  EXPECT_EQ(os.str().rfind("My caption\n", 0), 0u);
+}
+
+TEST(FormatTest, FormatDoubleCompacts) {
+  EXPECT_EQ(lb::util::format_double(0.5, 5), "0.5");
+  EXPECT_EQ(lb::util::format_double(1234.0, 5), "1234");
+}
+
+TEST(FormatTest, FormatSciWidth) {
+  EXPECT_EQ(lb::util::format_sci(0.000123, 2), "1.23e-04");
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Theorem-level validation: runs Algorithm 1 and checks the measured
+// behaviour against the paper's quantitative guarantees (Lemma 2,
+// Theorem 4, Lemma 5, Theorem 6) on real topologies.  These are the
+// test-suite versions of the bench experiments E2/E3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lb/core/bounds.hpp"
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/load.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+namespace bounds = lb::core::bounds;
+using lb::graph::Graph;
+
+class TheoremTopologyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  Graph make_graph() const {
+    lb::util::Rng rng(7);
+    return lb::graph::make_named(GetParam(), 32, rng);
+  }
+};
+
+TEST_P(TheoremTopologyTest, Lemma2PerRoundDropHolds) {
+  // Every round of continuous Algorithm 1 must drop the potential by at
+  // least (1/4δ)·Σ_E (ℓ_i − ℓ_j)².
+  const Graph g = make_graph();
+  lb::util::Rng rng(11);
+  auto load = lb::workload::uniform_random<double>(g.num_nodes(),
+                                                   100.0 * g.num_nodes(), rng);
+  lb::core::ContinuousDiffusion alg;
+  for (int round = 0; round < 60; ++round) {
+    const double phi_before = lb::core::potential(load);
+    const double bound = bounds::lemma2_drop_lower_bound(
+        lb::core::edge_difference_sum(g, load), g.max_degree());
+    alg.step(g, load, rng);
+    const double drop = phi_before - lb::core::potential(load);
+    ASSERT_GE(drop, bound - 1e-7 * std::max(1.0, bound))
+        << GetParam() << " round " << round;
+  }
+}
+
+TEST_P(TheoremTopologyTest, Theorem4RateHoldsEveryRound) {
+  // Φ(L^t) <= (1 − λ2/4δ)·Φ(L^{t-1}).
+  const Graph g = make_graph();
+  const double fraction =
+      bounds::theorem4_drop_fraction(lb::linalg::lambda2(g), g.max_degree());
+  lb::util::Rng rng(13);
+  auto load = lb::workload::spike<double>(g.num_nodes(), 1000.0 * g.num_nodes());
+  lb::core::ContinuousDiffusion alg;
+  double prev = lb::core::potential(load);
+  for (int round = 0; round < 80 && prev > 1e-9; ++round) {
+    alg.step(g, load, rng);
+    const double cur = lb::core::potential(load);
+    ASSERT_LE(cur, (1.0 - fraction) * prev + 1e-7 * prev)
+        << GetParam() << " round " << round;
+    prev = cur;
+  }
+}
+
+TEST_P(TheoremTopologyTest, Theorem4RoundBoundHolds) {
+  // T = 4δ·ln(1/ε)/λ2 rounds suffice to reach ε·Φ(L⁰).
+  const Graph g = make_graph();
+  const double epsilon = 1e-5;
+  const double T =
+      bounds::theorem4_rounds(lb::linalg::lambda2(g), g.max_degree(), epsilon);
+  lb::util::Rng rng(17);
+  auto load = lb::workload::spike<double>(g.num_nodes(), 1000.0 * g.num_nodes());
+  const double phi0 = lb::core::potential(load);
+  lb::core::ContinuousDiffusion alg;
+  const std::size_t budget = static_cast<std::size_t>(std::ceil(T));
+  for (std::size_t round = 0; round < budget; ++round) alg.step(g, load, rng);
+  EXPECT_LE(lb::core::potential(load), epsilon * phi0) << GetParam();
+}
+
+TEST_P(TheoremTopologyTest, Lemma5DiscreteRateAboveThreshold) {
+  // While Φ >= 64δ³n/λ2 the discrete protocol drops by >= λ2/8δ per round.
+  const Graph g = make_graph();
+  const double l2 = lb::linalg::lambda2(g);
+  const double threshold =
+      bounds::discrete_potential_threshold(g.max_degree(), g.num_nodes(), l2);
+  const double fraction = bounds::lemma5_drop_fraction(l2, g.max_degree());
+
+  // Start far above the threshold so several in-regime rounds happen.
+  const std::int64_t total =
+      static_cast<std::int64_t>(20.0 * std::sqrt(threshold)) *
+      static_cast<std::int64_t>(g.num_nodes());
+  auto load = lb::workload::spike<std::int64_t>(g.num_nodes(), total);
+  ASSERT_GT(lb::core::potential(load), threshold) << GetParam();
+
+  lb::util::Rng rng(19);
+  lb::core::DiscreteDiffusion alg;
+  for (int round = 0; round < 400; ++round) {
+    const double prev = lb::core::potential(load);
+    if (prev < threshold) break;
+    alg.step(g, load, rng);
+    const double cur = lb::core::potential(load);
+    ASSERT_LE(cur, (1.0 - fraction) * prev + 1e-7 * prev)
+        << GetParam() << " round " << round;
+  }
+}
+
+TEST_P(TheoremTopologyTest, Theorem6ReachesThresholdWithinBound) {
+  const Graph g = make_graph();
+  const double l2 = lb::linalg::lambda2(g);
+  const double threshold =
+      bounds::discrete_potential_threshold(g.max_degree(), g.num_nodes(), l2);
+  const std::int64_t total =
+      static_cast<std::int64_t>(20.0 * std::sqrt(threshold)) *
+      static_cast<std::int64_t>(g.num_nodes());
+  auto load = lb::workload::spike<std::int64_t>(g.num_nodes(), total);
+  const double phi0 = lb::core::potential(load);
+  const double T = bounds::theorem6_rounds(l2, g.max_degree(), g.num_nodes(), phi0);
+  ASSERT_GT(T, 0.0);
+
+  lb::util::Rng rng(23);
+  lb::core::DiscreteDiffusion alg;
+  std::size_t reached = 0;
+  const std::size_t budget = static_cast<std::size_t>(std::ceil(T));
+  for (std::size_t round = 1; round <= budget; ++round) {
+    alg.step(g, load, rng);
+    if (lb::core::potential(load) < threshold) {
+      reached = round;
+      break;
+    }
+  }
+  EXPECT_GT(reached, 0u) << GetParam() << ": not below threshold in " << budget
+                         << " rounds";
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TheoremTopologyTest,
+                         ::testing::Values("path", "cycle", "torus2d", "hypercube",
+                                           "star", "complete", "tree", "regular"));
+
+TEST(PaperComparisonTest, DiffusionBeatsDimensionExchangeOnTorus) {
+  // §3: "our algorithm converges a constant times faster than the
+  // dimension exchange algorithm in [12]."  Measure rounds to ε on a
+  // torus from a spike.
+  const Graph g = lb::graph::make_torus2d(6, 6);
+  const double epsilon = 1e-4;
+  auto diff_load = lb::workload::spike<double>(36, 36000.0);
+  auto de_load = diff_load;
+  const double phi0 = lb::core::potential(diff_load);
+
+  lb::util::Rng rng(29);
+  lb::core::ContinuousDiffusion diff;
+  std::size_t diff_rounds = 0;
+  while (lb::core::potential(diff_load) > epsilon * phi0 && diff_rounds < 100000) {
+    diff.step(g, diff_load, rng);
+    ++diff_rounds;
+  }
+
+  lb::core::ContinuousDimensionExchange de;
+  std::size_t de_rounds = 0;
+  while (lb::core::potential(de_load) > epsilon * phi0 && de_rounds < 100000) {
+    de.step(g, de_load, rng);
+    ++de_rounds;
+  }
+  EXPECT_LT(diff_rounds, de_rounds);
+}
+
+TEST(PaperComparisonTest, DiscreteTracksContinuousAboveThreshold) {
+  // Remark after Lemma 5 / §3: above the threshold the discrete protocol
+  // behaves like the continuous one up to a multiplicative constant.
+  const Graph g = lb::graph::make_hypercube(5);
+  const std::int64_t total = 320000000;
+  auto disc = lb::workload::spike<std::int64_t>(32, total);
+  auto cont = lb::workload::spike<double>(32, static_cast<double>(total));
+  const double threshold = bounds::discrete_potential_threshold(
+      g.max_degree(), g.num_nodes(), lb::linalg::lambda2(g));
+
+  lb::util::Rng rng(31);
+  lb::core::DiscreteDiffusion disc_alg;
+  lb::core::ContinuousDiffusion cont_alg;
+  for (int round = 0; round < 200; ++round) {
+    if (lb::core::potential(disc) < threshold) break;
+    disc_alg.step(g, disc, rng);
+    cont_alg.step(g, cont, rng);
+    const double ratio = lb::core::potential(disc) / lb::core::potential(cont);
+    // Discrete lags by at most a constant factor (paper: 2x rate halving;
+    // we allow a bit of slack for rounding noise at the start).
+    ASSERT_LT(ratio, 16.0) << "round " << round;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Tests for the workload generators (lb/workload/initial.hpp).
+#include "lb/workload/initial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/core/load.hpp"
+
+namespace {
+
+TEST(SpikeTest, AllLoadOnNodeZero) {
+  const auto load = lb::workload::spike<std::int64_t>(10, 500);
+  EXPECT_EQ(load[0], 500);
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_EQ(load[i], 0);
+}
+
+TEST(SpikeTest, ContinuousVariant) {
+  const auto load = lb::workload::spike<double>(4, 7.5);
+  EXPECT_DOUBLE_EQ(load[0], 7.5);
+  EXPECT_DOUBLE_EQ(lb::core::total_load(load), 7.5);
+}
+
+TEST(UniformRandomTest, DiscreteTotalIsExact) {
+  lb::util::Rng rng(1);
+  for (std::int64_t total : {0L, 100L, 99999L}) {
+    const auto load = lb::workload::uniform_random<std::int64_t>(13, total, rng);
+    EXPECT_EQ(lb::core::total_load(load), total);
+    EXPECT_TRUE(lb::core::all_non_negative(load));
+  }
+}
+
+TEST(UniformRandomTest, ContinuousTotalMatches) {
+  lb::util::Rng rng(2);
+  const auto load = lb::workload::uniform_random<double>(50, 1234.5, rng);
+  EXPECT_NEAR(lb::core::total_load(load), 1234.5, 1e-9);
+  EXPECT_TRUE(lb::core::all_non_negative(load));
+}
+
+TEST(UniformRandomTest, ValuesVary) {
+  lb::util::Rng rng(3);
+  const auto load = lb::workload::uniform_random<std::int64_t>(100, 100000, rng);
+  EXPECT_GT(lb::core::discrepancy(load), 0.0);
+}
+
+TEST(BimodalTest, TotalExactAndSkewed) {
+  lb::util::Rng rng(4);
+  const auto load = lb::workload::bimodal<std::int64_t>(20, 10000, rng);
+  EXPECT_EQ(lb::core::total_load(load), 10000);
+  // Two load levels: heavy nodes carry ~9x the light ones.
+  std::int64_t mx = *std::max_element(load.begin(), load.end());
+  std::int64_t mn = *std::min_element(load.begin(), load.end());
+  EXPECT_GT(mx, 5 * std::max<std::int64_t>(mn, 1));
+}
+
+TEST(RampTest, LinearInIndex) {
+  const auto load = lb::workload::ramp<std::int64_t>(6);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(load[i], static_cast<std::int64_t>(i));
+}
+
+TEST(RampTest, ScaledContinuous) {
+  const auto load = lb::workload::ramp<double>(4, 2.5);
+  EXPECT_DOUBLE_EQ(load[3], 7.5);
+}
+
+TEST(ZipfTest, TotalExactAndHeavyTailed) {
+  lb::util::Rng rng(5);
+  const auto load = lb::workload::zipf<std::int64_t>(64, 64000, 1.0, rng);
+  EXPECT_EQ(lb::core::total_load(load), 64000);
+  // Heavy tail: the max holds far more than the average.
+  EXPECT_GT(*std::max_element(load.begin(), load.end()), 3 * 1000);
+}
+
+TEST(BalancedTest, DiscreteSpreadsRemainder) {
+  const auto load = lb::workload::balanced<std::int64_t>(4, 10);
+  EXPECT_EQ(lb::core::total_load(load), 10);
+  EXPECT_LE(lb::core::discrepancy(load), 1.0);
+  // 10 = 3+3+2+2.
+  EXPECT_EQ(load[0], 3);
+  EXPECT_EQ(load[3], 2);
+}
+
+TEST(BalancedTest, ContinuousHasZeroPotential) {
+  const auto load = lb::workload::balanced<double>(7, 42.0);
+  EXPECT_NEAR(lb::core::potential(load), 0.0, 1e-18);
+}
+
+TEST(NamedWorkloadTest, AllNamesProduceExactTotals) {
+  lb::util::Rng rng(6);
+  for (const std::string& name : lb::workload::named_workloads()) {
+    if (name == "ramp") continue;  // ramp ignores the total by design
+    const auto load = lb::workload::make_named<std::int64_t>(name, 16, 4096, rng);
+    EXPECT_EQ(lb::core::total_load(load), 4096) << name;
+    EXPECT_TRUE(lb::core::all_non_negative(load)) << name;
+  }
+}
+
+TEST(NamedWorkloadTest, UnknownNameDies) {
+  lb::util::Rng rng(7);
+  EXPECT_DEATH((void)lb::workload::make_named<double>("bogus", 4, 1.0, rng),
+               "unknown workload");
+}
+
+TEST(WorkloadDeterminismTest, SameSeedSameLoad) {
+  lb::util::Rng a(42), b(42);
+  EXPECT_EQ(lb::workload::uniform_random<std::int64_t>(32, 3200, a),
+            lb::workload::uniform_random<std::int64_t>(32, 3200, b));
+}
+
+TEST(CheckerboardTest, AlternatesAndSumsExactly) {
+  const auto load = lb::workload::checkerboard<std::int64_t>(8, 100);
+  EXPECT_EQ(lb::core::total_load(load), 100);
+  for (std::size_t i = 1; i < 8; i += 2) EXPECT_EQ(load[i], 0);
+  for (std::size_t i = 0; i < 8; i += 2) EXPECT_GT(load[i], 0);
+}
+
+TEST(CheckerboardTest, OddNodeCount) {
+  const auto load = lb::workload::checkerboard<std::int64_t>(5, 31);
+  EXPECT_EQ(lb::core::total_load(load), 31);
+  EXPECT_EQ(load[1], 0);
+  EXPECT_EQ(load[3], 0);
+}
+
+TEST(CheckerboardTest, ContinuousVariant) {
+  const auto load = lb::workload::checkerboard<double>(4, 10.0);
+  EXPECT_DOUBLE_EQ(load[0], 5.0);
+  EXPECT_DOUBLE_EQ(load[1], 0.0);
+  EXPECT_DOUBLE_EQ(lb::core::total_load(load), 10.0);
+}
+
+TEST(TwoSpikesTest, SplitsBetweenEnds) {
+  const auto load = lb::workload::two_spikes<std::int64_t>(10, 101);
+  EXPECT_EQ(load[0], 51);
+  EXPECT_EQ(load[5], 50);
+  EXPECT_EQ(lb::core::total_load(load), 101);
+  for (std::size_t i : {1u, 4u, 6u, 9u}) EXPECT_EQ(load[i], 0);
+}
+
+TEST(TwoSpikesTest, ContinuousHalves) {
+  const auto load = lb::workload::two_spikes<double>(6, 12.0);
+  EXPECT_DOUBLE_EQ(load[0], 6.0);
+  EXPECT_DOUBLE_EQ(load[3], 6.0);
+}
+
+TEST(SpikeTest, PotentialIsWorstCaseForGivenTotal) {
+  // Among non-negative distributions with a fixed total on n nodes, the
+  // spike maximizes Φ; verify against a few alternatives.
+  lb::util::Rng rng(8);
+  const std::int64_t total = 1000;
+  const std::size_t n = 10;
+  const double spike_phi = lb::core::potential(lb::workload::spike<std::int64_t>(n, total));
+  EXPECT_GE(spike_phi,
+            lb::core::potential(lb::workload::uniform_random<std::int64_t>(n, total, rng)));
+  EXPECT_GE(spike_phi,
+            lb::core::potential(lb::workload::bimodal<std::int64_t>(n, total, rng)));
+  EXPECT_GE(spike_phi,
+            lb::core::potential(lb::workload::zipf<std::int64_t>(n, total, 1.0, rng)));
+}
+
+}  // namespace
