@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build the release preset and run every experiment binary with --csv,
+# collecting one CSV per bench under bench_out/.  Intended for per-commit
+# tracking of discrepancy/convergence trajectories.
+#
+# Usage: scripts/run_benches.sh [bench_name ...]
+#   With no arguments every bench in the build tree is run.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+out_dir="${repo_root}/bench_out"
+
+cmake --preset release -S "${repo_root}"
+cmake --build --preset release -j "$(nproc)"
+
+mkdir -p "${out_dir}"
+
+if [[ $# -gt 0 ]]; then
+  benches=("$@")
+else
+  benches=()
+  for bin in "${build_dir}/bench/"bench_*; do
+    [[ -x ${bin} ]] && benches+=("$(basename "${bin}")")
+  done
+fi
+
+for name in "${benches[@]}"; do
+  bin="${build_dir}/bench/${name}"
+  if [[ ! -x ${bin} ]]; then
+    echo "skip: ${name} (not built)" >&2
+    continue
+  fi
+  echo "== ${name}"
+  if [[ ${name} == bench_kernels ]]; then
+    # google-benchmark speaks its own CLI, not bench_common's --csv.
+    "${bin}" --benchmark_format=csv > "${out_dir}/${name}.csv"
+  else
+    "${bin}" --csv > "${out_dir}/${name}.csv"
+  fi
+done
+
+echo "CSV written to ${out_dir}/"
