@@ -34,10 +34,28 @@ for name in "${benches[@]}"; do
   echo "== ${name}"
   if [[ ${name} == bench_kernels ]]; then
     # google-benchmark speaks its own CLI, not bench_common's --csv.
+    # Its BM_DiffusionRound*/BM_ApplyPhaseOnly rows carry the
+    # edge-sweep-vs-ledger apply ablation as the second argument.
     "${bin}" --benchmark_format=csv > "${out_dir}/${name}.csv"
   else
     "${bin}" --csv > "${out_dir}/${name}.csv"
   fi
 done
+
+# Edge-list vs flow-ledger apply ablation artifact: the full scaling bench
+# run down both apply substrates, one CSV per path (same seed, same eps, so
+# the rounds columns must match and only us/round moves).  The main sweep
+# already runs the default (ledger) configuration — reuse its CSV instead
+# of paying for the slowest bench a third time.
+ablation_bin="${build_dir}/bench/bench_topology_scaling"
+if [[ -x ${ablation_bin} ]]; then
+  echo "== apply-path ablation (edge sweep vs flow ledger)"
+  "${ablation_bin}" --csv --apply edge > "${out_dir}/ablation_apply_edge.csv"
+  if [[ -f "${out_dir}/bench_topology_scaling.csv" ]]; then
+    cp "${out_dir}/bench_topology_scaling.csv" "${out_dir}/ablation_apply_ledger.csv"
+  else
+    "${ablation_bin}" --csv --apply ledger > "${out_dir}/ablation_apply_ledger.csv"
+  fi
+fi
 
 echo "CSV written to ${out_dir}/"

@@ -44,6 +44,12 @@ class Balancer {
   /// True if the algorithm ignores `g` and builds its own communication
   /// pattern (Algorithm 2's random partners).
   virtual bool uses_network() const { return true; }
+
+  /// The network's topology epoch changed (dynamic sequences): drop any
+  /// cached per-graph views (e.g. the flow ledger's CSR).  The engine calls
+  /// this whenever graph::Graph::revision() differs from the previous
+  /// round; implementations that cache nothing ignore it.
+  virtual void on_topology_changed() {}
 };
 
 using ContinuousBalancer = Balancer<double>;

@@ -1,6 +1,7 @@
 #include "lb/core/diffusion.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -33,60 +34,107 @@ std::string DiffusionBalancer<T>::name() const {
   if (cfg_.rule == DenominatorRule::kDegreePlusOne) {
     base = std::is_integral_v<T> ? "fos-disc" : "fos-flow";
   } else if (cfg_.factor != 4.0) {
-    base += "(f=" + std::to_string(static_cast<int>(cfg_.factor)) + ")";
+    // Shortest-form formatting: "f=2" for 2.0 but "f=2.5" for 2.5, so
+    // distinct configs never collide in bench CSV rows.
+    std::ostringstream os;
+    os << "(f=" << cfg_.factor << ")";
+    base += os.str();
   }
   return base;
+}
+
+template <class T>
+void DiffusionBalancer<T>::on_topology_changed() {
+  ledger_.invalidate();
+  denom_revision_ = 0;
 }
 
 template <class T>
 StepStats DiffusionBalancer<T>::step(const graph::Graph& g, std::vector<T>& load,
                                      util::Rng& /*rng*/) {
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
-  const auto& edges = g.edges();
-  flows_.assign(edges.size(), 0.0);
+  util::ThreadPool* pool = cfg_.parallel ? &util::ThreadPool::global() : nullptr;
+  StepStats stats;
+  stats.links = g.num_edges();
+
+  if (cfg_.apply == ApplyPath::kEdgeSweep) {
+    // The seed path, verbatim: recompute the denominator per edge, apply
+    // sequentially with fused stats.  Kept as the ablation baseline and
+    // the bit-identity oracle.
+    compute_edge_flows(g, load, flows_, pool,
+                       [this, &g](std::size_t, const graph::Edge& e, double li,
+                                  double lj) {
+                         if (li == lj) return 0.0;
+                         double w = diffusion_edge_weight(g, e.u, e.v, li, lj, cfg_);
+                         if constexpr (std::is_integral_v<T>) {
+                           w = std::floor(w);
+                         }
+                         return li > lj ? w : -w;
+                       });
+    apply_edge_sweep_with_stats(g, flows_, load, stats);
+    return stats;
+  }
+
+  // Ledger path.  The per-edge denominators are a per-epoch
+  // precomputation keyed on the same revision as the CSR view, so every
+  // round is free of degree lookups.  The cached denominator is the same
+  // double the seed computes inline, so the flows — and therefore the
+  // loads — remain bit-identical to the edge-sweep path.
+  if (denom_revision_ != g.revision()) {
+    denom_revision_ = g.revision();
+    const auto& edges = g.edges();
+    denoms_.resize(edges.size());
+    auto fill = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        const graph::Edge& e = edges[k];
+        switch (cfg_.rule) {
+          case DenominatorRule::kFactorTimesMaxDegree:
+            denoms_[k] = cfg_.factor *
+                         static_cast<double>(std::max(g.degree(e.u), g.degree(e.v)));
+            break;
+          case DenominatorRule::kDegreePlusOne:
+            denoms_[k] = static_cast<double>(g.max_degree()) + 1.0;
+            break;
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(0, edges.size(), 2048, fill);
+    } else {
+      fill(0, edges.size());
+    }
+  }
+
+  const auto flow_fn = [this](std::size_t k, const graph::Edge&, double li,
+                              double lj) {
+    if (li == lj) return 0.0;
+    double w = std::fabs(li - lj) / denoms_[k];
+    if constexpr (std::is_integral_v<T>) {
+      w = std::floor(w);
+    }
+    return li > lj ? w : -w;
+  };
+
+  if (pool == nullptr || pool->size() <= 1) {
+    // Single worker: the fused one-pass round (snapshot copy, compute +
+    // apply + stats per edge) — same flows, same per-node update order,
+    // so still bit-identical to the paths below.  Never reads the CSR
+    // view, so none is built.
+    run_fused_sequential_round(g, load, snapshot_, stats, flow_fn);
+    return stats;
+  }
+  ledger_.ensure(g);
 
   // Phase 1: compute every flow from the round-start snapshot.  Signed
   // convention: positive flow moves load from e.u to e.v.
-  auto compute = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t k = lo; k < hi; ++k) {
-      const graph::Edge& e = edges[k];
-      const double li = static_cast<double>(load[e.u]);
-      const double lj = static_cast<double>(load[e.v]);
-      if (li == lj) continue;
-      double w = diffusion_edge_weight(g, e.u, e.v, li, lj, cfg_);
-      if constexpr (std::is_integral_v<T>) {
-        w = std::floor(w);
-      }
-      flows_[k] = li > lj ? w : -w;
-    }
-  };
-  if (cfg_.parallel) {
-    util::ThreadPool::global().parallel_for(0, edges.size(), 2048, compute);
-  } else {
-    compute(0, edges.size());
-  }
+  compute_edge_flows(g, load, flows_, pool, flow_fn);
 
   // Phase 2: apply all transfers.  Because the amounts were fixed in
-  // phase 1, this sequential application reaches the same state as the
-  // fully concurrent exchange (the paper's sequentialization argument).
-  StepStats stats;
-  stats.links = edges.size();
-  for (std::size_t k = 0; k < edges.size(); ++k) {
-    const double f = flows_[k];
-    if (f == 0.0) continue;
-    const graph::Edge& e = edges[k];
-    const T amount = static_cast<T>(std::fabs(f));
-    if (amount == T{}) continue;
-    if (f > 0.0) {
-      load[e.u] -= amount;
-      load[e.v] += amount;
-    } else {
-      load[e.v] -= amount;
-      load[e.u] += amount;
-    }
-    stats.transferred += static_cast<double>(amount);
-    ++stats.active_edges;
-  }
+  // phase 1, both apply paths reach the same state as the fully concurrent
+  // exchange (the paper's sequentialization argument); the ledger apply is
+  // additionally node-parallel and bit-identical to the edge sweep.
+  accumulate_flow_totals<T>(flows_, stats);
+  ledger_.apply(g, flows_, load, pool);
   return stats;
 }
 

@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/flow_ledger.hpp"
 
 namespace lb::core {
 
@@ -35,8 +36,11 @@ struct DiffusionConfig {
   DenominatorRule rule = DenominatorRule::kFactorTimesMaxDegree;
   /// The safety factor in front of max(d_i, d_j); the paper uses 4.
   double factor = 4.0;
-  /// Compute per-edge flows on the global thread pool.
+  /// Compute per-edge flows and the ledger apply on the global thread pool.
   bool parallel = true;
+  /// Apply phase implementation: the parallel node-centric ledger
+  /// (default) or the seed's sequential edge sweep (ablation/oracle).
+  ApplyPath apply = ApplyPath::kLedger;
 };
 
 /// Per-edge flow magnitude |ℓ_i − ℓ_j| / denom with the configured rule
@@ -52,6 +56,7 @@ class DiffusionBalancer final : public Balancer<T> {
 
   std::string name() const override;
   StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+  void on_topology_changed() override;
 
   const DiffusionConfig& config() const { return cfg_; }
 
@@ -59,6 +64,12 @@ class DiffusionBalancer final : public Balancer<T> {
   DiffusionConfig cfg_;
   // Scratch flow buffer reused across rounds (signed: + moves u -> v).
   std::vector<double> flows_;
+  // Cached CSR incident-edge view and per-edge denominators, rebuilt
+  // together per graph epoch (ledger path only).
+  FlowLedger ledger_;
+  std::vector<double> denoms_;        // per-edge denominators ...
+  std::uint64_t denom_revision_ = 0;  //   keyed on this graph epoch
+  std::vector<T> snapshot_;  // round-start copy for the fused sequential path
 };
 
 using ContinuousDiffusion = DiffusionBalancer<double>;

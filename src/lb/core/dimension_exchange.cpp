@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
 
@@ -19,8 +20,8 @@ std::size_t hypercube_dimensions(const graph::Graph& g) {
 }  // namespace
 
 template <class T>
-DimensionExchange<T>::DimensionExchange(MatchingStrategy strategy)
-    : strategy_(strategy) {}
+DimensionExchange<T>::DimensionExchange(MatchingStrategy strategy, ApplyPath apply)
+    : strategy_(strategy), apply_(apply) {}
 
 template <class T>
 std::string DimensionExchange<T>::name() const {
@@ -31,6 +32,11 @@ std::string DimensionExchange<T>::name() const {
     case MatchingStrategy::kHypercubeRoundRobin: return std::string(base) + "(rr)";
   }
   return base;
+}
+
+template <class T>
+void DimensionExchange<T>::on_topology_changed() {
+  ledger_.invalidate();
 }
 
 template <class T>
@@ -53,8 +59,25 @@ StepStats DimensionExchange<T>::step(const graph::Graph& g, std::vector<T>& load
   }
   ++round_;
 
+  // A matching touches each node at most once, so matched-pair transfers
+  // are order-independent: the direct seed loop and the node-parallel
+  // ledger gather land on identical loads.  The gather walks every node
+  // row (O(n + 2m)) to apply an O(|matching|) sparse update, so it is
+  // only engaged when the matching actually covers a large fraction of
+  // the edge list AND multiple workers can share the walk; sparse
+  // matchings (hypercube round-robin: |M|/m = 1/d) stay on the direct
+  // O(|matching|) loop at any thread count.  Stats accumulate in matching
+  // order on every path, so StepStats is identical too.
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const bool use_gather = apply_ == ApplyPath::kLedger && pool.size() > 1 &&
+                          2 * m.size() >= g.num_edges();
   StepStats stats;
   stats.links = m.size();
+  if (use_gather) {
+    ledger_.ensure(g);
+    if (flows_.size() != g.num_edges()) flows_.assign(g.num_edges(), 0.0);
+    matched_.clear();
+  }
   for (const graph::Edge& e : m) {
     const double diff =
         static_cast<double>(load[e.u]) - static_cast<double>(load[e.v]);
@@ -66,15 +89,27 @@ StepStats DimensionExchange<T>::step(const graph::Graph& g, std::vector<T>& load
       amount = static_cast<T>(std::fabs(diff) / 2.0);
     }
     if (amount == T{}) continue;
-    if (diff > 0.0) {
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+    if (use_gather) {
+      const std::size_t k = g.edge_index(e.u, e.v);
+      LB_DEBUG_ASSERT(k < g.num_edges());
+      flows_[k] = diff > 0.0 ? static_cast<double>(amount)
+                             : -static_cast<double>(amount);
+      matched_.push_back(static_cast<std::uint32_t>(k));
+    } else if (diff > 0.0) {
       load[e.u] -= amount;
       load[e.v] += amount;
     } else {
       load[e.v] -= amount;
       load[e.u] += amount;
     }
-    stats.transferred += static_cast<double>(amount);
-    ++stats.active_edges;
+  }
+  if (use_gather) {
+    ledger_.apply(g, flows_, load, &pool);
+    // Re-zero only the matched entries so the next round starts from an
+    // all-zero vector without an O(m) refill.
+    for (const std::uint32_t k : matched_) flows_[k] = 0.0;
   }
   return stats;
 }

@@ -5,12 +5,15 @@
 //
 // Each round a matching of the network is selected; every matched pair
 // balances completely: the richer endpoint sends (ℓ_i − ℓ_j)/2
-// (⌊·⌋ for the discrete variant, as in §4 of [12]).
+// (⌊·⌋ for the discrete variant, as in §4 of [12]).  The matching is
+// expressed as a sparse flow vector and applied through the shared
+// flow-ledger kernel (core/flow_ledger.hpp).
 #pragma once
 
 #include <memory>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/flow_ledger.hpp"
 #include "lb/graph/matching.hpp"
 
 namespace lb::core {
@@ -29,16 +32,23 @@ enum class MatchingStrategy {
 template <class T>
 class DimensionExchange final : public Balancer<T> {
  public:
-  explicit DimensionExchange(MatchingStrategy strategy = MatchingStrategy::kGhoshMuthukrishnan);
+  explicit DimensionExchange(
+      MatchingStrategy strategy = MatchingStrategy::kGhoshMuthukrishnan,
+      ApplyPath apply = ApplyPath::kLedger);
 
   std::string name() const override;
   StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+  void on_topology_changed() override;
 
   MatchingStrategy strategy() const { return strategy_; }
 
  private:
   MatchingStrategy strategy_;
+  ApplyPath apply_;
   std::size_t round_ = 0;  // for round-robin colour selection
+  std::vector<double> flows_;          // all-zero between rounds
+  std::vector<std::uint32_t> matched_; // edge ids to re-zero after a gather
+  FlowLedger ledger_;
 };
 
 using ContinuousDimensionExchange = DimensionExchange<double>;

@@ -50,6 +50,10 @@ DynamicRunResult run_dynamic(
   config.target_potential = epsilon * initial_potential;
   config.record_trace = true;
 
+  // A balancer may be reused across run_dynamic calls with different
+  // sequences; drop any per-graph caches before the measured run (the
+  // engine also invalidates per round via Graph::revision()).
+  balancer.on_topology_changed();
   auto run_seq = make_sequence();
   out.run = run(balancer, *run_seq, load, config);
 

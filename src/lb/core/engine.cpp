@@ -23,8 +23,17 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
   }
 
   std::size_t consecutive_idle = 0;
+  std::uint64_t topology_epoch = 0;  // no graph seen yet
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
     const graph::Graph& g = seq.at_round(round);
+    // Dynamic sequences rebuild their current graph per round (often at
+    // the same address); the revision id is the reliable change signal.
+    // Notify the balancer so cached per-graph views (the flow ledger's
+    // CSR) are dropped before they can be read against a stale topology.
+    if (g.revision() != topology_epoch) {
+      balancer.on_topology_changed();
+      topology_epoch = g.revision();
+    }
     const StepStats stats = balancer.step(g, load, rng);
     ++result.rounds;
 

@@ -1,0 +1,155 @@
+#include "lb/core/flow_ledger.hpp"
+
+#include <limits>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::core {
+
+void FlowLedger::rebuild(const graph::Graph& g) {
+  LB_ASSERT_MSG(g.num_edges() <= std::numeric_limits<std::uint32_t>::max(),
+                "flow ledger stores 32-bit edge ids");
+  num_nodes_ = g.num_nodes();
+  num_edges_ = g.num_edges();
+  revision_ = g.revision();
+
+  const auto& edges = g.edges();
+  row_ptr_.assign(num_nodes_ + 1, 0);
+  for (const graph::Edge& e : edges) {
+    ++row_ptr_[e.u + 1];
+    ++row_ptr_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes_; ++i) row_ptr_[i] += row_ptr_[i - 1];
+
+  edge_idx_.resize(2 * num_edges_);
+  sign_.resize(2 * num_edges_);
+  std::vector<std::size_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
+  // Iterating edges in ascending index order appends ascending ids to each
+  // row — the order the apply phase relies on for bit-identity with the
+  // sequential edge sweep.
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    edge_idx_[cursor[e.u]] = static_cast<std::uint32_t>(k);
+    sign_[cursor[e.u]++] = -1.0;  // positive flow leaves u
+    edge_idx_[cursor[e.v]] = static_cast<std::uint32_t>(k);
+    sign_[cursor[e.v]++] = 1.0;
+  }
+}
+
+template <class T>
+void FlowLedger::apply(const graph::Graph& g, const std::vector<double>& flows,
+                       std::vector<T>& load, util::ThreadPool* pool) const {
+  LB_ASSERT_MSG(valid_for(g), "apply with a ledger built for another topology");
+  LB_ASSERT_MSG(flows.size() == num_edges_, "flow vector does not match ledger");
+  LB_ASSERT_MSG(load.size() == num_nodes_, "load vector does not match ledger");
+  if (pool != nullptr && pool->size() > 1) {
+    apply_gather(flows, load, *pool);
+  } else {
+    // One worker gains nothing from the CSR gather (it touches every edge
+    // twice through an indirection); the linear edge sweep performs the
+    // exact same per-node operation sequence, so the result is
+    // bit-identical either way.
+    apply_edge_sweep(g, flows, load);
+  }
+}
+
+template <class T>
+void FlowLedger::apply_gather(const std::vector<double>& flows,
+                              std::vector<T>& load, util::ThreadPool& pool) const {
+  auto gather = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      T value = load[u];
+      const std::size_t row_end = row_ptr_[u + 1];
+      for (std::size_t p = row_ptr_[u]; p < row_end; ++p) {
+        const double f = flows[edge_idx_[p]];
+        if (f == 0.0) continue;
+        // sign_[p]·f is exactly ±f, and x + (−f) rounds identically to the
+        // edge sweep's x −= |f| (x − |f| ≡ x + (−|f|) in IEEE), so every
+        // per-node update matches the oracle bit for bit.  For integral T
+        // the truncating cast of ±f equals the sweep's ±⌊|f|⌋, and adding
+        // a zero amount is the identity, matching the sweep's skip.
+        if constexpr (std::is_integral_v<T>) {
+          value += static_cast<T>(sign_[p] * f);
+        } else {
+          value += static_cast<T>(sign_[p]) * static_cast<T>(f);
+        }
+      }
+      load[u] = value;
+    }
+  };
+  pool.parallel_for(0, num_nodes_, 256, gather);
+}
+
+template <class T>
+void apply_edge_sweep(const graph::Graph& g, const std::vector<double>& flows,
+                      std::vector<T>& load) {
+  const auto& edges = g.edges();
+  LB_ASSERT_MSG(flows.size() == edges.size(), "flow vector does not match graph");
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const double f = flows[k];
+    if (f == 0.0) continue;
+    const graph::Edge& e = edges[k];
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    if (f > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+  }
+}
+
+template <class T>
+void apply_edge_sweep_with_stats(const graph::Graph& g,
+                                 const std::vector<double>& flows,
+                                 std::vector<T>& load, StepStats& stats) {
+  const auto& edges = g.edges();
+  LB_ASSERT_MSG(flows.size() == edges.size(), "flow vector does not match graph");
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const double f = flows[k];
+    if (f == 0.0) continue;
+    const graph::Edge& e = edges[k];
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    if (f > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+}
+
+template <class T>
+void accumulate_flow_totals(const std::vector<double>& flows, StepStats& stats) {
+  for (const double f : flows) {
+    if (f == 0.0) continue;
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+}
+
+#define LB_INSTANTIATE(T)                                                      \
+  template void FlowLedger::apply<T>(const graph::Graph&,                      \
+                                     const std::vector<double>&,               \
+                                     std::vector<T>&, util::ThreadPool*) const;\
+  template void apply_edge_sweep<T>(const graph::Graph&,                       \
+                                    const std::vector<double>&,                \
+                                    std::vector<T>&);                          \
+  template void apply_edge_sweep_with_stats<T>(const graph::Graph&,            \
+                                               const std::vector<double>&,     \
+                                               std::vector<T>&, StepStats&);   \
+  template void accumulate_flow_totals<T>(const std::vector<double>&, StepStats&);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::core

@@ -1,0 +1,174 @@
+// Node-centric flow-ledger kernel: the shared substrate for every
+// edge-flow balancing round (Algorithm 1 diffusion, FOS/SOS, dimension
+// exchange).
+//
+// A synchronous round in the paper is "compute every edge flow from the
+// round-start snapshot, then apply all of them".  The seed implemented the
+// apply as a sequential edge-list sweep; the ledger makes it node-centric:
+// a CSR view (linalg::CsrMatrix layout: row_ptr over nodes, column array
+// of incident edge ids) is precomputed once per graph epoch, and the apply
+// phase walks each node's incident edges, updating only that node's load.
+// Each node owns its row, so the sweep parallelizes with no write races
+// and no atomics — and because a node's incident edges are stored in
+// ascending edge-index order and applied with per-edge operations that
+// round exactly like the edge sweep's ±amount updates, the resulting load
+// vector is BIT-IDENTICAL to the sequential edge-list apply at every
+// thread count (floating-point included: same operand values, same
+// operation order per node).  On a single-worker pool the ledger instead
+// falls back to the linear edge sweep itself, because a one-thread gather
+// pays the CSR indirection for no parallel gain.
+//
+// Epoch invalidation: the ledger is keyed on graph::Graph::revision(), a
+// process-unique id minted per build.  Dynamic sequences (graph/dynamic.hpp)
+// rebuild their current graph each round — often at the same address — and
+// the revision changes with them, so ensure() rebuilds exactly when the
+// topology actually changed and is free for static networks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "lb/core/algorithm.hpp"
+#include "lb/graph/graph.hpp"
+#include "lb/util/thread_pool.hpp"
+
+namespace lb::core {
+
+/// Which apply implementation a ported balancer uses.  kEdgeSweep is the
+/// seed's sequential edge-list path, kept as the equivalence oracle for
+/// tests and the ablation benches; kLedger is the parallel node-centric
+/// path and the production default.
+enum class ApplyPath {
+  kLedger,
+  kEdgeSweep,
+};
+
+class FlowLedger {
+ public:
+  FlowLedger() = default;
+
+  /// Build the CSR incident-edge view for `g`.  O(n + m).
+  void rebuild(const graph::Graph& g);
+
+  /// True if the ledger was built for exactly this topology epoch.
+  bool valid_for(const graph::Graph& g) const {
+    return revision_ != 0 && revision_ == g.revision();
+  }
+
+  /// Drop the cached view; the next ensure() rebuilds.
+  void invalidate() { revision_ = 0; }
+
+  /// Rebuild iff the cached view does not match `g`'s epoch.  Returns true
+  /// when a rebuild happened, so callers can refresh their own per-epoch
+  /// caches (e.g. per-edge denominators) in lockstep.
+  bool ensure(const graph::Graph& g) {
+    if (valid_for(g)) return false;
+    rebuild(g);
+    return true;
+  }
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Apply signed per-edge flows (positive moves load e.u -> e.v) to
+  /// `load`, node-parallel on `pool` (nullptr or a single-worker pool
+  /// falls back to the sequential edge sweep over `g`).  `g` must be the
+  /// graph the ledger was built for.  Bit-identical to apply_edge_sweep
+  /// on the same flows for any pool size.
+  template <class T>
+  void apply(const graph::Graph& g, const std::vector<double>& flows,
+             std::vector<T>& load, util::ThreadPool* pool) const;
+
+ private:
+  template <class T>
+  void apply_gather(const std::vector<double>& flows, std::vector<T>& load,
+                    util::ThreadPool& pool) const;
+
+  std::uint64_t revision_ = 0;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_edges_ = 0;
+  std::vector<std::size_t> row_ptr_;     // n + 1 entries (CsrMatrix layout)
+  std::vector<std::uint32_t> edge_idx_;  // 2m incident edge ids, ascending per row
+  std::vector<double> sign_;             // -1 if the row's node is the edge's u
+};
+
+/// The seed's sequential edge-list apply, shared by every ported balancer's
+/// kEdgeSweep path (and the oracle the ledger is tested against).
+template <class T>
+void apply_edge_sweep(const graph::Graph& g, const std::vector<double>& flows,
+                      std::vector<T>& load);
+
+/// The seed's fused apply + stats loop, verbatim: one pass that moves the
+/// load and accumulates transferred/active_edges.  The kEdgeSweep baseline
+/// uses this so the ablation benches compare against the seed's true cost.
+/// `stats.links` is left to the caller.
+template <class T>
+void apply_edge_sweep_with_stats(const graph::Graph& g,
+                                 const std::vector<double>& flows,
+                                 std::vector<T>& load, StepStats& stats);
+
+/// transferred/active_edges totals for a flow vector, accumulated in edge
+/// order with the same cast/skip rules as apply_edge_sweep, so both apply
+/// paths report identical StepStats.  `stats.links` is left to the caller.
+template <class T>
+void accumulate_flow_totals(const std::vector<double>& flows, StepStats& stats);
+
+/// Phase 1 of the shared kernel: fill `flows` with
+/// flow_fn(edge_index, edge, load_u, load_v) for every edge, edge-parallel
+/// on `pool` (nullptr = sequential).  flow_fn must be pure in its inputs;
+/// positive return moves load u -> v.
+template <class T, class FlowFn>
+void compute_edge_flows(const graph::Graph& g, const std::vector<T>& load,
+                        std::vector<double>& flows, util::ThreadPool* pool,
+                        FlowFn&& flow_fn) {
+  const auto& edges = g.edges();
+  flows.resize(edges.size());  // every slot is written below; no zero-fill
+  auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const graph::Edge& e = edges[k];
+      flows[k] = flow_fn(k, e, static_cast<double>(load[e.u]),
+                         static_cast<double>(load[e.v]));
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, edges.size(), 2048, fill);
+  } else {
+    fill(0, edges.size());
+  }
+}
+
+/// Single-worker specialization of the whole round: copy the load into
+/// `snapshot`, then make one pass over the edge list that computes each
+/// flow from the snapshot, applies it to `load` immediately, and
+/// accumulates the fused stats — no flow buffer traffic, no separate
+/// totals pass.  Bit-identical to compute_edge_flows + totals + apply:
+/// the flow values are the same (computed from the same snapshot values)
+/// and each node still receives the same ±amount updates in ascending
+/// edge-index order.  `stats.links` is left to the caller.
+template <class T, class FlowFn>
+void run_fused_sequential_round(const graph::Graph& g, std::vector<T>& load,
+                                std::vector<T>& snapshot, StepStats& stats,
+                                FlowFn&& flow_fn) {
+  snapshot = load;
+  const auto& edges = g.edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    const double f = flow_fn(k, e, static_cast<double>(snapshot[e.u]),
+                             static_cast<double>(snapshot[e.v]));
+    if (f == 0.0) continue;
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    if (f > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+}
+
+}  // namespace lb::core

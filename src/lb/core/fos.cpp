@@ -12,36 +12,34 @@ StepStats FirstOrderScheme::step(const graph::Graph& g, std::vector<double>& loa
                                  util::Rng& /*rng*/) {
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
-  next_.assign(load.size(), 0.0);
+  util::ThreadPool* pool = parallel_ ? &util::ThreadPool::global() : nullptr;
 
-  auto sweep = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t u = lo; u < hi; ++u) {
-      const double lu = load[u];
-      double acc = lu;
-      for (graph::NodeId v : g.neighbors(static_cast<graph::NodeId>(u))) {
-        acc += alpha * (load[v] - lu);
-      }
-      next_[u] = acc;
-    }
-  };
-  if (parallel_) {
-    util::ThreadPool::global().parallel_for(0, load.size(), 1024, sweep);
-  } else {
-    sweep(0, load.size());
-  }
+  // Flow form of L^{t+1} = M·L^t: every edge carries α·(ℓ_u − ℓ_v), all
+  // computed from the round-start snapshot.
+  const auto flow_fn = [alpha](std::size_t, const graph::Edge&, double lu,
+                               double lv) { return alpha * (lu - lv); };
 
   StepStats stats;
   stats.links = g.num_edges();
-  for (const graph::Edge& e : g.edges()) {
-    const double f = alpha * std::fabs(load[e.u] - load[e.v]);
-    if (f > 0.0) {
-      stats.transferred += f;
-      ++stats.active_edges;
+  if (apply_ == ApplyPath::kLedger) {
+    if (pool == nullptr || pool->size() <= 1) {
+      // The fused path never reads the CSR view; don't build it.
+      run_fused_sequential_round(g, load, snapshot_, stats, flow_fn);
+      return stats;
     }
+    ledger_.ensure(g);
+    compute_edge_flows(g, load, flows_, pool, flow_fn);
+    accumulate_flow_totals<double>(flows_, stats);
+    ledger_.apply(g, flows_, load, pool);
+  } else {
+    compute_edge_flows(g, load, flows_, pool, flow_fn);
+    accumulate_flow_totals<double>(flows_, stats);
+    apply_edge_sweep(g, flows_, load);
   }
-  load.swap(next_);
   return stats;
 }
+
+void FirstOrderScheme::on_topology_changed() { ledger_.invalidate(); }
 
 std::unique_ptr<ContinuousBalancer> make_fos_continuous() {
   return std::make_unique<FirstOrderScheme>();

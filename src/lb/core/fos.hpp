@@ -1,33 +1,40 @@
 // First-order scheme (FOS) of Cybenko [3] / Boillat [2]: L^{t+1} = M·L^t
 // with the uniform diffusion matrix M (α = 1/(δ+1)).
 //
-// Two equivalent continuous implementations are provided:
-//   * FirstOrderScheme — matrix-free neighbour sweep (O(m) per round,
-//     parallelized over nodes), the production path;
-//   * the flow-form DiffusionBalancer with DenominatorRule::kDegreePlusOne
-//     (diffusion.hpp), which the tests use to cross-validate this one.
-// The discrete first-order scheme of Muthukrishnan–Ghosh–Schultz [15]
-// (integer flows, floored per edge) is exactly the flow form with
-// kDegreePlusOne over Tokens; make_fos_discrete() returns it.
+// Runs on the shared flow-ledger kernel (core/flow_ledger.hpp): the edge
+// flows α·(ℓ_u − ℓ_v) are computed edge-parallel from the round snapshot
+// and applied node-parallel via the cached CSR ledger — equivalent to the
+// matrix-vector form, and bit-identical across thread counts.  The
+// discrete first-order scheme of Muthukrishnan–Ghosh–Schultz [15]
+// (integer flows, floored per edge) is the flow-form DiffusionBalancer
+// with DenominatorRule::kDegreePlusOne over Tokens; make_fos_discrete()
+// returns it.
 #pragma once
 
 #include <memory>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/flow_ledger.hpp"
 
 namespace lb::core {
 
 class FirstOrderScheme final : public Balancer<double> {
  public:
-  explicit FirstOrderScheme(bool parallel = true) : parallel_(parallel) {}
+  explicit FirstOrderScheme(bool parallel = true,
+                            ApplyPath apply = ApplyPath::kLedger)
+      : parallel_(parallel), apply_(apply) {}
 
   std::string name() const override { return "fos"; }
   StepStats step(const graph::Graph& g, std::vector<double>& load,
                  util::Rng& rng) override;
+  void on_topology_changed() override;
 
  private:
   bool parallel_;
-  std::vector<double> next_;
+  ApplyPath apply_;
+  std::vector<double> flows_;
+  std::vector<double> snapshot_;  // for the fused sequential path
+  FlowLedger ledger_;
 };
 
 std::unique_ptr<ContinuousBalancer> make_fos_continuous();

@@ -4,10 +4,13 @@
 
 #include "lb/linalg/spectral.hpp"
 #include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
 
-SecondOrderScheme::SecondOrderScheme(std::optional<double> beta) : beta_(beta) {
+SecondOrderScheme::SecondOrderScheme(std::optional<double> beta, bool parallel,
+                                     ApplyPath apply)
+    : beta_(beta), parallel_(parallel), apply_(apply) {
   if (beta_) {
     LB_ASSERT_MSG(*beta_ >= 1.0 && *beta_ < 2.0, "SOS needs beta in [1, 2)");
   }
@@ -18,6 +21,8 @@ double SecondOrderScheme::optimal_beta(double gamma) {
   return 2.0 / (1.0 + std::sqrt(1.0 - gamma * gamma));
 }
 
+void SecondOrderScheme::on_topology_changed() { ledger_.invalidate(); }
+
 StepStats SecondOrderScheme::step(const graph::Graph& g, std::vector<double>& load,
                                   util::Rng& /*rng*/) {
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
@@ -25,25 +30,32 @@ StepStats SecondOrderScheme::step(const graph::Graph& g, std::vector<double>& lo
     beta_ = optimal_beta(linalg::diffusion_gamma(g));
   }
   const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
+  util::ThreadPool* pool = parallel_ ? &util::ThreadPool::global() : nullptr;
 
-  // scratch = M·load (matrix-free neighbour sweep).
-  scratch_.assign(load.size(), 0.0);
-  for (std::size_t u = 0; u < load.size(); ++u) {
-    double acc = load[u];
-    for (graph::NodeId v : g.neighbors(static_cast<graph::NodeId>(u))) {
-      acc += alpha * (load[v] - load[u]);
-    }
-    scratch_[u] = acc;
-  }
+  // scratch = M·load via the flow-ledger kernel: the FOS edge flows
+  // α·(ℓ_u − ℓ_v) applied to a copy of the snapshot.
+  const auto flow_fn = [alpha](std::size_t, const graph::Edge&, double lu,
+                               double lv) { return alpha * (lu - lv); };
 
   StepStats stats;
   stats.links = g.num_edges();
-  for (const graph::Edge& e : g.edges()) {
-    const double f = alpha * std::fabs(load[e.u] - load[e.v]);
-    if (f > 0.0) {
-      stats.transferred += f;
-      ++stats.active_edges;
+  if (apply_ == ApplyPath::kLedger) {
+    if (pool == nullptr || pool->size() <= 1) {
+      // The fused path never reads the CSR view; don't build it.
+      scratch_ = load;
+      run_fused_sequential_round(g, scratch_, snapshot_, stats, flow_fn);
+    } else {
+      ledger_.ensure(g);
+      compute_edge_flows(g, load, flows_, pool, flow_fn);
+      accumulate_flow_totals<double>(flows_, stats);
+      scratch_ = load;
+      ledger_.apply(g, flows_, scratch_, pool);
     }
+  } else {
+    compute_edge_flows(g, load, flows_, pool, flow_fn);
+    accumulate_flow_totals<double>(flows_, stats);
+    scratch_ = load;
+    apply_edge_sweep(g, flows_, scratch_);
   }
 
   if (!have_prev_) {
@@ -55,10 +67,17 @@ StepStats SecondOrderScheme::step(const graph::Graph& g, std::vector<double>& lo
   }
 
   const double b = *beta_;
-  for (std::size_t u = 0; u < load.size(); ++u) {
-    const double next = b * scratch_[u] + (1.0 - b) * prev_[u];
-    prev_[u] = load[u];
-    load[u] = next;
+  auto combine = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      const double next = b * scratch_[u] + (1.0 - b) * prev_[u];
+      prev_[u] = load[u];
+      load[u] = next;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, load.size(), 1024, combine);
+  } else {
+    combine(0, load.size());
   }
   return stats;
 }

@@ -9,12 +9,18 @@
 // topologies.  Continuous only: the affine combination conserves total
 // load but produces fractional (and possibly transiently negative)
 // intermediate loads, exactly as in [15].
+//
+// The M·L product runs on the shared flow-ledger kernel
+// (core/flow_ledger.hpp), so every phase of a round — flow computation,
+// apply, and the β-combination — is parallel and deterministic across
+// thread counts.
 #pragma once
 
 #include <memory>
 #include <optional>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/flow_ledger.hpp"
 
 namespace lb::core {
 
@@ -22,11 +28,14 @@ class SecondOrderScheme final : public Balancer<double> {
  public:
   /// If `beta` is nullopt it is computed on first use from the graph's
   /// spectrum via diffusion_gamma (dense path; intended for n <= 4096).
-  explicit SecondOrderScheme(std::optional<double> beta = std::nullopt);
+  explicit SecondOrderScheme(std::optional<double> beta = std::nullopt,
+                             bool parallel = true,
+                             ApplyPath apply = ApplyPath::kLedger);
 
   std::string name() const override { return "sos"; }
   StepStats step(const graph::Graph& g, std::vector<double>& load,
                  util::Rng& rng) override;
+  void on_topology_changed() override;
 
   double beta() const { return beta_.value_or(0.0); }
 
@@ -35,8 +44,13 @@ class SecondOrderScheme final : public Balancer<double> {
 
  private:
   std::optional<double> beta_;
+  bool parallel_;
+  ApplyPath apply_;
   std::vector<double> prev_;     // L^{t-1}
+  std::vector<double> flows_;    // per-edge α·(ℓ_u − ℓ_v)
   std::vector<double> scratch_;  // M·L^t
+  std::vector<double> snapshot_; // for the fused sequential path
+  FlowLedger ledger_;
   bool have_prev_ = false;
 };
 

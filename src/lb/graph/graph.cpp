@@ -1,10 +1,20 @@
 #include "lb/graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "lb/util/assert.hpp"
 
 namespace lb::graph {
+
+namespace {
+
+std::uint64_t next_revision() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 std::span<const NodeId> Graph::neighbors(NodeId u) const {
   LB_ASSERT_MSG(u < num_nodes(), "node id out of range");
@@ -25,6 +35,14 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
   if (u >= num_nodes() || v >= num_nodes() || u == v) return false;
   const auto nb = neighbors(u);
   return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::size_t Graph::edge_index(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  const Edge key{u, v};
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), key);
+  if (it == edges_.end() || *it != key) return edges_.size();
+  return static_cast<std::size_t>(it - edges_.begin());
 }
 
 GraphBuilder::GraphBuilder(std::size_t num_nodes, std::string name)
@@ -49,6 +67,7 @@ Graph GraphBuilder::build() {
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 
   Graph g;
+  g.revision_ = next_revision();
   g.name_ = std::move(name_);
   g.edges_ = std::move(edges_);
   g.offsets_.assign(n_ + 1, 0);

@@ -53,6 +53,17 @@ class Graph {
   /// Human-readable label attached by the generator ("torus2d(16x16)" etc).
   const std::string& name() const { return name_; }
 
+  /// Topology epoch: a process-unique nonzero id assigned at build time
+  /// (0 only for default-constructed empty graphs).  Copies share the id —
+  /// they are the same topology — while every GraphBuilder::build() mints
+  /// a fresh one, so caches keyed on revision() (e.g. core::FlowLedger)
+  /// stay correct even when a dynamic sequence rebuilds its current graph
+  /// in place at the same address.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Index of canonical edge (u,v) in edges(), or num_edges() if absent.
+  std::size_t edge_index(NodeId u, NodeId v) const;
+
  private:
   friend class GraphBuilder;
 
@@ -61,6 +72,7 @@ class Graph {
   std::vector<Edge> edges_;           // canonical edge list
   std::size_t max_degree_ = 0;
   std::size_t min_degree_ = 0;
+  std::uint64_t revision_ = 0;
   std::string name_;
 };
 

@@ -38,6 +38,7 @@
 #include "lb/core/divergence.hpp"
 #include "lb/core/dynamic_runner.hpp"
 #include "lb/core/engine.hpp"
+#include "lb/core/flow_ledger.hpp"
 #include "lb/core/fos.hpp"
 #include "lb/core/heterogeneous.hpp"
 #include "lb/core/load.hpp"

@@ -1,10 +1,21 @@
 #include "lb/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <utility>
 
 #include "lb/util/assert.hpp"
 
 namespace lb::util {
+
+namespace {
+
+// Which pool (if any) owns the current thread; set once per worker.  Used
+// to detect nested parallel_for calls, which must run inline: a worker
+// waiting on chunks queued behind its own task would never see them run.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,6 +36,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_worker_thread() const { return tls_worker_pool == this; }
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock lock(mutex_);
@@ -38,9 +51,15 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -50,9 +69,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // The decrement must happen even if the task throws, or every later
+    // wait_idle()/batch wait would hang on a count that never reaches 0.
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::unique_lock lock(mutex_);
+      if (err && !first_error_) first_error_ = err;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -65,22 +92,60 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   grain = std::max<std::size_t>(1, grain);
   const std::size_t n = end - begin;
   const std::size_t workers = size();
-  if (workers <= 1 || n <= grain) {
+  if (workers <= 1 || n <= grain || in_worker_thread()) {
     chunk_fn(begin, end);
     return;
   }
-  // At most one chunk per worker beyond what grain demands.
+
+  // Per-batch completion latch: concurrent parallel_for calls (and plain
+  // submit() traffic) each wait on their own counter, never on the pool's
+  // global in-flight count, so no caller blocks on foreign tasks.
+  struct Batch {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+
+  // At most a few chunks per worker beyond what grain demands.
   const std::size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
   const std::size_t step = (n + chunks - 1) / chunks;
+
+  Batch batch;
+  batch.remaining = (n + step - 1) / step;
   for (std::size_t lo = begin; lo < end; lo += step) {
     const std::size_t hi = std::min(end, lo + step);
-    submit([lo, hi, &chunk_fn] { chunk_fn(lo, hi); });
+    submit([lo, hi, &chunk_fn, &batch] {
+      std::exception_ptr err;
+      try {
+        chunk_fn(lo, hi);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::unique_lock lock(batch.m);
+      if (err && !batch.error) batch.error = err;
+      if (--batch.remaining == 0) batch.cv.notify_all();
+    });
   }
-  wait_idle();
+
+  std::unique_lock lock(batch.m);
+  batch.cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.error) {
+    std::exception_ptr err = std::exchange(batch.error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("LB_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 

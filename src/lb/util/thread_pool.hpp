@@ -6,10 +6,22 @@
 // is deliberately simple (single mutex-protected queue): the work items the
 // library submits are coarse-grained chunks, so queue contention is not a
 // bottleneck, and simplicity keeps the concurrency auditable.
+//
+// Concurrency contract:
+//   * parallel_for waits on a per-call completion latch, so concurrent
+//     calls from different threads never block on each other's chunks;
+//   * parallel_for called from inside a pool worker (nested parallelism)
+//     runs the whole range inline — queueing chunks behind the caller's
+//     own task would deadlock;
+//   * an exception thrown by a chunk is captured and rethrown to the
+//     parallel_for caller once the batch drains; an exception from a bare
+//     submit() task is rethrown by the next wait_idle().  The pool itself
+//     survives either way.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -33,17 +45,25 @@ class ThreadPool {
   /// Submit a task; returns immediately.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished.  Rethrows the first
+  /// exception thrown by a bare submit() task since the last wait_idle().
   void wait_idle();
 
   /// Run fn(i) for i in [begin, end), split into chunks of at least
   /// `grain` iterations, executed on the pool; blocks until done.
-  /// Falls back to inline execution when the range is small or the pool
-  /// has a single worker (avoids pointless dispatch overhead).
+  /// Falls back to inline execution when the range is small, the pool has
+  /// a single worker, or the caller is itself a pool worker (nested
+  /// parallelism).  Rethrows the first chunk exception after the batch
+  /// completes.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& chunk_fn);
 
-  /// Process-wide default pool (lazily constructed, sized to the machine).
+  /// True when the calling thread is one of this pool's workers.
+  bool in_worker_thread() const;
+
+  /// Process-wide default pool.  Sized from the LB_THREADS environment
+  /// variable when set to a positive integer (the CI thread-count matrix
+  /// forces 1), otherwise to the machine.
   static ThreadPool& global();
 
  private:
@@ -55,6 +75,7 @@ class ThreadPool {
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;  // from bare submit() tasks
   bool stop_ = false;
 };
 

@@ -227,4 +227,14 @@ TEST(DiffusionNamesTest, DescriptiveNames) {
   EXPECT_EQ(DiscreteDiffusion(cfg).name(), "fos-disc");
 }
 
+TEST(DiffusionNamesTest, NonIntegralFactorIsNotTruncated) {
+  // Regression: the seed printed static_cast<int>(factor), so f=2.5 and
+  // f=2 collided in bench CSV rows.
+  DiffusionConfig cfg;
+  cfg.factor = 2.5;
+  EXPECT_EQ(ContinuousDiffusion(cfg).name(), "diffusion-cont(f=2.5)");
+  cfg.factor = 8.0;
+  EXPECT_EQ(DiscreteDiffusion(cfg).name(), "diffusion-disc(f=8)");
+}
+
 }  // namespace

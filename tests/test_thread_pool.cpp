@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -124,6 +127,107 @@ TEST(ThreadPoolTest, TasksSubmittedFromTasksComplete) {
   }
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 20);
+}
+
+// Regression (ISSUE 2): parallel_for from inside a worker task used to
+// queue its chunks behind the caller's own task and wait on the shared
+// in-flight counter — a guaranteed deadlock.  It must detect reentrancy
+// and run inline.
+TEST(ThreadPoolRegressionTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, 1, [&pool, &inner_total](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 100, 10, [&inner_total](std::size_t l, std::size_t h) {
+        inner_total.fetch_add(static_cast<int>(h - l));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 100);
+}
+
+TEST(ThreadPoolRegressionTest, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.in_worker_thread());
+  std::atomic<bool> seen_inside{false};
+  pool.submit([&pool, &seen_inside] { seen_inside = pool.in_worker_thread(); });
+  pool.wait_idle();
+  EXPECT_TRUE(seen_inside.load());
+  // A different pool's worker is not "inside" this pool.
+  ThreadPool other(1);
+  std::atomic<bool> cross{true};
+  other.submit([&pool, &cross] { cross = pool.in_worker_thread(); });
+  other.wait_idle();
+  EXPECT_FALSE(cross.load());
+}
+
+// Regression (ISSUE 2): two concurrent callers used to share the global
+// in-flight counter, so each wait blocked on the other's tasks.  The
+// per-batch latch lets both finish independently and correctly.
+TEST(ThreadPoolRegressionTest, ConcurrentParallelForCallers) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kN = 20000;
+  std::vector<std::atomic<long long>> totals(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &totals, c] {
+      for (int repeat = 0; repeat < 10; ++repeat) {
+        long long sum = 0;
+        std::mutex m;
+        pool.parallel_for(0, kN, 100, [&sum, &m](std::size_t lo, std::size_t hi) {
+          long long local = 0;
+          for (std::size_t i = lo; i < hi; ++i) local += static_cast<long long>(i);
+          std::lock_guard lock(m);
+          sum += local;
+        });
+        totals[c].store(sum);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  const long long expected = static_cast<long long>(kN) * (kN - 1) / 2;
+  for (const auto& total : totals) EXPECT_EQ(total.load(), expected);
+}
+
+// Regression (ISSUE 2): a throwing task used to leak the in-flight
+// increment, hanging every later parallel_for.  The exception must reach
+// the submitting batch and leave the pool usable.
+TEST(ThreadPoolRegressionTest, ParallelForPropagatesChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 10,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::runtime_error("chunk failed");
+                        }),
+      std::runtime_error);
+  // The pool must still drain subsequent batches (the seed hung here).
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 500, 10, [&count](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolRegressionTest, SubmittedTaskExceptionSurfacesInWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed; the pool keeps working.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolRegressionTest, InlineFallbackStillPropagatesExceptions) {
+  ThreadPool pool(1);  // single worker -> inline execution path
+  EXPECT_THROW(pool.parallel_for(0, 10, 1,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("inline failed");
+                                 }),
+               std::runtime_error);
 }
 
 }  // namespace
