@@ -10,7 +10,9 @@
 #include "lb/core/dimension_exchange.hpp"
 #include "lb/core/flow_ledger.hpp"
 #include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
 #include "lb/core/random_partner.hpp"
+#include "lb/core/round_context.hpp"
 #include "lb/core/sequential.hpp"
 #include "lb/graph/generators.hpp"
 #include "lb/graph/matching.hpp"
@@ -104,6 +106,77 @@ void BM_ApplyPhaseOnly(benchmark::State& state) {
   state.SetLabel(use_ledger ? "apply=ledger" : "apply=edge-sweep");
 }
 BENCHMARK(BM_ApplyPhaseOnly)->ArgsProduct({{16384, 65536}, {0, 1}});
+
+// Fused-metrics ablation (ISSUE 3): one observed engine round — step plus
+// the post-round Φ/discrepancy summary — down the PR-2 path (ledger apply,
+// then the sequential O(n) summarize()) versus the fused path (the
+// deterministic fixed-chunk reduction riding inside the ledger's
+// node-parallel apply).  range(1) == 0 is step+summarize, 1 is fused.
+template <class T>
+void observed_round_body(benchmark::State& state, std::uint64_t seed) {
+  const auto g = torus_of(static_cast<std::size_t>(state.range(0)));
+  lb::util::Rng rng(seed);
+  auto load = lb::workload::uniform_random<T>(
+      g.num_nodes(), static_cast<T>(1000 * g.num_nodes()), rng);
+  const bool fused = state.range(1) != 0;
+  lb::core::DiffusionBalancer<T> alg;
+  lb::core::RunArena<T> arena;
+  lb::util::ThreadPool& pool = lb::util::ThreadPool::global();
+  const double average = lb::core::summarize_parallel(load, &pool).average;
+  for (auto _ : state) {
+    lb::core::RoundContext<T> ctx(g, rng, &pool, arena);
+    if (fused) ctx.request_summary(lb::core::SummaryMode::kFull, average);
+    alg.step(ctx, load);
+    lb::core::LoadSummary<T> summary;
+    if (fused) {
+      summary = ctx.has_summary()
+                    ? ctx.summary()
+                    : lb::core::summarize_deterministic(
+                          load, average, &pool, lb::core::SummaryMode::kFull);
+    } else {
+      summary = lb::core::summarize(load);
+    }
+    benchmark::DoNotOptimize(summary.potential);
+    benchmark::DoNotOptimize(load.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()));
+  state.SetLabel(fused ? "metrics=fused" : "metrics=step+summarize");
+}
+
+void BM_ObservedRoundContinuous(benchmark::State& state) {
+  observed_round_body<double>(state, 9);
+}
+BENCHMARK(BM_ObservedRoundContinuous)->ArgsProduct({{16384, 65536}, {0, 1}});
+
+void BM_ObservedRoundDiscrete(benchmark::State& state) {
+  observed_round_body<std::int64_t>(state, 10);
+}
+BENCHMARK(BM_ObservedRoundDiscrete)->ArgsProduct({{16384, 65536}, {0, 1}});
+
+// The isolated metrics sweep: sequential summarize() vs the deterministic
+// fixed-chunk parallel reduction, standalone (no apply fusion).
+void BM_SummarizeOnly(benchmark::State& state) {
+  lb::util::Rng rng(11);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto load = lb::workload::uniform_random<double>(
+      n, 1000.0 * static_cast<double>(n), rng);
+  const bool parallel = state.range(1) != 0;
+  lb::util::ThreadPool& pool = lb::util::ThreadPool::global();
+  const double average = lb::core::summarize_parallel(load, &pool).average;
+  for (auto _ : state) {
+    if (parallel) {
+      benchmark::DoNotOptimize(lb::core::summarize_deterministic(
+          load, average, &pool, lb::core::SummaryMode::kFull));
+    } else {
+      benchmark::DoNotOptimize(lb::core::summarize(load));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(parallel ? "summarize=chunked-parallel" : "summarize=sequential");
+}
+BENCHMARK(BM_SummarizeOnly)->ArgsProduct({{16384, 65536, 1048576}, {0, 1}});
 
 void BM_RandomPartnerRound(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
       .add_string("apply", "ledger",
                   "apply-phase substrate: 'ledger' (parallel node-centric) or "
                   "'edge' (sequential edge sweep) — the ISSUE 2 ablation axis")
+      .add_string("metrics", "fused",
+                  "per-round observability: 'fused' (deterministic parallel "
+                  "reduction riding the apply) or 'serial' (the PR-2 sequential "
+                  "summarize) — the ISSUE 3 ablation axis")
       .add_flag("csv", "emit CSV instead of a table");
   opts.parse(argc, argv);
 
@@ -41,14 +45,25 @@ int main(int argc, char** argv) {
   const lb::core::ApplyPath apply = apply_name == "edge"
                                         ? lb::core::ApplyPath::kEdgeSweep
                                         : lb::core::ApplyPath::kLedger;
+  const std::string& metrics_name = opts.get_string("metrics");
+  if (metrics_name != "fused" && metrics_name != "serial") {
+    std::fprintf(stderr,
+                 "unknown --metrics value '%s' (want 'fused' or 'serial')\n",
+                 metrics_name.c_str());
+    return 2;
+  }
+  const lb::core::MetricsPath metrics = metrics_name == "serial"
+                                            ? lb::core::MetricsPath::kSequential
+                                            : lb::core::MetricsPath::kFusedParallel;
 
   lb::bench::banner("E13: topology scaling figure",
                     "measured rounds follow the spectral prediction: ~n^2 on "
                     "path/cycle, ~n on torus2d, ~const on hypercube/expander",
                     seed);
 
-  lb::util::Table table({"topology", "n", "apply", "lambda2", "T bound",
-                         "T measured", "meas/bound", "us/round"});
+  lb::util::Table table({"topology", "n", "apply", "metrics", "lambda2", "T bound",
+                         "T measured", "meas/bound", "us/round", "step us/rd",
+                         "metrics us/rd"});
 
   struct Series {
     std::string family;
@@ -86,22 +101,26 @@ int main(int argc, char** argv) {
       cfg.target_potential = eps * phi0;
       cfg.record_trace = false;
       cfg.stall_rounds = 0;
+      cfg.metrics = metrics;
       const lb::util::Stopwatch watch;
       const auto result = lb::core::run_static(alg, g, load, cfg);
+      const double rounds_d =
+          result.rounds == 0 ? 1.0 : static_cast<double>(result.rounds);
       const double us_per_round =
-          result.rounds == 0 ? 0.0
-                             : watch.elapsed_seconds() * 1e6 /
-                                   static_cast<double>(result.rounds);
+          result.rounds == 0 ? 0.0 : watch.elapsed_seconds() * 1e6 / rounds_d;
 
       table.row()
           .add(g.name())
           .add(static_cast<std::int64_t>(g.num_nodes()))
           .add(apply_name)
+          .add(metrics_name)
           .add(l2, 4)
           .add(bound, 5)
           .add(static_cast<std::int64_t>(result.rounds))
           .add(static_cast<double>(result.rounds) / bound, 3)
-          .add(us_per_round, 2);
+          .add(us_per_round, 2)
+          .add(result.step_seconds * 1e6 / rounds_d, 2)
+          .add(result.metrics_seconds * 1e6 / rounds_d, 2);
       if (result.rounds > 0) {
         log_n.push_back(std::log(static_cast<double>(g.num_nodes())));
         log_t.push_back(std::log(static_cast<double>(result.rounds)));

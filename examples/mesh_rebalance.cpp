@@ -17,8 +17,10 @@
 #include "lb/core/dimension_exchange.hpp"
 #include "lb/core/engine.hpp"
 #include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
 #include "lb/graph/generators.hpp"
 #include "lb/util/options.hpp"
+#include "lb/util/thread_pool.hpp"
 #include "lb/util/table.hpp"
 #include "lb/workload/initial.hpp"
 
@@ -58,7 +60,10 @@ int main(int argc, char** argv) {
     std::size_t round = 0;
     double moved_total = 0.0;
     for (; round < 10000; ++round) {
-      const auto summary = lb::core::summarize(load);
+      // Deterministic parallel reduction — the same observability kernel
+      // the engine fuses into its rounds (DESIGN.md §4).
+      const auto summary =
+          lb::core::summarize_parallel(load, &lb::util::ThreadPool::global());
       if (round % 8 == 0) {
         table.row()
             .add(static_cast<std::int64_t>(round))
@@ -71,7 +76,8 @@ int main(int argc, char** argv) {
       moved_total = stats.transferred;
       if (stats.transferred == 0.0) break;  // discrete fixed point
     }
-    const auto final_summary = lb::core::summarize(load);
+    const auto final_summary =
+        lb::core::summarize_parallel(load, &lb::util::ThreadPool::global());
     return std::make_pair(round, final_summary);
   };
 

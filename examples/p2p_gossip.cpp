@@ -11,9 +11,11 @@
 
 #include "lb/core/bounds.hpp"
 #include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
 #include "lb/core/random_partner.hpp"
 #include "lb/graph/generators.hpp"
 #include "lb/util/options.hpp"
+#include "lb/util/thread_pool.hpp"
 #include "lb/util/table.hpp"
 #include "lb/workload/initial.hpp"
 
@@ -53,7 +55,8 @@ int main(int argc, char** argv) {
       moved += stats.transferred;
       ++rounds;
     }
-    const auto summary = lb::core::summarize(queue);
+    const auto summary =
+        lb::core::summarize_parallel(queue, &lb::util::ThreadPool::global());
     table.row()
         .add(static_cast<std::int64_t>(n))
         .add_sci(phi0)

@@ -52,9 +52,14 @@ int main(int argc, char** argv) {
   config.max_rounds = static_cast<std::size_t>(bound) + 1000;
   const auto result = lb::core::run_static(algorithm, g, load, config);
 
-  // 5. Report.
+  // 5. Report.  The per-round Φ/K come from the engine's fused
+  // deterministic parallel reduction (DESIGN.md §4); the wall-clock split
+  // shows what observability costs on top of the balancing work itself.
   std::printf("run     : %zu rounds, Phi = %.3e, discrepancy = %.0f\n", result.rounds,
               result.final_potential, result.final_discrepancy);
+  std::printf("time    : %.1f ms total (%.1f ms step, %.1f ms metrics)\n",
+              result.total_seconds * 1e3, result.step_seconds * 1e3,
+              result.metrics_seconds * 1e3);
   std::printf("verdict : reached the Theorem-6 threshold %s (bound %.0f rounds, "
               "measured %zu, ratio %.2f)\n",
               result.reached_target ? "YES" : "NO", bound, result.rounds,

@@ -56,6 +56,22 @@ if [[ -x ${ablation_bin} ]]; then
   else
     "${ablation_bin}" --csv --apply ledger > "${out_dir}/ablation_apply_ledger.csv"
   fi
+
+  # Metrics-path ablation artifact (ISSUE 3): the same scaling sweep with
+  # the PR-2 sequential per-round summarize versus the fused deterministic
+  # parallel reduction.  Same seed and eps; the per-round Φ of the two
+  # paths agrees to the last bits (the fused path measures against the
+  # run-start average with chunked summation), so rounds columns match in
+  # practice but may legitimately differ by a round where Φ grazes the
+  # eps threshold — compare the us/round + step/metrics split, not exact
+  # round counts.  The default (fused) leg is the main sweep's CSV.
+  echo "== metrics-path ablation (sequential summarize vs fused reduction)"
+  "${ablation_bin}" --csv --metrics serial > "${out_dir}/ablation_metrics_serial.csv"
+  if [[ -f "${out_dir}/bench_topology_scaling.csv" ]]; then
+    cp "${out_dir}/bench_topology_scaling.csv" "${out_dir}/ablation_metrics_fused.csv"
+  else
+    "${ablation_bin}" --csv --metrics fused > "${out_dir}/ablation_metrics_fused.csv"
+  fi
 fi
 
 echo "CSV written to ${out_dir}/"

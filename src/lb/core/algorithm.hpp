@@ -9,11 +9,15 @@
 //     algorithm).
 //   * For T = Tokens only integral amounts move and no entry goes
 //     negative.
-//   * Randomized algorithms draw exclusively from the supplied Rng so
+//   * Randomized algorithms draw exclusively from the context's Rng so
 //     runs are reproducible.
+//   * Parallel kernels run on the context's pool and must be bit-identical
+//     to their sequential fallback at every pool size (the flow-ledger /
+//     fixed-chunk determinism contract, DESIGN.md §2).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +25,11 @@
 #include "lb/util/rng.hpp"
 
 namespace lb::core {
+
+template <class T>
+class RoundContext;
+template <class T>
+class RunArena;
 
 /// What one round did, for traces and convergence detection.
 struct StepStats {
@@ -32,24 +41,44 @@ struct StepStats {
 template <class T>
 class Balancer {
  public:
-  virtual ~Balancer() = default;
+  Balancer();
+  virtual ~Balancer();
 
   /// Human-readable algorithm name for tables ("diffusion-cont", ...).
   virtual std::string name() const = 0;
 
-  /// Execute one synchronous round on `load` over network `g`.
-  virtual StepStats step(const graph::Graph& g, std::vector<T>& load,
-                         util::Rng& rng) = 0;
+  /// Execute one synchronous round on `load` within `ctx` (graph view,
+  /// rng, thread pool, shared scratch arena and flow-ledger epoch — see
+  /// round_context.hpp).  Implementations whose apply phase sweeps every
+  /// node should honour a requested fused summary via
+  /// ctx.publish_summary(); the engine falls back to a standalone
+  /// deterministic reduction otherwise.
+  virtual StepStats step(RoundContext<T>& ctx, std::vector<T>& load) = 0;
+
+  /// Deprecated pre-RoundContext signature, kept because a large body of
+  /// tests and benches exercises it as the equivalence oracle.  Builds a
+  /// context over the global pool and a lazily-created balancer-owned
+  /// arena, then dispatches to the context step() — so both signatures
+  /// execute the exact same kernels.  New code should construct a
+  /// RoundContext (or use engine::run) instead.
+  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng);
 
   /// True if the algorithm ignores `g` and builds its own communication
   /// pattern (Algorithm 2's random partners).
   virtual bool uses_network() const { return true; }
 
   /// The network's topology epoch changed (dynamic sequences): drop any
-  /// cached per-graph views (e.g. the flow ledger's CSR).  The engine calls
-  /// this whenever graph::Graph::revision() differs from the previous
-  /// round; implementations that cache nothing ignore it.
+  /// cached per-graph views.  The context's shared flow ledger re-keys
+  /// itself on graph::Graph::revision(), so most implementations no
+  /// longer need this; it remains for balancers with private per-graph
+  /// caches and as an explicit reset hook for reusing a balancer across
+  /// runs.
   virtual void on_topology_changed() {}
+
+ private:
+  // Arena backing the deprecated step() shim; untouched when callers go
+  // through RoundContext.
+  std::unique_ptr<RunArena<T>> legacy_arena_;
 };
 
 using ContinuousBalancer = Balancer<double>;

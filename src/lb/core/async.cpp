@@ -3,7 +3,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "lb/core/flow_ledger.hpp"
+#include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
 
@@ -23,53 +26,46 @@ std::string AsyncDiffusion<T>::name() const {
 }
 
 template <class T>
-StepStats AsyncDiffusion<T>::step(const graph::Graph& g, std::vector<T>& load,
-                                  util::Rng& rng) {
+StepStats AsyncDiffusion<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
+  const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
-  const auto& edges = g.edges();
+  util::ThreadPool* pool = cfg_.parallel ? ctx.pool() : nullptr;
+  StepStats stats;
+  stats.links = g.num_edges();
 
   // Draw this round's active set (sequential: the RNG is a shared stream).
-  active_.assign(load.size(), 0);
+  std::vector<std::uint8_t>& active = ctx.arena().node_flags();
+  active.assign(load.size(), 0);
   for (std::size_t u = 0; u < load.size(); ++u) {
-    active_[u] = rng.next_bool(p_) ? 1 : 0;
+    active[u] = ctx.rng().next_bool(p_) ? 1 : 0;
   }
 
   // An edge moves load only if its *richer* endpoint is active (that node
   // executes the send); the flow is Algorithm 1's rule on the round-start
-  // snapshot, so all the usual safety properties carry over.
-  flows_.assign(edges.size(), 0.0);
-  for (std::size_t k = 0; k < edges.size(); ++k) {
-    const graph::Edge& e = edges[k];
-    const double li = static_cast<double>(load[e.u]);
-    const double lj = static_cast<double>(load[e.v]);
-    if (li == lj) continue;
+  // snapshot, so all the usual safety properties carry over.  With the
+  // active set fixed, the flows are a pure function of the snapshot, so
+  // the round runs on the shared flow-ledger kernel like plain diffusion.
+  const auto flow_fn = [this, &g, &active](std::size_t, const graph::Edge& e,
+                                           double li, double lj) {
+    if (li == lj) return 0.0;
     const graph::NodeId sender = li > lj ? e.u : e.v;
-    if (!active_[sender]) continue;
+    if (!active[sender]) return 0.0;
     double w = diffusion_edge_weight(g, e.u, e.v, li, lj, cfg_);
     if constexpr (std::is_integral_v<T>) {
       w = std::floor(w);
     }
-    flows_[k] = li > lj ? w : -w;
-  }
+    return li > lj ? w : -w;
+  };
 
-  StepStats stats;
-  stats.links = edges.size();
-  for (std::size_t k = 0; k < edges.size(); ++k) {
-    const double f = flows_[k];
-    if (f == 0.0) continue;
-    const graph::Edge& e = edges[k];
-    const T amount = static_cast<T>(std::fabs(f));
-    if (amount == T{}) continue;
-    if (f > 0.0) {
-      load[e.u] -= amount;
-      load[e.v] += amount;
-    } else {
-      load[e.v] -= amount;
-      load[e.u] += amount;
-    }
-    stats.transferred += static_cast<double>(amount);
-    ++stats.active_edges;
+  if (pool == nullptr || pool->size() <= 1) {
+    run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats, flow_fn);
+    return stats;
   }
+  FlowLedger& ledger = ctx.ledger();
+  std::vector<double>& flows = ctx.arena().flows();
+  compute_edge_flows(g, load, flows, pool, flow_fn);
+  accumulate_flow_totals<T>(flows, stats);
+  apply_flows_observed(ctx, ledger, flows, load, pool);
   return stats;
 }
 

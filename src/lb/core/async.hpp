@@ -24,15 +24,14 @@ class AsyncDiffusion final : public Balancer<T> {
   explicit AsyncDiffusion(double activation_probability, DiffusionConfig cfg = {});
 
   std::string name() const override;
-  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+  using Balancer<T>::step;
+  StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
 
   double activation_probability() const { return p_; }
 
  private:
   double p_;
   DiffusionConfig cfg_;
-  std::vector<std::uint8_t> active_;
-  std::vector<double> flows_;
 };
 
 using ContinuousAsyncDiffusion = AsyncDiffusion<double>;

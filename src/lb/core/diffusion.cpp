@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 
@@ -45,15 +46,15 @@ std::string DiffusionBalancer<T>::name() const {
 
 template <class T>
 void DiffusionBalancer<T>::on_topology_changed() {
-  ledger_.invalidate();
   denom_revision_ = 0;
 }
 
 template <class T>
-StepStats DiffusionBalancer<T>::step(const graph::Graph& g, std::vector<T>& load,
-                                     util::Rng& /*rng*/) {
+StepStats DiffusionBalancer<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
+  const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
-  util::ThreadPool* pool = cfg_.parallel ? &util::ThreadPool::global() : nullptr;
+  util::ThreadPool* pool = cfg_.parallel ? ctx.pool() : nullptr;
+  std::vector<double>& flows = ctx.arena().flows();
   StepStats stats;
   stats.links = g.num_edges();
 
@@ -61,7 +62,7 @@ StepStats DiffusionBalancer<T>::step(const graph::Graph& g, std::vector<T>& load
     // The seed path, verbatim: recompute the denominator per edge, apply
     // sequentially with fused stats.  Kept as the ablation baseline and
     // the bit-identity oracle.
-    compute_edge_flows(g, load, flows_, pool,
+    compute_edge_flows(g, load, flows, pool,
                        [this, &g](std::size_t, const graph::Edge& e, double li,
                                   double lj) {
                          if (li == lj) return 0.0;
@@ -71,7 +72,7 @@ StepStats DiffusionBalancer<T>::step(const graph::Graph& g, std::vector<T>& load
                          }
                          return li > lj ? w : -w;
                        });
-    apply_edge_sweep_with_stats(g, flows_, load, stats);
+    apply_edge_sweep_with_stats(g, flows, load, stats);
     return stats;
   }
 
@@ -119,22 +120,25 @@ StepStats DiffusionBalancer<T>::step(const graph::Graph& g, std::vector<T>& load
     // Single worker: the fused one-pass round (snapshot copy, compute +
     // apply + stats per edge) — same flows, same per-node update order,
     // so still bit-identical to the paths below.  Never reads the CSR
-    // view, so none is built.
-    run_fused_sequential_round(g, load, snapshot_, stats, flow_fn);
+    // view, so none is built.  A requested summary falls to the engine's
+    // standalone reduction, which is chunk-deterministic either way.
+    run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats, flow_fn);
     return stats;
   }
-  ledger_.ensure(g);
+  FlowLedger& ledger = ctx.ledger();
 
   // Phase 1: compute every flow from the round-start snapshot.  Signed
   // convention: positive flow moves load from e.u to e.v.
-  compute_edge_flows(g, load, flows_, pool, flow_fn);
+  compute_edge_flows(g, load, flows, pool, flow_fn);
 
   // Phase 2: apply all transfers.  Because the amounts were fixed in
   // phase 1, both apply paths reach the same state as the fully concurrent
   // exchange (the paper's sequentialization argument); the ledger apply is
-  // additionally node-parallel and bit-identical to the edge sweep.
-  accumulate_flow_totals<T>(flows_, stats);
-  ledger_.apply(g, flows_, load, pool);
+  // additionally node-parallel and bit-identical to the edge sweep.  When
+  // the engine asked for a post-round summary, ride the metrics reduction
+  // inside the same node sweep.
+  accumulate_flow_totals<T>(flows, stats);
+  apply_flows_observed(ctx, ledger, flows, load, pool);
   return stats;
 }
 

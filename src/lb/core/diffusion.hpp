@@ -55,21 +55,19 @@ class DiffusionBalancer final : public Balancer<T> {
   explicit DiffusionBalancer(DiffusionConfig cfg = {});
 
   std::string name() const override;
-  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+  using Balancer<T>::step;  // keep the deprecated (g, load, rng) shim visible
+  StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
   void on_topology_changed() override;
 
   const DiffusionConfig& config() const { return cfg_; }
 
  private:
   DiffusionConfig cfg_;
-  // Scratch flow buffer reused across rounds (signed: + moves u -> v).
-  std::vector<double> flows_;
-  // Cached CSR incident-edge view and per-edge denominators, rebuilt
-  // together per graph epoch (ledger path only).
-  FlowLedger ledger_;
-  std::vector<double> denoms_;        // per-edge denominators ...
-  std::uint64_t denom_revision_ = 0;  //   keyed on this graph epoch
-  std::vector<T> snapshot_;  // round-start copy for the fused sequential path
+  // Per-edge denominators: a per-epoch precomputation private to this
+  // config (they depend on rule/factor), keyed on the graph revision.
+  // Flow/snapshot buffers and the CSR ledger come from the RoundContext.
+  std::vector<double> denoms_;
+  std::uint64_t denom_revision_ = 0;
 };
 
 using ContinuousDiffusion = DiffusionBalancer<double>;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 
@@ -35,13 +36,9 @@ std::string DimensionExchange<T>::name() const {
 }
 
 template <class T>
-void DimensionExchange<T>::on_topology_changed() {
-  ledger_.invalidate();
-}
-
-template <class T>
-StepStats DimensionExchange<T>::step(const graph::Graph& g, std::vector<T>& load,
-                                     util::Rng& rng) {
+StepStats DimensionExchange<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
+  const graph::Graph& g = ctx.graph();
+  util::Rng& rng = ctx.rng();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   graph::Matching m;
   switch (strategy_) {
@@ -68,13 +65,12 @@ StepStats DimensionExchange<T>::step(const graph::Graph& g, std::vector<T>& load
   // matchings (hypercube round-robin: |M|/m = 1/d) stay on the direct
   // O(|matching|) loop at any thread count.  Stats accumulate in matching
   // order on every path, so StepStats is identical too.
-  util::ThreadPool& pool = util::ThreadPool::global();
-  const bool use_gather = apply_ == ApplyPath::kLedger && pool.size() > 1 &&
-                          2 * m.size() >= g.num_edges();
+  util::ThreadPool* pool = ctx.pool();
+  const bool use_gather = apply_ == ApplyPath::kLedger && pool != nullptr &&
+                          pool->size() > 1 && 2 * m.size() >= g.num_edges();
   StepStats stats;
   stats.links = m.size();
   if (use_gather) {
-    ledger_.ensure(g);
     if (flows_.size() != g.num_edges()) flows_.assign(g.num_edges(), 0.0);
     matched_.clear();
   }
@@ -106,7 +102,7 @@ StepStats DimensionExchange<T>::step(const graph::Graph& g, std::vector<T>& load
     }
   }
   if (use_gather) {
-    ledger_.apply(g, flows_, load, &pool);
+    apply_flows_observed(ctx, ctx.ledger(), flows_, load, pool);
     // Re-zero only the matched entries so the next round starts from an
     // all-zero vector without an O(m) refill.
     for (const std::uint32_t k : matched_) flows_[k] = 0.0;

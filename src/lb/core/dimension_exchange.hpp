@@ -37,8 +37,8 @@ class DimensionExchange final : public Balancer<T> {
       ApplyPath apply = ApplyPath::kLedger);
 
   std::string name() const override;
-  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
-  void on_topology_changed() override;
+  using Balancer<T>::step;
+  StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
 
   MatchingStrategy strategy() const { return strategy_; }
 
@@ -46,9 +46,11 @@ class DimensionExchange final : public Balancer<T> {
   MatchingStrategy strategy_;
   ApplyPath apply_;
   std::size_t round_ = 0;  // for round-robin colour selection
-  std::vector<double> flows_;          // all-zero between rounds
+  // Private flow buffer (not the arena's): the gather path relies on the
+  // all-zero-between-rounds invariant, which a shared buffer written by
+  // compute_edge_flows would break.
+  std::vector<double> flows_;
   std::vector<std::uint32_t> matched_; // edge ids to re-zero after a gather
-  FlowLedger ledger_;
 };
 
 using ContinuousDimensionExchange = DimensionExchange<double>;

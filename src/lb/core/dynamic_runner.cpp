@@ -2,9 +2,11 @@
 
 #include "lb/core/bounds.hpp"
 #include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
 #include "lb/graph/properties.hpp"
 #include "lb/linalg/spectral.hpp"
 #include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
 
@@ -44,7 +46,10 @@ DynamicRunResult run_dynamic(
     out.profile = profile_sequence(*profiling_seq, rounds, dense_cutoff);
   }
 
-  const double initial_potential = potential(load);
+  // Deterministic parallel summary (same reduction the engine uses) in
+  // place of the sequential potential() sweep.
+  const double initial_potential =
+      summarize_parallel(load, &util::ThreadPool::global()).potential;
   EngineConfig config;
   config.max_rounds = rounds;
   config.target_potential = epsilon * initial_potential;

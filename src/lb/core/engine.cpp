@@ -1,7 +1,11 @@
 #include "lb/core/engine.hpp"
 
 #include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
+#include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
+#include "lb/util/timer.hpp"
 
 namespace lb::core {
 
@@ -10,17 +14,47 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
               const EngineConfig& config) {
   LB_ASSERT_MSG(load.size() == seq.num_nodes(), "load vector does not match network");
   util::Rng rng(config.seed);
+  const util::Stopwatch run_watch;
+
+  const bool fused = config.metrics == MetricsPath::kFusedParallel;
+  util::ThreadPool* pool =
+      config.pool != nullptr ? config.pool : &util::ThreadPool::global();
 
   RunResult result;
-  result.initial_potential = potential(load);
-  if (config.record_trace) result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
+  RunArena<T> arena;
+
+  // Run-start summary.  The fused path measures every later Φ against
+  // this average: total load is invariant under every balancer (exactly
+  // for Tokens, up to float drift for Real), and the paper's Φ is stated
+  // against that fixed ℓ̄.  For n <= kSummaryChunkWidth the parallel
+  // summary is bit-identical to the sequential one.
+  const LoadSummary<T> initial =
+      fused ? summarize_parallel(load, pool) : summarize(load);
+  const double run_average = initial.average;
+  result.initial_potential = initial.potential;
 
   if (result.initial_potential <= config.target_potential) {
     result.reached_target = true;
     result.final_potential = result.initial_potential;
-    result.final_discrepancy = discrepancy(load);
+    result.final_discrepancy = initial.discrepancy;
+    result.total_seconds = run_watch.elapsed_seconds();
     return result;
   }
+
+  if (config.record_trace) result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
+  // Without a trace only Φ matters per round; min/max are computed once
+  // at run end for the terminal discrepancy.
+  const SummaryMode mode =
+      config.record_trace ? SummaryMode::kFull : SummaryMode::kPotentialOnly;
+
+  const auto finish = [&](RunResult& r) {
+    if (fused && !config.record_trace) {
+      r.final_discrepancy =
+          summarize_deterministic(load, run_average, pool, SummaryMode::kExtremaOnly)
+              .discrepancy;
+    }
+    r.total_seconds = run_watch.elapsed_seconds();
+  };
 
   std::size_t consecutive_idle = 0;
   std::uint64_t topology_epoch = 0;  // no graph seen yet
@@ -28,37 +62,64 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
     const graph::Graph& g = seq.at_round(round);
     // Dynamic sequences rebuild their current graph per round (often at
     // the same address); the revision id is the reliable change signal.
-    // Notify the balancer so cached per-graph views (the flow ledger's
-    // CSR) are dropped before they can be read against a stale topology.
+    // The context's shared flow ledger re-keys itself on the revision;
+    // the balancer hook remains for private per-graph caches.
     if (g.revision() != topology_epoch) {
       balancer.on_topology_changed();
       topology_epoch = g.revision();
     }
-    const StepStats stats = balancer.step(g, load, rng);
+
+    RoundContext<T> ctx(g, rng, pool, arena);
+    if (fused) ctx.request_summary(mode, run_average);
+
+    util::Stopwatch watch;
+    const StepStats stats = balancer.step(ctx, load);
+    const double step_us = watch.elapsed_seconds() * 1e6;
     ++result.rounds;
 
-    const LoadSummary<T> summary = summarize(load);
+    // Post-round observability: the balancer's fused summary when it
+    // published one, the standalone deterministic reduction otherwise
+    // (bit-identical either way), or the sequential oracle.
+    watch.reset();
+    LoadSummary<T> summary;
+    if (!fused) {
+      summary = summarize(load);
+    } else if (ctx.has_summary()) {
+      summary = ctx.summary();
+    } else {
+      summary = summarize_deterministic(load, run_average, pool, mode);
+    }
+    const double metrics_us = watch.elapsed_seconds() * 1e6;
+    result.step_seconds += step_us * 1e-6;
+    result.metrics_seconds += metrics_us * 1e-6;
+
     if (config.record_trace) {
       result.trace.add(RoundRecord{round, summary.potential, summary.discrepancy,
-                                   stats.transferred, stats.active_edges});
+                                   stats.transferred, stats.active_edges, step_us,
+                                   metrics_us});
+      result.final_discrepancy = summary.discrepancy;
+    } else if (!fused) {
+      result.final_discrepancy = summary.discrepancy;
     }
     result.final_potential = summary.potential;
-    result.final_discrepancy = summary.discrepancy;
 
     if (summary.potential <= config.target_potential) {
       result.reached_target = true;
+      finish(result);
       return result;
     }
     if (stats.transferred == 0.0) {
       ++consecutive_idle;
       if (config.stall_rounds > 0 && consecutive_idle >= config.stall_rounds) {
         result.stalled = true;
+        finish(result);
         return result;
       }
     } else {
       consecutive_idle = 0;
     }
   }
+  finish(result);
   return result;
 }
 

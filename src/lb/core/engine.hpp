@@ -11,7 +11,26 @@
 #include "lb/core/trace.hpp"
 #include "lb/graph/dynamic.hpp"
 
+namespace lb::util {
+class ThreadPool;
+}
+
 namespace lb::core {
+
+/// How the engine computes the per-round Φ/discrepancy observability.
+enum class MetricsPath : std::uint8_t {
+  /// The deterministic fixed-chunk parallel reduction (core/metrics.hpp),
+  /// fused into the balancer's apply sweep whenever the balancer supports
+  /// it (RoundContext fused-summary protocol) and computed standalone —
+  /// still parallel and chunk-deterministic — otherwise.  Φ is measured
+  /// against the run-start average (total load is invariant; exact for
+  /// Tokens).  Bit-identical results at every pool size.
+  kFusedParallel,
+  /// The pre-RoundContext oracle: a strictly sequential summarize(load)
+  /// after every step(), with the average recomputed each round.  Kept for
+  /// the ablation benches and as the regression baseline.
+  kSequential,
+};
 
 struct EngineConfig {
   std::size_t max_rounds = 1'000'000;
@@ -20,8 +39,16 @@ struct EngineConfig {
   /// Stop after this many consecutive rounds with zero transfers (the
   /// discrete fixed point: every edge's floored flow is 0).  0 disables.
   std::size_t stall_rounds = 3;
+  /// Record the full per-round trace.  When false the engine skips all
+  /// trace bookkeeping and computes only what termination needs: Φ per
+  /// round, and min/max once at run end for the final discrepancy.
   bool record_trace = true;
   std::uint64_t seed = 42;
+  MetricsPath metrics = MetricsPath::kFusedParallel;
+  /// Pool the run executes on; nullptr means ThreadPool::global().  The
+  /// determinism contract (DESIGN.md §2) guarantees bit-identical
+  /// RunResults for any pool size here, LB_THREADS included.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct RunResult {
@@ -32,6 +59,10 @@ struct RunResult {
   double final_potential = 0.0;
   double final_discrepancy = 0.0;
   Trace trace;                      ///< empty unless record_trace
+  // Wall-clock observability (seconds; excluded from determinism claims).
+  double total_seconds = 0.0;       ///< whole run, setup included
+  double step_seconds = 0.0;        ///< Σ Balancer::step() time
+  double metrics_seconds = 0.0;     ///< Σ out-of-step summary time
 };
 
 /// Run `balancer` on the dynamic network `seq`, mutating `load` in place.

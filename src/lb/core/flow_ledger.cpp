@@ -58,26 +58,27 @@ void FlowLedger::apply_gather(const std::vector<double>& flows,
                               std::vector<T>& load, util::ThreadPool& pool) const {
   auto gather = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t u = lo; u < hi; ++u) {
-      T value = load[u];
-      const std::size_t row_end = row_ptr_[u + 1];
-      for (std::size_t p = row_ptr_[u]; p < row_end; ++p) {
-        const double f = flows[edge_idx_[p]];
-        if (f == 0.0) continue;
-        // sign_[p]·f is exactly ±f, and x + (−f) rounds identically to the
-        // edge sweep's x −= |f| (x − |f| ≡ x + (−|f|) in IEEE), so every
-        // per-node update matches the oracle bit for bit.  For integral T
-        // the truncating cast of ±f equals the sweep's ±⌊|f|⌋, and adding
-        // a zero amount is the identity, matching the sweep's skip.
-        if constexpr (std::is_integral_v<T>) {
-          value += static_cast<T>(sign_[p] * f);
-        } else {
-          value += static_cast<T>(sign_[p]) * static_cast<T>(f);
-        }
-      }
-      load[u] = value;
+      load[u] = gather_node(u, flows, load);
     }
   };
   pool.parallel_for(0, num_nodes_, 256, gather);
+}
+
+template <class T>
+void FlowLedger::apply_with_summary(const graph::Graph& g,
+                                    const std::vector<double>& flows,
+                                    std::vector<T>& load, util::ThreadPool* pool,
+                                    double average, SummaryMode mode,
+                                    LoadSummary<T>& out) const {
+  LB_ASSERT_MSG(valid_for(g), "apply with a ledger built for another topology");
+  LB_ASSERT_MSG(flows.size() == num_edges_, "flow vector does not match ledger");
+  LB_ASSERT_MSG(load.size() == num_nodes_, "load vector does not match ledger");
+  out = fused_sweep_with_summary<T>(pool, num_nodes_, average, mode,
+                                    [&](std::size_t u) {
+                                      const T value = gather_node(u, flows, load);
+                                      load[u] = value;
+                                      return value;
+                                    });
 }
 
 template <class T>
@@ -140,6 +141,9 @@ void accumulate_flow_totals(const std::vector<double>& flows, StepStats& stats) 
   template void FlowLedger::apply<T>(const graph::Graph&,                      \
                                      const std::vector<double>&,               \
                                      std::vector<T>&, util::ThreadPool*) const;\
+  template void FlowLedger::apply_with_summary<T>(                             \
+      const graph::Graph&, const std::vector<double>&, std::vector<T>&,        \
+      util::ThreadPool*, double, SummaryMode, LoadSummary<T>&) const;          \
   template void apply_edge_sweep<T>(const graph::Graph&,                       \
                                     const std::vector<double>&,                \
                                     std::vector<T>&);                          \

@@ -27,9 +27,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/metrics.hpp"
 #include "lb/graph/graph.hpp"
 #include "lb/util/thread_pool.hpp"
 
@@ -80,10 +82,49 @@ class FlowLedger {
   void apply(const graph::Graph& g, const std::vector<double>& flows,
              std::vector<T>& load, util::ThreadPool* pool) const;
 
+  /// Fused apply + deterministic summary: performs the exact same per-node
+  /// load updates as apply(), and while each node's final value is still in
+  /// register accumulates it into the fixed-chunk reduction of
+  /// core/metrics.hpp (Φ measured against `average`) — one sweep over the
+  /// load vector instead of apply-then-summarize's two.  The node gather is
+  /// driven chunk-by-chunk (chunk boundaries a function of n only), so both
+  /// the loads and `out` are bit-identical to apply() followed by
+  /// summarize_deterministic() at every pool size, including sequential.
+  template <class T>
+  void apply_with_summary(const graph::Graph& g, const std::vector<double>& flows,
+                          std::vector<T>& load, util::ThreadPool* pool,
+                          double average, SummaryMode mode,
+                          LoadSummary<T>& out) const;
+
  private:
   template <class T>
   void apply_gather(const std::vector<double>& flows, std::vector<T>& load,
                     util::ThreadPool& pool) const;
+
+  // The shared per-node row walk: node u's final value from its incident
+  // rows, with the rounding rules that make the gather bit-identical to
+  // the sequential edge sweep (see apply_gather's commentary).
+  template <class T>
+  T gather_node(std::size_t u, const std::vector<double>& flows,
+                const std::vector<T>& load) const {
+    T value = load[u];
+    const std::size_t row_end = row_ptr_[u + 1];
+    for (std::size_t p = row_ptr_[u]; p < row_end; ++p) {
+      const double f = flows[edge_idx_[p]];
+      if (f == 0.0) continue;
+      // sign_[p]·f is exactly ±f, and x + (−f) rounds identically to the
+      // edge sweep's x −= |f| (x − |f| ≡ x + (−|f|) in IEEE), so every
+      // per-node update matches the oracle bit for bit.  For integral T
+      // the truncating cast of ±f equals the sweep's ±⌊|f|⌋, and adding
+      // a zero amount is the identity, matching the sweep's skip.
+      if constexpr (std::is_integral_v<T>) {
+        value += static_cast<T>(sign_[p] * f);
+      } else {
+        value += static_cast<T>(sign_[p]) * static_cast<T>(f);
+      }
+    }
+    return value;
+  }
 
   std::uint64_t revision_ = 0;
   std::size_t num_nodes_ = 0;

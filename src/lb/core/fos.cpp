@@ -3,16 +3,19 @@
 #include <cmath>
 
 #include "lb/core/diffusion.hpp"
+#include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
 
-StepStats FirstOrderScheme::step(const graph::Graph& g, std::vector<double>& load,
-                                 util::Rng& /*rng*/) {
+StepStats FirstOrderScheme::step(RoundContext<double>& ctx,
+                                 std::vector<double>& load) {
+  const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
-  util::ThreadPool* pool = parallel_ ? &util::ThreadPool::global() : nullptr;
+  util::ThreadPool* pool = parallel_ ? ctx.pool() : nullptr;
+  std::vector<double>& flows = ctx.arena().flows();
 
   // Flow form of L^{t+1} = M·L^t: every edge carries α·(ℓ_u − ℓ_v), all
   // computed from the round-start snapshot.
@@ -24,22 +27,21 @@ StepStats FirstOrderScheme::step(const graph::Graph& g, std::vector<double>& loa
   if (apply_ == ApplyPath::kLedger) {
     if (pool == nullptr || pool->size() <= 1) {
       // The fused path never reads the CSR view; don't build it.
-      run_fused_sequential_round(g, load, snapshot_, stats, flow_fn);
+      run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats,
+                                 flow_fn);
       return stats;
     }
-    ledger_.ensure(g);
-    compute_edge_flows(g, load, flows_, pool, flow_fn);
-    accumulate_flow_totals<double>(flows_, stats);
-    ledger_.apply(g, flows_, load, pool);
+    FlowLedger& ledger = ctx.ledger();
+    compute_edge_flows(g, load, flows, pool, flow_fn);
+    accumulate_flow_totals<double>(flows, stats);
+    apply_flows_observed(ctx, ledger, flows, load, pool);
   } else {
-    compute_edge_flows(g, load, flows_, pool, flow_fn);
-    accumulate_flow_totals<double>(flows_, stats);
-    apply_edge_sweep(g, flows_, load);
+    compute_edge_flows(g, load, flows, pool, flow_fn);
+    accumulate_flow_totals<double>(flows, stats);
+    apply_edge_sweep(g, flows, load);
   }
   return stats;
 }
-
-void FirstOrderScheme::on_topology_changed() { ledger_.invalidate(); }
 
 std::unique_ptr<ContinuousBalancer> make_fos_continuous() {
   return std::make_unique<FirstOrderScheme>();

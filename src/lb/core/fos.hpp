@@ -25,16 +25,12 @@ class FirstOrderScheme final : public Balancer<double> {
       : parallel_(parallel), apply_(apply) {}
 
   std::string name() const override { return "fos"; }
-  StepStats step(const graph::Graph& g, std::vector<double>& load,
-                 util::Rng& rng) override;
-  void on_topology_changed() override;
+  using Balancer<double>::step;
+  StepStats step(RoundContext<double>& ctx, std::vector<double>& load) override;
 
  private:
   bool parallel_;
   ApplyPath apply_;
-  std::vector<double> flows_;
-  std::vector<double> snapshot_;  // for the fused sequential path
-  FlowLedger ledger_;
 };
 
 std::unique_ptr<ContinuousBalancer> make_fos_continuous();

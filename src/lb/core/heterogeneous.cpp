@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 
@@ -53,50 +54,44 @@ HeterogeneousDiffusion<T>::HeterogeneousDiffusion(std::vector<double> speed)
 }
 
 template <class T>
-StepStats HeterogeneousDiffusion<T>::step(const graph::Graph& g, std::vector<T>& load,
-                                          util::Rng& /*rng*/) {
+StepStats HeterogeneousDiffusion<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
+  const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   LB_ASSERT_MSG(speed_.size() == g.num_nodes(), "speed vector does not match graph");
-  const auto& edges = g.edges();
-  flows_.assign(edges.size(), 0.0);
-
-  util::ThreadPool::global().parallel_for(
-      0, edges.size(), 2048, [this, &g, &load, &edges](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-          const graph::Edge& e = edges[k];
-          const double ni = static_cast<double>(load[e.u]) / speed_[e.u];
-          const double nj = static_cast<double>(load[e.v]) / speed_[e.v];
-          if (ni == nj) continue;
-          const double harmonic =
-              2.0 * speed_[e.u] * speed_[e.v] / (speed_[e.u] + speed_[e.v]);
-          const double denom =
-              4.0 * static_cast<double>(std::max(g.degree(e.u), g.degree(e.v)));
-          double w = std::fabs(ni - nj) * harmonic / denom;
-          if constexpr (std::is_integral_v<T>) {
-            w = std::floor(w);
-          }
-          flows_[k] = ni > nj ? w : -w;
-        }
-      });
-
+  util::ThreadPool* pool = ctx.pool();
+  std::vector<double>& flows = ctx.arena().flows();
   StepStats stats;
-  stats.links = edges.size();
-  for (std::size_t k = 0; k < edges.size(); ++k) {
-    const double f = flows_[k];
-    if (f == 0.0) continue;
-    const graph::Edge& e = edges[k];
-    const T amount = static_cast<T>(std::fabs(f));
-    if (amount == T{}) continue;
-    if (f > 0.0) {
-      load[e.u] -= amount;
-      load[e.v] += amount;
-    } else {
-      load[e.v] -= amount;
-      load[e.u] += amount;
+  stats.links = g.num_edges();
+
+  // The normalized-gap flow of Elsässer–Monien–Preis, on the shared
+  // flow-ledger kernel: same per-edge doubles as the original inline
+  // loop, so the trajectory is unchanged; the apply is now node-parallel
+  // (bit-identical to the former sequential edge sweep) instead of the
+  // last serial pass this balancer carried.
+  const auto flow_fn = [this, &g](std::size_t, const graph::Edge& e, double li,
+                                  double lj) {
+    const double ni = li / speed_[e.u];
+    const double nj = lj / speed_[e.v];
+    if (ni == nj) return 0.0;
+    const double harmonic =
+        2.0 * speed_[e.u] * speed_[e.v] / (speed_[e.u] + speed_[e.v]);
+    const double denom =
+        4.0 * static_cast<double>(std::max(g.degree(e.u), g.degree(e.v)));
+    double w = std::fabs(ni - nj) * harmonic / denom;
+    if constexpr (std::is_integral_v<T>) {
+      w = std::floor(w);
     }
-    stats.transferred += static_cast<double>(amount);
-    ++stats.active_edges;
+    return ni > nj ? w : -w;
+  };
+
+  if (pool == nullptr || pool->size() <= 1) {
+    run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats, flow_fn);
+    return stats;
   }
+  FlowLedger& ledger = ctx.ledger();
+  compute_edge_flows(g, load, flows, pool, flow_fn);
+  accumulate_flow_totals<T>(flows, stats);
+  apply_flows_observed(ctx, ledger, flows, load, pool);
   return stats;
 }
 

@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/flow_ledger.hpp"
 
 namespace lb::core {
 
@@ -46,13 +47,13 @@ class HeterogeneousDiffusion final : public Balancer<T> {
   std::string name() const override {
     return std::is_integral_v<T> ? "hetero-diffusion-disc" : "hetero-diffusion-cont";
   }
-  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
+  using Balancer<T>::step;
+  StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
 
   const std::vector<double>& speed() const { return speed_; }
 
  private:
   std::vector<double> speed_;
-  std::vector<double> flows_;
 };
 
 using ContinuousHeterogeneousDiffusion = HeterogeneousDiffusion<double>;

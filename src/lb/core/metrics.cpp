@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "lb/util/stats.hpp"
+#include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
 
@@ -47,5 +48,67 @@ double safe_ratio(double measured, double bound) {
   if (bound == 0.0) return measured == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
   return measured / bound;
 }
+
+template <class T>
+LoadSummary<T> combine_summary_partials(const std::vector<SummaryPartial<T>>& parts,
+                                        std::size_t n, double average,
+                                        SummaryMode mode) {
+  LoadSummary<T> s;
+  s.average = average;
+  if (n == 0 || parts.empty()) return s;
+  s.min = parts.front().min;
+  s.max = parts.front().max;
+  double potential = 0.0;
+  // Chunk-index order: the one combination order, independent of which
+  // worker produced which partial.
+  for (const SummaryPartial<T>& p : parts) {
+    s.total += p.total;
+    potential += p.sq_dev;
+    s.min = std::min(s.min, p.min);
+    s.max = std::max(s.max, p.max);
+  }
+  if (mode != SummaryMode::kExtremaOnly) s.potential = potential;
+  if (mode != SummaryMode::kPotentialOnly) {
+    s.discrepancy = static_cast<double>(s.max) - static_cast<double>(s.min);
+  } else {
+    s.min = T{};
+    s.max = T{};
+  }
+  return s;
+}
+
+template <class T>
+LoadSummary<T> summarize_deterministic(const std::vector<T>& load, double average,
+                                       util::ThreadPool* pool, SummaryMode mode) {
+  return fused_sweep_with_summary<T>(pool, load.size(), average, mode,
+                                     [&load](std::size_t i) { return load[i]; });
+}
+
+template <class T>
+LoadSummary<T> summarize_parallel(const std::vector<T>& load, util::ThreadPool* pool) {
+  const std::size_t n = load.size();
+  if (n == 0) return LoadSummary<T>{};
+  // Pass 1: totals and extrema; the average falls out of the totals.
+  LoadSummary<T> s =
+      summarize_deterministic(load, 0.0, pool, SummaryMode::kExtremaOnly);
+  s.average = static_cast<double>(s.total) / static_cast<double>(n);
+  // Pass 2: Φ against that average.
+  s.potential =
+      summarize_deterministic(load, s.average, pool, SummaryMode::kPotentialOnly)
+          .potential;
+  return s;
+}
+
+#define LB_INSTANTIATE(T)                                                      \
+  template LoadSummary<T> combine_summary_partials<T>(                         \
+      const std::vector<SummaryPartial<T>>&, std::size_t, double, SummaryMode);\
+  template LoadSummary<T> summarize_deterministic<T>(                          \
+      const std::vector<T>&, double, util::ThreadPool*, SummaryMode);          \
+  template LoadSummary<T> summarize_parallel<T>(const std::vector<T>&,         \
+                                                util::ThreadPool*);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
 
 }  // namespace lb::core

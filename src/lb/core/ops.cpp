@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lb/core/round_context.hpp"
 #include "lb/linalg/spectral.hpp"
 #include "lb/util/assert.hpp"
 
@@ -12,8 +13,9 @@ OptimalPolynomialScheme::OptimalPolynomialScheme(double eigenvalue_tolerance)
   LB_ASSERT_MSG(tol_ > 0.0, "eigenvalue tolerance must be positive");
 }
 
-StepStats OptimalPolynomialScheme::step(const graph::Graph& g,
-                                        std::vector<double>& load, util::Rng& /*rng*/) {
+StepStats OptimalPolynomialScheme::step(RoundContext<double>& ctx,
+                                        std::vector<double>& load) {
+  const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   if (schedule_.empty()) {
     const linalg::Vector spectrum = linalg::laplacian_spectrum(g);

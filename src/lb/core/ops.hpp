@@ -30,8 +30,8 @@ class OptimalPolynomialScheme final : public Balancer<double> {
   explicit OptimalPolynomialScheme(double eigenvalue_tolerance = 1e-8);
 
   std::string name() const override { return "ops"; }
-  StepStats step(const graph::Graph& g, std::vector<double>& load,
-                 util::Rng& rng) override;
+  using Balancer<double>::step;
+  StepStats step(RoundContext<double>& ctx, std::vector<double>& load) override;
 
   /// Number of rounds needed for perfect balance (m = #distinct nonzero
   /// Laplacian eigenvalues); 0 before the first step.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 
 namespace lb::core {
@@ -23,14 +24,17 @@ PartnerLinks sample_partner_links(std::size_t n, util::Rng& rng) {
 }
 
 template <class T>
-StepStats RandomPartnerBalancer<T>::step(const graph::Graph& /*g*/, std::vector<T>& load,
-                                         util::Rng& rng) {
+StepStats RandomPartnerBalancer<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
   const std::size_t n = load.size();
-  const PartnerLinks links = sample_partner_links(n, rng);
+  const PartnerLinks links = sample_partner_links(n, ctx.rng());
 
   // All transfers are computed from the round-start snapshot and applied
-  // at the end — the concurrent semantics of Algorithm 2.
-  delta_.assign(n, T{});
+  // at the end — the concurrent semantics of Algorithm 2.  The sampling
+  // and delta accumulation stay sequential (a single RNG stream and
+  // scattered ±writes); only the final per-node delta application — the
+  // one dense sweep — parallelizes, and it carries the fused summary.
+  std::vector<T>& delta = ctx.arena().node_scratch();
+  delta.assign(n, T{});
   StepStats stats;
   stats.links = n;
   for (std::size_t i = 0; i < n; ++i) {
@@ -47,16 +51,26 @@ StepStats RandomPartnerBalancer<T>::step(const graph::Graph& /*g*/, std::vector<
     const T amount = static_cast<T>(w);
     if (amount == T{}) continue;
     if (li > lj) {
-      delta_[i] -= amount;
-      delta_[j] += amount;
+      delta[i] -= amount;
+      delta[j] += amount;
     } else {
-      delta_[j] -= amount;
-      delta_[i] += amount;
+      delta[j] -= amount;
+      delta[i] += amount;
     }
     stats.transferred += static_cast<double>(amount);
     ++stats.active_edges;
   }
-  for (std::size_t i = 0; i < n; ++i) load[i] += delta_[i];
+  if (ctx.summary_requested()) {
+    ctx.publish_summary(fused_sweep_with_summary<T>(
+        ctx.pool(), n, ctx.summary_average(), ctx.summary_mode(),
+        [&](std::size_t i) {
+          const T value = load[i] + delta[i];
+          load[i] = value;
+          return value;
+        }));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) load[i] += delta[i];
+  }
   return stats;
 }
 

@@ -45,10 +45,8 @@ class RandomPartnerBalancer final : public Balancer<T> {
   }
   bool uses_network() const override { return false; }
 
-  StepStats step(const graph::Graph& g, std::vector<T>& load, util::Rng& rng) override;
-
- private:
-  std::vector<T> delta_;  // per-node net change, applied at the end
+  using Balancer<T>::step;
+  StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
 };
 
 using ContinuousRandomPartner = RandomPartnerBalancer<double>;

@@ -1,0 +1,144 @@
+// RoundContext: everything one balancing round executes against.
+//
+// Before this existed, Balancer::step(g, load, rng) gave algorithms no
+// access to the thread pool or reusable scratch, so each balancer
+// re-plumbed its own (flow buffers, snapshots, CSR ledgers).  The context
+// bundles the per-round view (graph + rng + pool) with the per-run
+// resources (scratch arena + shared flow ledger keyed on the graph's
+// topology epoch), and carries the engine's fused-summary request so the
+// metrics sweep can ride inside the apply phase instead of being a second
+// sequential O(n) pass.  See DESIGN.md §3 for the contract.
+//
+// Ownership model:
+//   * RunArena<T> lives for a whole run (the engine owns one per run; the
+//     deprecated legacy step() shim owns one per balancer).  Its buffers
+//     are sized lazily by whoever uses them and reused across rounds.
+//   * RoundContext<T> is a cheap per-round view: references into the
+//     arena plus the current graph/rng/pool and the summary slot.  It is
+//     constructed fresh each round (dynamic sequences swap the graph).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/core/flow_ledger.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
+#include "lb/graph/graph.hpp"
+#include "lb/util/rng.hpp"
+#include "lb/util/thread_pool.hpp"
+
+namespace lb::core {
+
+/// Per-run reusable state shared by every round: scratch buffers sized
+/// lazily by the balancers that use them, plus the flow-ledger CSR view,
+/// which re-keys itself on graph::Graph::revision() (the topology epoch)
+/// so dynamic sequences rebuild it exactly when the topology changes.
+template <class T>
+class RunArena {
+ public:
+  /// Per-edge signed flow buffer (positive moves load u -> v).
+  std::vector<double>& flows() { return flows_; }
+  /// Per-node T scratch (round-start snapshots, per-node deltas).
+  std::vector<T>& node_scratch() { return node_scratch_; }
+  /// Per-node flag scratch (e.g. async activation sets).
+  std::vector<std::uint8_t>& node_flags() { return node_flags_; }
+  /// The shared CSR incident-edge view; callers go through
+  /// RoundContext::ledger(), which ensure()s it against the round's graph.
+  FlowLedger& ledger() { return ledger_; }
+
+ private:
+  std::vector<double> flows_;
+  std::vector<T> node_scratch_;
+  std::vector<std::uint8_t> node_flags_;
+  FlowLedger ledger_;
+};
+
+template <class T>
+class RoundContext {
+ public:
+  RoundContext(const graph::Graph& g, util::Rng& rng, util::ThreadPool* pool,
+               RunArena<T>& arena)
+      : graph_(&g), rng_(&rng), pool_(pool), arena_(&arena) {}
+
+  const graph::Graph& graph() const { return *graph_; }
+  util::Rng& rng() { return *rng_; }
+
+  /// The pool rounds should parallelize on; nullptr means run sequential.
+  /// Balancers configured sequential (e.g. DiffusionConfig::parallel ==
+  /// false) ignore it.
+  util::ThreadPool* pool() const { return pool_; }
+  std::size_t workers() const { return pool_ == nullptr ? 1 : pool_->size(); }
+  /// True when parallel kernels are worth engaging.
+  bool parallel() const { return workers() > 1; }
+
+  RunArena<T>& arena() { return *arena_; }
+
+  /// Current topology epoch (graph::Graph::revision()).
+  std::uint64_t epoch() const { return graph_->revision(); }
+
+  /// The shared flow ledger, rebuilt iff its epoch differs from the
+  /// round's graph.  Returns a view valid for graph().
+  FlowLedger& ledger() {
+    arena_->ledger().ensure(*graph_);
+    return arena_->ledger();
+  }
+
+  // --- Fused-summary protocol (engine -> balancer) ---------------------
+  //
+  // The engine requests a post-round LoadSummary with Φ measured against
+  // `average` (the run-start average; see metrics.hpp).  A balancer whose
+  // apply phase sweeps every node SHOULD compute the summary during that
+  // sweep (FlowLedger::apply_with_summary, or a fixed-chunk fused loop)
+  // and publish it; the engine falls back to a standalone deterministic
+  // reduction otherwise.  Either way the bits are identical — publishing
+  // just saves the second pass over the load vector.
+
+  void request_summary(SummaryMode mode, double average) {
+    summary_requested_ = true;
+    summary_mode_ = mode;
+    summary_average_ = average;
+  }
+  bool summary_requested() const { return summary_requested_; }
+  SummaryMode summary_mode() const { return summary_mode_; }
+  double summary_average() const { return summary_average_; }
+
+  void publish_summary(const LoadSummary<T>& s) {
+    summary_ = s;
+    has_summary_ = true;
+  }
+  bool has_summary() const { return has_summary_; }
+  const LoadSummary<T>& summary() const { return summary_; }
+
+ private:
+  const graph::Graph* graph_;
+  util::Rng* rng_;
+  util::ThreadPool* pool_;
+  RunArena<T>* arena_;
+
+  bool summary_requested_ = false;
+  SummaryMode summary_mode_ = SummaryMode::kFull;
+  double summary_average_ = 0.0;
+  bool has_summary_ = false;
+  LoadSummary<T> summary_{};
+};
+
+/// The shared tail of every ledger-based round: apply `flows` through
+/// `ledger`, riding the fused deterministic summary inside the gather
+/// when the engine requested one (and publishing it), plain apply
+/// otherwise.  `ledger` must already be valid for ctx.graph().
+template <class T>
+inline void apply_flows_observed(RoundContext<T>& ctx, FlowLedger& ledger,
+                                 const std::vector<double>& flows,
+                                 std::vector<T>& load, util::ThreadPool* pool) {
+  if (ctx.summary_requested()) {
+    LoadSummary<T> summary;
+    ledger.apply_with_summary(ctx.graph(), flows, load, pool,
+                              ctx.summary_average(), ctx.summary_mode(), summary);
+    ctx.publish_summary(summary);
+  } else {
+    ledger.apply(ctx.graph(), flows, load, pool);
+  }
+}
+
+}  // namespace lb::core

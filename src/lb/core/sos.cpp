@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lb/core/round_context.hpp"
 #include "lb/linalg/spectral.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -21,16 +22,16 @@ double SecondOrderScheme::optimal_beta(double gamma) {
   return 2.0 / (1.0 + std::sqrt(1.0 - gamma * gamma));
 }
 
-void SecondOrderScheme::on_topology_changed() { ledger_.invalidate(); }
-
-StepStats SecondOrderScheme::step(const graph::Graph& g, std::vector<double>& load,
-                                  util::Rng& /*rng*/) {
+StepStats SecondOrderScheme::step(RoundContext<double>& ctx,
+                                  std::vector<double>& load) {
+  const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   if (!beta_) {
     beta_ = optimal_beta(linalg::diffusion_gamma(g));
   }
   const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
-  util::ThreadPool* pool = parallel_ ? &util::ThreadPool::global() : nullptr;
+  util::ThreadPool* pool = parallel_ ? ctx.pool() : nullptr;
+  std::vector<double>& flows = ctx.arena().flows();
 
   // scratch = M·load via the flow-ledger kernel: the FOS edge flows
   // α·(ℓ_u − ℓ_v) applied to a copy of the snapshot.
@@ -43,19 +44,20 @@ StepStats SecondOrderScheme::step(const graph::Graph& g, std::vector<double>& lo
     if (pool == nullptr || pool->size() <= 1) {
       // The fused path never reads the CSR view; don't build it.
       scratch_ = load;
-      run_fused_sequential_round(g, scratch_, snapshot_, stats, flow_fn);
+      run_fused_sequential_round(g, scratch_, ctx.arena().node_scratch(), stats,
+                                 flow_fn);
     } else {
-      ledger_.ensure(g);
-      compute_edge_flows(g, load, flows_, pool, flow_fn);
-      accumulate_flow_totals<double>(flows_, stats);
+      FlowLedger& ledger = ctx.ledger();
+      compute_edge_flows(g, load, flows, pool, flow_fn);
+      accumulate_flow_totals<double>(flows, stats);
       scratch_ = load;
-      ledger_.apply(g, flows_, scratch_, pool);
+      ledger.apply(g, flows, scratch_, pool);
     }
   } else {
-    compute_edge_flows(g, load, flows_, pool, flow_fn);
-    accumulate_flow_totals<double>(flows_, stats);
+    compute_edge_flows(g, load, flows, pool, flow_fn);
+    accumulate_flow_totals<double>(flows, stats);
     scratch_ = load;
-    apply_edge_sweep(g, flows_, scratch_);
+    apply_edge_sweep(g, flows, scratch_);
   }
 
   if (!have_prev_) {
@@ -66,18 +68,35 @@ StepStats SecondOrderScheme::step(const graph::Graph& g, std::vector<double>& lo
     return stats;
   }
 
+  // The final load is produced by the β-combination, not the apply, so
+  // the fused summary rides this sweep instead: the combine is driven by
+  // the fixed metrics chunks and each node's new value is accumulated as
+  // it is written — bit-identical loads (per-node ops unchanged) and a
+  // bit-deterministic summary at every pool size.
   const double b = *beta_;
-  auto combine = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t u = lo; u < hi; ++u) {
-      const double next = b * scratch_[u] + (1.0 - b) * prev_[u];
-      prev_[u] = load[u];
-      load[u] = next;
-    }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(0, load.size(), 1024, combine);
+  const std::size_t n = load.size();
+  if (ctx.summary_requested()) {
+    ctx.publish_summary(fused_sweep_with_summary<double>(
+        pool, n, ctx.summary_average(), ctx.summary_mode(),
+        [&](std::size_t u) {
+          const double next = b * scratch_[u] + (1.0 - b) * prev_[u];
+          prev_[u] = load[u];
+          load[u] = next;
+          return next;
+        }));
   } else {
-    combine(0, load.size());
+    auto combine = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t u = lo; u < hi; ++u) {
+        const double next = b * scratch_[u] + (1.0 - b) * prev_[u];
+        prev_[u] = load[u];
+        load[u] = next;
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(0, n, 1024, combine);
+    } else {
+      combine(0, n);
+    }
   }
   return stats;
 }

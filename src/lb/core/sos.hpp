@@ -33,9 +33,8 @@ class SecondOrderScheme final : public Balancer<double> {
                              ApplyPath apply = ApplyPath::kLedger);
 
   std::string name() const override { return "sos"; }
-  StepStats step(const graph::Graph& g, std::vector<double>& load,
-                 util::Rng& rng) override;
-  void on_topology_changed() override;
+  using Balancer<double>::step;
+  StepStats step(RoundContext<double>& ctx, std::vector<double>& load) override;
 
   double beta() const { return beta_.value_or(0.0); }
 
@@ -46,11 +45,8 @@ class SecondOrderScheme final : public Balancer<double> {
   std::optional<double> beta_;
   bool parallel_;
   ApplyPath apply_;
-  std::vector<double> prev_;     // L^{t-1}
-  std::vector<double> flows_;    // per-edge α·(ℓ_u − ℓ_v)
+  std::vector<double> prev_;     // L^{t-1} — algorithm state, not scratch
   std::vector<double> scratch_;  // M·L^t
-  std::vector<double> snapshot_; // for the fused sequential path
-  FlowLedger ledger_;
   bool have_prev_ = false;
 };
 

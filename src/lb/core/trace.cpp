@@ -20,10 +20,11 @@ std::size_t Trace::first_round_at_or_below(double target_potential) const {
 
 std::string Trace::to_csv() const {
   std::ostringstream os;
-  os << "round,potential,discrepancy,transferred,active_edges\n";
+  os << "round,potential,discrepancy,transferred,active_edges,step_us,metrics_us\n";
   for (const RoundRecord& r : records_) {
     os << r.round << ',' << r.potential << ',' << r.discrepancy << ','
-       << r.transferred << ',' << r.active_edges << '\n';
+       << r.transferred << ',' << r.active_edges << ',' << r.step_us << ','
+       << r.metrics_us << '\n';
   }
   return os.str();
 }

@@ -13,6 +13,10 @@ struct RoundRecord {
   double discrepancy = 0.0;     ///< max − min after this round
   double transferred = 0.0;     ///< total load moved this round
   std::size_t active_edges = 0; ///< edges that moved a nonzero amount
+  double step_us = 0.0;         ///< wall-clock µs in Balancer::step()
+  /// Wall-clock µs computing the post-round summary *outside* step();
+  /// ~0 when the balancer fused the metrics sweep into its apply phase.
+  double metrics_us = 0.0;
 };
 
 class Trace {
@@ -31,7 +35,8 @@ class Trace {
   /// First round whose potential is <= target; 0 if never reached.
   std::size_t first_round_at_or_below(double target_potential) const;
 
-  /// CSV with header round,potential,discrepancy,transferred,active_edges.
+  /// CSV with header
+  /// round,potential,discrepancy,transferred,active_edges,step_us,metrics_us.
   std::string to_csv() const;
 
  private:

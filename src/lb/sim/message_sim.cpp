@@ -19,6 +19,8 @@ MessageSimulator<T>::MessageSimulator(const graph::Graph& g, std::vector<T> init
     actors_[u].inbox.reserve(g.degree(static_cast<graph::NodeId>(u)));
     outbox_[u].reserve(g.degree(static_cast<graph::NodeId>(u)));
   }
+  summary_ = core::summarize_parallel(initial_load, &util::ThreadPool::global());
+  run_average_ = summary_.average;
 }
 
 template <class T>
@@ -100,21 +102,27 @@ SimStats MessageSimulator<T>::step() {
     }
   });
 
-  // Barrier + delivery: receivers credit incoming transfers.
-  util::ThreadPool::global().parallel_for(0, n, 256, [this, &stats](std::size_t lo,
-                                                                    std::size_t hi) {
-    (void)stats;
-    for (std::size_t v = lo; v < hi; ++v) {
-      const auto neighbours = graph_.neighbors(static_cast<graph::NodeId>(v));
-      for (graph::NodeId u : neighbours) {
-        const auto nb = graph_.neighbors(u);
-        const auto it = std::lower_bound(nb.begin(), nb.end(),
-                                         static_cast<graph::NodeId>(v));
-        const std::size_t slot = static_cast<std::size_t>(it - nb.begin());
-        actors_[v].load += outbox_[u][slot].payload;
-      }
-    }
-  });
+  // Barrier + delivery: receivers credit incoming transfers.  The credit
+  // sweep is driven by the fixed metrics chunks, and each node's settled
+  // load is accumulated into the deterministic reduction as it is written
+  // — the round's observability rides this superstep for free (the
+  // engine's fused-summary pattern, see DESIGN.md §4).  Per-node writes
+  // are unchanged, so the trajectory is untouched.
+  summary_ = core::fused_sweep_with_summary<T>(
+      &util::ThreadPool::global(), n, run_average_, core::SummaryMode::kFull,
+      [this](std::size_t v) {
+        const auto neighbours = graph_.neighbors(static_cast<graph::NodeId>(v));
+        T value = actors_[v].load;
+        for (graph::NodeId u : neighbours) {
+          const auto nb = graph_.neighbors(u);
+          const auto it = std::lower_bound(nb.begin(), nb.end(),
+                                           static_cast<graph::NodeId>(v));
+          const std::size_t slot = static_cast<std::size_t>(it - nb.begin());
+          value += outbox_[u][slot].payload;
+        }
+        actors_[v].load = value;
+        return value;
+      });
 
   // Statistics (sequential; cheap).
   stats.messages_sent = announce_messages + 2 * graph_.num_edges();

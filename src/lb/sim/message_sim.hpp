@@ -29,6 +29,8 @@
 
 #include "lb/core/algorithm.hpp"
 #include "lb/core/diffusion.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
 #include "lb/graph/graph.hpp"
 
 namespace lb::sim {
@@ -83,6 +85,17 @@ class MessageSimulator {
   /// superstep).  Returns the message statistics.
   SimStats step();
 
+  /// Post-round load summary, accumulated *inside* the final credit
+  /// superstep via the deterministic fixed-chunk reduction of
+  /// core/metrics.hpp (Φ measured against the run-start average, like the
+  /// engine's fused path) — observability without a second sweep over the
+  /// actors, bit-identical at every pool size.  Before the first step()
+  /// this is the initial load's summary.
+  const core::LoadSummary<T>& round_summary() const { return summary_; }
+
+  /// The run-start average Φ is measured against.
+  double run_average() const { return run_average_; }
+
   /// Rounds executed so far.
   std::size_t round() const { return round_; }
 
@@ -94,6 +107,8 @@ class MessageSimulator {
   // parallel by the sender, read by the receiver after the barrier.
   std::vector<std::vector<Message<T>>> outbox_;
   std::size_t round_ = 0;
+  double run_average_ = 0.0;
+  core::LoadSummary<T> summary_{};
 };
 
 using ContinuousMessageSimulator = MessageSimulator<double>;

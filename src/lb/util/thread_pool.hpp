@@ -84,4 +84,18 @@ class ThreadPool {
 void parallel_for_each(std::size_t n, std::size_t grain,
                        const std::function<void(std::size_t)>& fn);
 
+/// Run chunk_fn(c, lo, hi) for every fixed-width chunk
+/// [c·width, min(n, (c+1)·width)) of [0, n), executed on `pool` (inline
+/// when pool is null or has one worker).
+///
+/// This is the substrate of every deterministic parallel reduction in the
+/// library: chunk boundaries depend only on (n, width) — never on the
+/// worker count or which worker picks up which chunk — so per-chunk
+/// partial results combined in chunk-index order are bit-identical for
+/// every pool size.  Contrast parallel_for, whose range splits depend on
+/// size() and therefore must only be used for order-independent writes.
+void for_fixed_chunks(
+    ThreadPool* pool, std::size_t n, std::size_t width,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk_fn);
+
 }  // namespace lb::util

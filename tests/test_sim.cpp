@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
 #include "lb/graph/generators.hpp"
 #include "lb/workload/initial.hpp"
 
@@ -107,6 +108,24 @@ TEST(SimTest, PotentialNonIncreasing) {
     const double cur = lb::core::potential(sim.snapshot());
     EXPECT_LE(cur, prev + 1e-9);
     prev = cur;
+  }
+}
+
+TEST(SimTest, FusedRoundSummaryMatchesStandaloneReduction) {
+  // The summary accumulated inside the credit superstep must be
+  // bit-identical to the standalone deterministic reduction over the
+  // post-round snapshot (same fixed chunks, same per-element ops).
+  lb::util::Rng rng(23);
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  auto load = lb::workload::uniform_random<std::int64_t>(64, 64000, rng);
+  lb::sim::DiscreteMessageSimulator sim(g, load);
+  for (int round = 0; round < 20; ++round) {
+    sim.step();
+    const auto expected = lb::core::summarize_deterministic(
+        sim.snapshot(), sim.run_average(), nullptr, lb::core::SummaryMode::kFull);
+    EXPECT_DOUBLE_EQ(sim.round_summary().potential, expected.potential);
+    EXPECT_DOUBLE_EQ(sim.round_summary().discrepancy, expected.discrepancy);
+    EXPECT_EQ(sim.round_summary().total, expected.total);
   }
 }
 
