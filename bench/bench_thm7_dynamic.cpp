@@ -1,36 +1,130 @@
-// E5 (Theorem 7): continuous diffusion on dynamic networks.
+// E5 (Theorem 7): continuous diffusion on dynamic networks — and the
+// masked-topology ablation.
 //
 // For several dynamic-sequence models over torus/hypercube bases, the
 // table reports the measured A_K (average λ2(G_k)/δ(G_k)), the Theorem-7
-// round budget 4·ln(1/ε)/A_K, the measured rounds, and the ratio.
+// round budget 4·ln(1/ε)/A_K, the measured rounds, the ratio, and the
+// measured µs/round — once per requested topology substrate:
+//
+//   masked   frames off the fixed base + EdgeMask (no per-round builds)
+//   rebuild  every round materialized as a fresh Graph via
+//            GraphBuilder::build() (the pre-mask path, the oracle)
+//
+// Each scenario is profiled once; the sequence is reset() and replayed
+// for every run leg, so the two substrates traverse the identical
+// topology stream and their convergence trajectories must coincide
+// exactly — only µs/round may differ.  The bench verifies that equality
+// and fails loudly if the substrates diverge.
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <string>
+#include <vector>
 
+#include "lb/core/bounds.hpp"
 #include "lb/core/diffusion.hpp"
 #include "lb/core/dynamic_runner.hpp"
 #include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
+#include "lb/util/thread_pool.hpp"
 #include "lb/workload/initial.hpp"
+
+namespace {
+
+struct LegResult {
+  std::string sequence;
+  std::string topology;
+  double a_k = 0.0;
+  std::size_t disconnected = 0;
+  double k_bound = 0.0;
+  std::size_t k_measured = 0;
+  bool reached = false;
+  double us_per_round = 0.0;
+  double final_potential = 0.0;
+};
+
+void write_json(const std::string& path, std::size_t n, std::size_t rounds,
+                double eps, const std::vector<LegResult>& legs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_thm7_dynamic\",\n  \"n\": %zu,\n"
+               "  \"round_budget\": %zu,\n  \"eps\": %g,\n  \"scenarios\": [\n",
+               n, rounds, eps);
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const LegResult& r = legs[i];
+    std::fprintf(f,
+                 "    {\"sequence\": \"%s\", \"topology\": \"%s\", "
+                 "\"us_per_round\": %.3f, \"rounds_to_eps\": %zu, "
+                 "\"reached_eps\": %s, \"a_k\": %.6f, \"k_bound\": %.3f}%s\n",
+                 r.sequence.c_str(), r.topology.c_str(), r.us_per_round,
+                 r.k_measured, r.reached ? "true" : "false", r.a_k, r.k_bound,
+                 i + 1 < legs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void write_ablation_csv(const std::string& dir, const char* topology,
+                        const std::vector<LegResult>& legs) {
+  const std::string path = dir + "/ablation_dynamic_" + topology + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "sequence,topology,us_per_round,rounds_to_eps,reached_eps\n");
+  for (const LegResult& r : legs) {
+    if (r.topology != topology) continue;
+    std::fprintf(f, "\"%s\",%s,%.3f,%zu,%d\n", r.sequence.c_str(),
+                 r.topology.c_str(), r.us_per_round, r.k_measured,
+                 r.reached ? 1 : 0);
+  }
+  std::fclose(f);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   lb::util::Options opts(
-      "E5 / Theorem 7: dynamic networks, continuous case — K = O(ln(1/eps)/A_K)");
+      "E5 / Theorem 7: dynamic networks, continuous case — K = O(ln(1/eps)/A_K), "
+      "masked-frame vs per-round-rebuild substrates");
   opts.add_int("n", 64, "nodes in the base graph (per-round lambda2 is O(n^3))")
       .add_double("eps", 1e-5, "target potential fraction")
       .add_int("rounds", 4000, "round budget (also the profiling horizon)")
       .add_int("seed", 42, "RNG seed")
+      .add_string("topology", "both",
+                  "substrates to run: masked | rebuild | both")
+      .add_string("json", "", "write machine-readable results to this path")
+      .add_string("ablation-dir", "",
+                  "write ablation_dynamic_{masked,rebuild}.csv into this dir")
+      .add_flag("quick", "CI smoke: shrink the round budget to 300")
       .add_flag("csv", "emit CSV instead of a table");
   opts.parse(argc, argv);
 
   const std::size_t n = static_cast<std::size_t>(opts.get_int("n"));
   const double eps = opts.get_double("eps");
-  const std::size_t rounds = static_cast<std::size_t>(opts.get_int("rounds"));
+  std::size_t rounds = static_cast<std::size_t>(opts.get_int("rounds"));
+  if (opts.get_flag("quick")) rounds = std::min<std::size_t>(rounds, 300);
   const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  const std::string topology = opts.get_string("topology");
+
+  std::vector<std::string> legs;
+  if (topology == "both" || topology == "masked") legs.push_back("masked");
+  if (topology == "both" || topology == "rebuild") legs.push_back("rebuild");
+  if (legs.empty()) {
+    std::fprintf(stderr, "unknown --topology '%s'\n", topology.c_str());
+    return 2;
+  }
 
   lb::bench::banner("E5: Theorem 7 (dynamic networks, continuous)",
-                    "K rounds with K = 4*ln(1/eps)/A_K reduce Phi to eps*Phi(L), "
-                    "A_K the average lambda2(G_k)/delta(G_k)",
+                    "K rounds with K = 4*ln(1/eps)/A_K reduce Phi to eps*Phi(L); "
+                    "masked frames vs per-round graph rebuilds",
                     seed);
 
   lb::util::Rng topo_rng(seed);
@@ -45,18 +139,29 @@ int main(int argc, char** argv) {
   scenarios.push_back({"static torus", [&torus] {
                          return lb::graph::make_static_sequence(torus);
                        }});
-  scenarios.push_back({"torus, Bernoulli keep=0.8", [&torus, seed] {
+  scenarios.push_back({"torus Bernoulli keep=0.8", [&torus, seed] {
                          return lb::graph::make_bernoulli_sequence(torus, 0.8, seed + 1);
                        }});
-  scenarios.push_back({"torus, Bernoulli keep=0.5", [&torus, seed] {
+  scenarios.push_back({"torus Bernoulli keep=0.5", [&torus, seed] {
                          return lb::graph::make_bernoulli_sequence(torus, 0.5, seed + 2);
                        }});
-  scenarios.push_back({"torus, Markov fail=.1 rec=.5", [&torus, seed] {
+  scenarios.push_back({"torus Markov fail=.1 rec=.5", [&torus, seed] {
                          return lb::graph::make_markov_failure_sequence(torus, 0.1, 0.5,
                                                                         seed + 3);
                        }});
+  scenarios.push_back({"torus churn alive=.85 turn=.05", [&torus, seed] {
+                         return lb::graph::make_churn_sequence(torus, 0.85, 0.05,
+                                                               seed + 5);
+                       }});
+  scenarios.push_back({"torus partition/heal period=8", [&torus] {
+                         return lb::graph::make_partition_sequence(torus, 8);
+                       }});
+  scenarios.push_back({"torus failure wave w=n/8 s=1", [&torus, n] {
+                         return lb::graph::make_failure_wave_sequence(
+                             torus, std::max<std::size_t>(1, n / 8), 1);
+                       }});
   if (cube.num_nodes() == torus.num_nodes()) {
-    scenarios.push_back({"hypercube, Bernoulli keep=0.7", [&cube, seed] {
+    scenarios.push_back({"hypercube Bernoulli keep=0.7", [&cube, seed] {
                            return lb::graph::make_bernoulli_sequence(cube, 0.7, seed + 4);
                          }});
     scenarios.push_back({"alternate torus/hypercube", [&torus, &cube] {
@@ -65,29 +170,100 @@ int main(int argc, char** argv) {
                          }});
   }
 
-  lb::util::Table table({"sequence", "A_K", "disconnected rounds", "K bound",
-                         "K measured", "meas/bound", "reached eps"});
+  lb::util::Table table({"sequence", "topology", "A_K", "disconnected rounds",
+                         "K bound", "K measured", "meas/bound", "reached eps",
+                         "us/round"});
+  std::vector<LegResult> results;
+  bool substrates_agree = true;
 
   for (const auto& scenario : scenarios) {
-    auto load = lb::workload::spike<double>(
-        torus.num_nodes(), 1000.0 * static_cast<double>(torus.num_nodes()));
-    lb::core::ContinuousDiffusion alg;
-    const auto result =
-        lb::core::run_dynamic<double>(alg, scenario.factory, load, rounds, eps);
+    // Profile ONCE per scenario (λ2 per round is the expensive part);
+    // every run leg replays the identical stream via reset().
+    auto seq = scenario.factory();
+    const auto profile = lb::core::profile_sequence(*seq, rounds);
+    const double bound =
+        profile.average_ratio > 0.0
+            ? lb::core::bounds::theorem7_rounds(profile.average_ratio, eps)
+            : 0.0;
 
-    table.row()
-        .add(scenario.label)
-        .add(result.profile.average_ratio, 4)
-        .add(static_cast<std::int64_t>(result.profile.disconnected_rounds))
-        .add(result.theorem_bound_rounds, 5)
-        .add(static_cast<std::int64_t>(result.run.rounds))
-        .add(result.theorem_bound_rounds > 0.0
-                 ? static_cast<double>(result.run.rounds) / result.theorem_bound_rounds
-                 : 0.0,
-             3)
-        .add(result.run.reached_target ? "yes" : "NO");
+    LegResult masked_leg;  // by value: results may reallocate between legs
+    bool have_masked_leg = false;
+    for (const std::string& leg : legs) {
+      seq->reset();
+      std::unique_ptr<lb::graph::GraphSequence> rebuild_view;
+      lb::graph::GraphSequence* run_seq = seq.get();
+      if (leg == "rebuild") {
+        rebuild_view = lb::graph::make_materialized_view(*seq);
+        run_seq = rebuild_view.get();
+      }
+
+      auto load = lb::workload::spike<double>(
+          torus.num_nodes(), 1000.0 * static_cast<double>(torus.num_nodes()));
+      const double phi0 =
+          lb::core::summarize_parallel(load, &lb::util::ThreadPool::global())
+              .potential;
+      lb::core::ContinuousDiffusion alg;
+      lb::core::EngineConfig config;
+      config.max_rounds = rounds;
+      config.target_potential = eps * phi0;
+      config.record_trace = true;
+      const auto run = lb::core::run(alg, *run_seq, load, config);
+
+      LegResult r;
+      r.sequence = scenario.label;
+      r.topology = leg;
+      r.a_k = profile.average_ratio;
+      r.disconnected = profile.disconnected_rounds;
+      r.k_bound = bound;
+      r.k_measured = run.rounds;
+      r.reached = run.reached_target;
+      r.us_per_round =
+          run.rounds > 0 ? run.total_seconds * 1e6 / static_cast<double>(run.rounds)
+                         : 0.0;
+      r.final_potential = run.final_potential;
+      results.push_back(r);
+
+      // The substrates must traverse identical topologies and produce
+      // identical trajectories — any divergence is a masked-kernel bug.
+      if (r.topology == "masked") {
+        masked_leg = r;
+        have_masked_leg = true;
+      } else if (have_masked_leg) {
+        if (masked_leg.k_measured != r.k_measured ||
+            masked_leg.final_potential != r.final_potential) {
+          std::fprintf(stderr,
+                       "SUBSTRATE MISMATCH on '%s': masked (K=%zu, Phi=%.17g) vs "
+                       "rebuild (K=%zu, Phi=%.17g)\n",
+                       scenario.label.c_str(), masked_leg.k_measured,
+                       masked_leg.final_potential, r.k_measured,
+                       r.final_potential);
+          substrates_agree = false;
+        }
+      }
+
+      table.row()
+          .add(r.sequence)
+          .add(r.topology)
+          .add(r.a_k, 4)
+          .add(static_cast<std::int64_t>(r.disconnected))
+          .add(r.k_bound, 5)
+          .add(static_cast<std::int64_t>(r.k_measured))
+          .add(r.k_bound > 0.0 ? static_cast<double>(r.k_measured) / r.k_bound : 0.0,
+               3)
+          .add(r.reached ? "yes" : "NO")
+          .add(r.us_per_round, 2);
+    }
   }
-  lb::bench::emit(table, "Theorem 7: dynamic continuous convergence vs bound",
+  lb::bench::emit(table, "Theorem 7: dynamic continuous convergence vs bound "
+                         "(masked vs rebuild substrate)",
                   opts.get_flag("csv"));
-  return 0;
+
+  if (!opts.get_string("json").empty()) {
+    write_json(opts.get_string("json"), torus.num_nodes(), rounds, eps, results);
+  }
+  if (!opts.get_string("ablation-dir").empty()) {
+    write_ablation_csv(opts.get_string("ablation-dir"), "masked", results);
+    write_ablation_csv(opts.get_string("ablation-dir"), "rebuild", results);
+  }
+  return substrates_agree ? 0 : 1;
 }

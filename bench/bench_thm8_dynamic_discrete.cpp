@@ -5,6 +5,7 @@
 // the ratio.
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -51,6 +52,17 @@ int main(int argc, char** argv) {
       {"torus, Markov fail=.05 rec=.4",
        [&torus, seed] {
          return lb::graph::make_markov_failure_sequence(torus, 0.05, 0.4, seed + 3);
+       }},
+      {"torus, churn alive=.85 turn=.05",
+       [&torus, seed] {
+         return lb::graph::make_churn_sequence(torus, 0.85, 0.05, seed + 4);
+       }},
+      {"torus, partition/heal period=8",
+       [&torus] { return lb::graph::make_partition_sequence(torus, 8); }},
+      {"torus, failure wave w=n/8 s=1",
+       [&torus, n] {
+         return lb::graph::make_failure_wave_sequence(
+             torus, std::max<std::size_t>(1, n / 8), 1);
        }},
   };
 

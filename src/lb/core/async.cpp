@@ -27,18 +27,47 @@ std::string AsyncDiffusion<T>::name() const {
 
 template <class T>
 StepStats AsyncDiffusion<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
-  const graph::Graph& g = ctx.graph();
-  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  const graph::TopologyFrame& frame = ctx.frame();
+  LB_ASSERT_MSG(load.size() == frame.num_nodes(), "load vector does not match graph");
   util::ThreadPool* pool = cfg_.parallel ? ctx.pool() : nullptr;
   StepStats stats;
-  stats.links = g.num_edges();
 
-  // Draw this round's active set (sequential: the RNG is a shared stream).
+  // Draw this round's active set (sequential: the RNG is a shared
+  // stream) — before any topology access, so masked and materialized
+  // runs consume the identical RNG prefix.
   std::vector<std::uint8_t>& active = ctx.arena().node_flags();
   active.assign(load.size(), 0);
   for (std::size_t u = 0; u < load.size(); ++u) {
     active[u] = ctx.rng().next_bool(p_) ? 1 : 0;
   }
+
+  if (ctx.masked() && cfg_.apply == ApplyPath::kLedger) {
+    // Masked dynamic round: Algorithm-1 weights from the mask's
+    // alive-degrees over alive edges only; no materialization.
+    stats.links = frame.num_edges();
+    const double factor = cfg_.factor;
+    const double degree_plus_one = static_cast<double>(frame.max_degree()) + 1.0;
+    const DenominatorRule rule = cfg_.rule;
+    const auto flow_fn = [&frame, &active, factor, degree_plus_one, rule](
+                             std::size_t, const graph::Edge& e, double li,
+                             double lj) {
+      if (li == lj) return 0.0;
+      const graph::NodeId sender = li > lj ? e.u : e.v;
+      if (!active[sender]) return 0.0;
+      const double denom =
+          masked_diffusion_denominator(frame, e, rule, factor, degree_plus_one);
+      double w = std::fabs(li - lj) / denom;
+      if constexpr (std::is_integral_v<T>) {
+        w = std::floor(w);
+      }
+      return li > lj ? w : -w;
+    };
+    run_masked_ledger_round(ctx, frame, load, pool, stats, flow_fn);
+    return stats;
+  }
+
+  const graph::Graph& g = ctx.graph();
+  stats.links = g.num_edges();
 
   // An edge moves load only if its *richer* endpoint is active (that node
   // executes the send); the flow is Algorithm 1's rule on the round-start

@@ -50,7 +50,46 @@ void DiffusionBalancer<T>::on_topology_changed() {
 }
 
 template <class T>
+StepStats DiffusionBalancer<T>::step_masked(RoundContext<T>& ctx,
+                                            const graph::TopologyFrame& frame,
+                                            std::vector<T>& load) {
+  LB_ASSERT_MSG(load.size() == frame.num_nodes(), "load vector does not match graph");
+  util::ThreadPool* pool = cfg_.parallel ? ctx.pool() : nullptr;
+  StepStats stats;
+  stats.links = frame.num_edges();
+
+  // Alive-degrees move with every mask revision, so the per-epoch
+  // denominator cache buys nothing here; the denominator is computed
+  // inline from the mask's degree view.  It is the identical double the
+  // materialized path derives from its subgraph degrees, so the flows —
+  // and therefore the loads — are bit-identical to the rebuild oracle.
+  const double factor = cfg_.factor;
+  const double degree_plus_one = static_cast<double>(frame.max_degree()) + 1.0;
+  const DenominatorRule rule = cfg_.rule;
+  const auto flow_fn = [&frame, factor, degree_plus_one, rule](
+                           std::size_t, const graph::Edge& e, double li, double lj) {
+    if (li == lj) return 0.0;
+    const double denom =
+        masked_diffusion_denominator(frame, e, rule, factor, degree_plus_one);
+    double w = std::fabs(li - lj) / denom;
+    if constexpr (std::is_integral_v<T>) {
+      w = std::floor(w);
+    }
+    return li > lj ? w : -w;
+  };
+
+  run_masked_ledger_round(ctx, frame, load, pool, stats, flow_fn);
+  return stats;
+}
+
+template <class T>
 StepStats DiffusionBalancer<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
+  if (ctx.masked() && cfg_.apply == ApplyPath::kLedger) {
+    // Masked dynamic round: run off the frame, never materializing.
+    // The kEdgeSweep configuration stays on the materialized path below —
+    // it is the seed-verbatim oracle and must keep its exact cost/shape.
+    return step_masked(ctx, ctx.frame(), load);
+  }
   const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   util::ThreadPool* pool = cfg_.parallel ? ctx.pool() : nullptr;

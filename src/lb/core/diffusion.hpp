@@ -18,6 +18,7 @@
 //     overshoot and bounce ("ping-pong"), larger ones slow convergence.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "lb/core/algorithm.hpp"
@@ -49,6 +50,25 @@ struct DiffusionConfig {
 double diffusion_edge_weight(const graph::Graph& g, graph::NodeId i, graph::NodeId j,
                              double load_i, double load_j, const DiffusionConfig& cfg);
 
+/// Algorithm-1 denominator on a masked frame — the single definition the
+/// masked fast paths (plain and async diffusion) share, computing the
+/// identical double diffusion_edge_weight derives from a materialized
+/// subgraph's degrees.  `degree_plus_one` is the precomputed
+/// frame.max_degree()+1 so the per-edge call stays branch+lookup only.
+inline double masked_diffusion_denominator(const graph::TopologyFrame& frame,
+                                           const graph::Edge& e,
+                                           DenominatorRule rule, double factor,
+                                           double degree_plus_one) {
+  switch (rule) {
+    case DenominatorRule::kFactorTimesMaxDegree:
+      return factor *
+             static_cast<double>(std::max(frame.degree(e.u), frame.degree(e.v)));
+    case DenominatorRule::kDegreePlusOne:
+      return degree_plus_one;
+  }
+  return 0.0;
+}
+
 template <class T>
 class DiffusionBalancer final : public Balancer<T> {
  public:
@@ -62,9 +82,18 @@ class DiffusionBalancer final : public Balancer<T> {
   const DiffusionConfig& config() const { return cfg_; }
 
  private:
+  // Masked-frame fast path: flows over the base edge list with dead
+  // edges skipped and denominators from the mask's alive-degrees — no
+  // graph materialization, no CSR rebuild.  Bit-identical to stepping on
+  // the materialized subgraph.
+  StepStats step_masked(RoundContext<T>& ctx, const graph::TopologyFrame& frame,
+                        std::vector<T>& load);
+
   DiffusionConfig cfg_;
   // Per-edge denominators: a per-epoch precomputation private to this
   // config (they depend on rule/factor), keyed on the graph revision.
+  // Only the unmasked path uses it — alive-degrees move every mask
+  // revision, so masked rounds compute denominators inline instead.
   // Flow/snapshot buffers and the CSR ledger come from the RoundContext.
   std::vector<double> denoms_;
   std::uint64_t denom_revision_ = 0;

@@ -10,24 +10,63 @@
 
 namespace lb::core {
 
+namespace {
+
+/// Forwards frames from an inner sequence while asserting each one's
+/// fingerprint against the profiling pass's record: if a sequence's
+/// reset() fails to replay the identical topology stream, the run dies
+/// loudly instead of silently measuring a different network.
+class ReplayCheckSequence final : public graph::GraphSequence {
+ public:
+  ReplayCheckSequence(graph::GraphSequence& inner,
+                      const std::vector<std::uint64_t>& expected)
+      : inner_(&inner), expected_(&expected) {}
+
+  std::size_t num_nodes() const override { return inner_->num_nodes(); }
+
+  const graph::TopologyFrame& frame_at(std::size_t k) override {
+    const graph::TopologyFrame& frame = inner_->frame_at(k);
+    if (k >= 1 && k <= expected_->size()) {
+      LB_ASSERT_MSG(frame.fingerprint() == (*expected_)[k - 1],
+                    "profile/run frame mismatch: sequence did not replay "
+                    "identically after reset()");
+    }
+    return frame;
+  }
+
+  void reset() override { inner_->reset(); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  graph::GraphSequence* inner_;
+  const std::vector<std::uint64_t>* expected_;
+};
+
+}  // namespace
+
 DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
                                         std::size_t dense_cutoff) {
   DynamicSpectralProfile profile;
   profile.lambda2_per_round.reserve(rounds);
   profile.delta_per_round.reserve(rounds);
   profile.edges_per_round.reserve(rounds);
+  profile.frame_fingerprints.reserve(rounds);
   for (std::size_t k = 1; k <= rounds; ++k) {
-    const graph::Graph& g = seq.at_round(k);
-    profile.edges_per_round.push_back(g.num_edges());
-    profile.delta_per_round.push_back(g.max_degree());
-    if (g.num_edges() == 0 || !graph::is_connected(g)) {
+    // Frames, not graphs: masked rounds are profiled off the base +
+    // alive mask (degrees from the mask, union-find connectivity,
+    // frame-assembled Laplacian) with no subgraph materialization.
+    const graph::TopologyFrame& frame = seq.frame_at(k);
+    profile.edges_per_round.push_back(frame.num_edges());
+    profile.delta_per_round.push_back(frame.max_degree());
+    profile.frame_fingerprints.push_back(frame.fingerprint());
+    if (frame.num_edges() == 0 || !graph::is_connected(frame)) {
       // λ2 = 0 for disconnected rounds: they contribute nothing to A_K,
       // matching the theorem (such rounds cannot guarantee any drop).
       profile.lambda2_per_round.push_back(0.0);
       ++profile.disconnected_rounds;
       continue;
     }
-    profile.lambda2_per_round.push_back(linalg::lambda2(g, dense_cutoff));
+    profile.lambda2_per_round.push_back(linalg::lambda2(frame, dense_cutoff));
   }
   profile.average_ratio =
       bounds::dynamic_average_ratio(profile.lambda2_per_round, profile.delta_per_round);
@@ -35,32 +74,38 @@ DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t r
 }
 
 template <class T>
-DynamicRunResult run_dynamic(
-    Balancer<T>& balancer,
-    const std::function<std::unique_ptr<graph::GraphSequence>()>& make_sequence,
-    std::vector<T> load, std::size_t rounds, double epsilon, std::size_t dense_cutoff) {
+DynamicRunResult run_dynamic(Balancer<T>& balancer, graph::GraphSequence& seq,
+                             std::vector<T> load, std::size_t rounds, double epsilon,
+                             std::size_t dense_cutoff,
+                             const EngineConfig* base_config) {
   DynamicRunResult out;
+  out.profile = profile_sequence(seq, rounds, dense_cutoff);
 
-  {
-    auto profiling_seq = make_sequence();
-    out.profile = profile_sequence(*profiling_seq, rounds, dense_cutoff);
+  EngineConfig config;
+  if (base_config != nullptr) {
+    config = *base_config;
+  } else {
+    config.record_trace = true;
   }
+  util::ThreadPool* pool =
+      config.pool != nullptr ? config.pool : &util::ThreadPool::global();
 
   // Deterministic parallel summary (same reduction the engine uses) in
   // place of the sequential potential() sweep.
-  const double initial_potential =
-      summarize_parallel(load, &util::ThreadPool::global()).potential;
-  EngineConfig config;
+  const double initial_potential = summarize_parallel(load, pool).potential;
   config.max_rounds = rounds;
   config.target_potential = epsilon * initial_potential;
-  config.record_trace = true;
 
   // A balancer may be reused across run_dynamic calls with different
   // sequences; drop any per-graph caches before the measured run (the
-  // engine also invalidates per round via Graph::revision()).
+  // engine also invalidates per round via the frame's revisions).
   balancer.on_topology_changed();
-  auto run_seq = make_sequence();
-  out.run = run(balancer, *run_seq, load, config);
+
+  // One sequence, two passes: rewind, then assert each run round replays
+  // the exact frame the profiler measured.
+  seq.reset();
+  ReplayCheckSequence checked(seq, out.profile.frame_fingerprints);
+  out.run = run(balancer, checked, load, config);
 
   if (out.profile.average_ratio > 0.0) {
     if constexpr (std::is_integral_v<T>) {
@@ -76,7 +121,23 @@ DynamicRunResult run_dynamic(
   return out;
 }
 
+template <class T>
+DynamicRunResult run_dynamic(
+    Balancer<T>& balancer,
+    const std::function<std::unique_ptr<graph::GraphSequence>()>& make_sequence,
+    std::vector<T> load, std::size_t rounds, double epsilon, std::size_t dense_cutoff) {
+  // The factory is invoked exactly once; reset() replays the stream for
+  // the run, so identically-seeded double construction is no longer
+  // required (or possible to get wrong).
+  auto seq = make_sequence();
+  return run_dynamic(balancer, *seq, std::move(load), rounds, epsilon, dense_cutoff,
+                     nullptr);
+}
+
 #define LB_INSTANTIATE(T)                                                    \
+  template DynamicRunResult run_dynamic<T>(                                  \
+      Balancer<T>&, graph::GraphSequence&, std::vector<T>, std::size_t,      \
+      double, std::size_t, const EngineConfig*);                             \
   template DynamicRunResult run_dynamic<T>(                                  \
       Balancer<T>&,                                                          \
       const std::function<std::unique_ptr<graph::GraphSequence>()>&,         \

@@ -3,6 +3,15 @@
 // Theorems 7 and 8 are stated in.  Computing λ2 every round is O(n³) on
 // the dense path, so the runner takes the spectral data from a recorded
 // prefix of the sequence — the caller decides how many rounds to measure.
+//
+// The profiling pass consumes TopologyFrames (graph/edge_mask.hpp):
+// masked rounds are profiled straight off the base graph + alive mask
+// (union-find connectivity, frame-assembled Laplacians) with no subgraph
+// materialization.  One sequence serves both the profile and the run:
+// profile_sequence records a fingerprint per frame, the sequence is
+// reset(), and the run asserts round-by-round that it replays the exact
+// same topologies — eliminating the old build-two-identically-seeded-
+// sequences footgun.
 #pragma once
 
 #include <functional>
@@ -18,13 +27,16 @@ struct DynamicSpectralProfile {
   std::vector<double> lambda2_per_round;
   std::vector<std::size_t> delta_per_round;
   std::vector<std::size_t> edges_per_round;
+  /// TopologyFrame::fingerprint() per round, for replay verification.
+  std::vector<std::uint64_t> frame_fingerprints;
   std::size_t disconnected_rounds = 0;
   double average_ratio = 0.0;  ///< A_K of Theorem 7
 };
 
-/// Replay the first `rounds` graphs of a sequence and record λ2 and δ of
-/// each.  The sequence is consumed (stateful sequences advance), so use a
-/// fresh sequence constructed with the same seed for the actual run.
+/// Replay the first `rounds` frames of a sequence and record λ2 and δ of
+/// each (plus a structure fingerprint).  The sequence is consumed
+/// (stateful sequences advance): reset() it — or let run_dynamic do so —
+/// before reusing it for the balancing run.
 DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
                                         std::size_t dense_cutoff = 512);
 
@@ -35,9 +47,20 @@ struct DynamicRunResult {
   double threshold = 0.0;             ///< Thm 8 threshold Φ*; 0 for continuous
 };
 
-/// Run + profile in one call: `make_sequence` must build identically-
-/// seeded sequences on each invocation (it is called twice: once for the
-/// spectral profile, once for the balancing run).
+/// Profile + run on ONE sequence: profile the first `rounds` frames,
+/// reset(), then run the balancer over the replayed stream.  Every round
+/// of the run asserts its frame fingerprint against the profile's — the
+/// two passes provably saw identical topologies.
+template <class T>
+DynamicRunResult run_dynamic(Balancer<T>& balancer, graph::GraphSequence& seq,
+                             std::vector<T> load, std::size_t rounds, double epsilon,
+                             std::size_t dense_cutoff = 512,
+                             const EngineConfig* base_config = nullptr);
+
+/// Factory convenience (the pre-reset() API): builds the sequence once
+/// and delegates to the single-sequence overload — the factory is no
+/// longer invoked twice, so seeding mistakes can't desynchronize the
+/// profile from the run.
 template <class T>
 DynamicRunResult run_dynamic(
     Balancer<T>& balancer,

@@ -57,19 +57,22 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
   };
 
   std::size_t consecutive_idle = 0;
-  std::uint64_t topology_epoch = 0;  // no graph seen yet
+  // Topology epoch = (base revision, mask revision): static rounds move
+  // neither, materializing sequences mint a new base revision per
+  // rebuild, masked sequences keep the base and bump only the mask.
+  std::uint64_t base_epoch = 0;  // no frame seen yet (revisions are nonzero)
+  std::uint64_t mask_epoch = 0;
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
-    const graph::Graph& g = seq.at_round(round);
-    // Dynamic sequences rebuild their current graph per round (often at
-    // the same address); the revision id is the reliable change signal.
-    // The context's shared flow ledger re-keys itself on the revision;
-    // the balancer hook remains for private per-graph caches.
-    if (g.revision() != topology_epoch) {
+    const graph::TopologyFrame& frame = seq.frame_at(round);
+    // The context's shared flow ledger re-keys itself on the base
+    // revision; the balancer hook remains for private per-graph caches.
+    if (frame.base_revision() != base_epoch || frame.mask_revision() != mask_epoch) {
       balancer.on_topology_changed();
-      topology_epoch = g.revision();
+      base_epoch = frame.base_revision();
+      mask_epoch = frame.mask_revision();
     }
 
-    RoundContext<T> ctx(g, rng, pool, arena);
+    RoundContext<T> ctx(frame, rng, pool, arena);
     if (fused) ctx.request_summary(mode, run_average);
 
     util::Stopwatch watch;

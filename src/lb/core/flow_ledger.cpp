@@ -82,6 +82,55 @@ void FlowLedger::apply_with_summary(const graph::Graph& g,
 }
 
 template <class T>
+void FlowLedger::apply(const graph::TopologyFrame& frame,
+                       const std::vector<double>& flows, std::vector<T>& load,
+                       util::ThreadPool* pool) const {
+  if (!frame.masked()) {
+    apply(frame.base(), flows, load, pool);
+    return;
+  }
+  LB_ASSERT_MSG(revision_ == frame.base_revision(),
+                "masked apply with a ledger built for another base graph");
+  LB_ASSERT_MSG(flows.size() == num_edges_, "flow vector does not match ledger");
+  LB_ASSERT_MSG(load.size() == num_nodes_, "load vector does not match ledger");
+  const graph::EdgeMask& mask = *frame.mask();
+  if (pool != nullptr && pool->size() > 1) {
+    auto gather = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t u = lo; u < hi; ++u) {
+        load[u] = gather_node_masked(u, mask, flows, load);
+      }
+    };
+    pool->parallel_for(0, num_nodes_, 256, gather);
+  } else {
+    apply_edge_sweep_masked(frame, flows, load);
+  }
+}
+
+template <class T>
+void FlowLedger::apply_with_summary(const graph::TopologyFrame& frame,
+                                    const std::vector<double>& flows,
+                                    std::vector<T>& load, util::ThreadPool* pool,
+                                    double average, SummaryMode mode,
+                                    LoadSummary<T>& out) const {
+  if (!frame.masked()) {
+    apply_with_summary(frame.base(), flows, load, pool, average, mode, out);
+    return;
+  }
+  LB_ASSERT_MSG(revision_ == frame.base_revision(),
+                "masked apply with a ledger built for another base graph");
+  LB_ASSERT_MSG(flows.size() == num_edges_, "flow vector does not match ledger");
+  LB_ASSERT_MSG(load.size() == num_nodes_, "load vector does not match ledger");
+  const graph::EdgeMask& mask = *frame.mask();
+  out = fused_sweep_with_summary<T>(pool, num_nodes_, average, mode,
+                                    [&](std::size_t u) {
+                                      const T value =
+                                          gather_node_masked(u, mask, flows, load);
+                                      load[u] = value;
+                                      return value;
+                                    });
+}
+
+template <class T>
 void apply_edge_sweep(const graph::Graph& g, const std::vector<double>& flows,
                       std::vector<T>& load) {
   const auto& edges = g.edges();
@@ -127,6 +176,44 @@ void apply_edge_sweep_with_stats(const graph::Graph& g,
 }
 
 template <class T>
+void apply_edge_sweep_masked(const graph::TopologyFrame& frame,
+                             const std::vector<double>& flows, std::vector<T>& load) {
+  const auto& edges = frame.base().edges();
+  LB_ASSERT_MSG(flows.size() == edges.size(),
+                "flow vector does not match base graph");
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (!frame.alive(k)) continue;
+    const double f = flows[k];
+    if (f == 0.0) continue;
+    const graph::Edge& e = edges[k];
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    if (f > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+  }
+}
+
+template <class T>
+void accumulate_flow_totals_masked(const graph::TopologyFrame& frame,
+                                   const std::vector<double>& flows,
+                                   StepStats& stats) {
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    if (!frame.alive(k)) continue;
+    const double f = flows[k];
+    if (f == 0.0) continue;
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+}
+
+template <class T>
 void accumulate_flow_totals(const std::vector<double>& flows, StepStats& stats) {
   for (const double f : flows) {
     if (f == 0.0) continue;
@@ -141,16 +228,27 @@ void accumulate_flow_totals(const std::vector<double>& flows, StepStats& stats) 
   template void FlowLedger::apply<T>(const graph::Graph&,                      \
                                      const std::vector<double>&,               \
                                      std::vector<T>&, util::ThreadPool*) const;\
+  template void FlowLedger::apply<T>(const graph::TopologyFrame&,              \
+                                     const std::vector<double>&,               \
+                                     std::vector<T>&, util::ThreadPool*) const;\
   template void FlowLedger::apply_with_summary<T>(                             \
       const graph::Graph&, const std::vector<double>&, std::vector<T>&,        \
+      util::ThreadPool*, double, SummaryMode, LoadSummary<T>&) const;          \
+  template void FlowLedger::apply_with_summary<T>(                             \
+      const graph::TopologyFrame&, const std::vector<double>&, std::vector<T>&,\
       util::ThreadPool*, double, SummaryMode, LoadSummary<T>&) const;          \
   template void apply_edge_sweep<T>(const graph::Graph&,                       \
                                     const std::vector<double>&,                \
                                     std::vector<T>&);                          \
+  template void apply_edge_sweep_masked<T>(const graph::TopologyFrame&,        \
+                                           const std::vector<double>&,         \
+                                           std::vector<T>&);                   \
   template void apply_edge_sweep_with_stats<T>(const graph::Graph&,            \
                                                const std::vector<double>&,     \
                                                std::vector<T>&, StepStats&);   \
-  template void accumulate_flow_totals<T>(const std::vector<double>&, StepStats&);
+  template void accumulate_flow_totals<T>(const std::vector<double>&, StepStats&); \
+  template void accumulate_flow_totals_masked<T>(                              \
+      const graph::TopologyFrame&, const std::vector<double>&, StepStats&);
 
 LB_INSTANTIATE(double)
 LB_INSTANTIATE(std::int64_t)

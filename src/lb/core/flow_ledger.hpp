@@ -32,6 +32,7 @@
 
 #include "lb/core/algorithm.hpp"
 #include "lb/core/metrics.hpp"
+#include "lb/graph/edge_mask.hpp"
 #include "lb/graph/graph.hpp"
 #include "lb/util/thread_pool.hpp"
 
@@ -70,6 +71,14 @@ class FlowLedger {
     return true;
   }
 
+  /// Masked-frame keying: the CSR depends only on the *base* graph, so a
+  /// frame ensure() rebuilds exactly when the base revision moves — mask
+  /// revisions churn every dynamic round without touching the CSR.  This
+  /// is the (base_revision, mask_revision) cache split: the ledger holds
+  /// the base_revision half, the per-round flows/degrees carry the
+  /// mask_revision half.
+  bool ensure(const graph::TopologyFrame& frame) { return ensure(frame.base()); }
+
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return num_edges_; }
 
@@ -96,10 +105,51 @@ class FlowLedger {
                           double average, SummaryMode mode,
                           LoadSummary<T>& out) const;
 
+  /// Masked apply: the CSR stays the base graph's, and each node's row
+  /// walk skips dead incident edges via the frame's alive bitmap before
+  /// ever reading the flow slot (dead slots are never written by the
+  /// masked flow fill, so they may hold stale values).  Because a node's
+  /// alive incident edges appear in ascending base-edge order — the same
+  /// relative order they have in the materialized subgraph — the result
+  /// is bit-identical to apply() on the materialized view at every pool
+  /// size.  Single-worker pools fall back to the masked edge sweep.
+  template <class T>
+  void apply(const graph::TopologyFrame& frame, const std::vector<double>& flows,
+             std::vector<T>& load, util::ThreadPool* pool) const;
+
+  /// Masked fused apply + deterministic summary (see apply_with_summary).
+  template <class T>
+  void apply_with_summary(const graph::TopologyFrame& frame,
+                          const std::vector<double>& flows, std::vector<T>& load,
+                          util::ThreadPool* pool, double average, SummaryMode mode,
+                          LoadSummary<T>& out) const;
+
  private:
   template <class T>
   void apply_gather(const std::vector<double>& flows, std::vector<T>& load,
                     util::ThreadPool& pool) const;
+
+  // Masked row walk: identical ±updates to gather_node restricted to the
+  // alive incident edges (ascending base order = subgraph order).
+  template <class T>
+  T gather_node_masked(std::size_t u, const graph::EdgeMask& mask,
+                       const std::vector<double>& flows,
+                       const std::vector<T>& load) const {
+    T value = load[u];
+    const std::size_t row_end = row_ptr_[u + 1];
+    for (std::size_t p = row_ptr_[u]; p < row_end; ++p) {
+      const std::uint32_t k = edge_idx_[p];
+      if (!mask.alive(k)) continue;  // dead slot: flows[k] may be stale
+      const double f = flows[k];
+      if (f == 0.0) continue;
+      if constexpr (std::is_integral_v<T>) {
+        value += static_cast<T>(sign_[p] * f);
+      } else {
+        value += static_cast<T>(sign_[p]) * static_cast<T>(f);
+      }
+    }
+    return value;
+  }
 
   // The shared per-node row walk: node u's final value from its incident
   // rows, with the rounding rules that make the gather bit-identical to
@@ -155,6 +205,21 @@ void apply_edge_sweep_with_stats(const graph::Graph& g,
 template <class T>
 void accumulate_flow_totals(const std::vector<double>& flows, StepStats& stats);
 
+/// Masked variants: `flows` is indexed by *base* edge id and only alive
+/// slots are valid; dead edges are skipped via the frame's bitmap before
+/// the flow value is read.  Alive edges are visited in ascending base
+/// order — the materialized subgraph's edge order — so each is
+/// bit-identical to its unmasked counterpart run on the materialized
+/// view with the compacted flow vector.
+template <class T>
+void apply_edge_sweep_masked(const graph::TopologyFrame& frame,
+                             const std::vector<double>& flows, std::vector<T>& load);
+
+template <class T>
+void accumulate_flow_totals_masked(const graph::TopologyFrame& frame,
+                                   const std::vector<double>& flows,
+                                   StepStats& stats);
+
 /// Phase 1 of the shared kernel: fill `flows` with
 /// flow_fn(edge_index, edge, load_u, load_v) for every edge, edge-parallel
 /// on `pool` (nullptr = sequential).  flow_fn must be pure in its inputs;
@@ -167,6 +232,32 @@ void compute_edge_flows(const graph::Graph& g, const std::vector<T>& load,
   flows.resize(edges.size());  // every slot is written below; no zero-fill
   auto fill = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t k = lo; k < hi; ++k) {
+      const graph::Edge& e = edges[k];
+      flows[k] = flow_fn(k, e, static_cast<double>(load[e.u]),
+                         static_cast<double>(load[e.v]));
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, edges.size(), 2048, fill);
+  } else {
+    fill(0, edges.size());
+  }
+}
+
+/// Masked phase 1: fill only the *alive* slots of `flows` (indexed by
+/// base edge id) with flow_fn(edge_index, edge, load_u, load_v).  Dead
+/// slots are left untouched — every masked consumer skips them via the
+/// frame's bitmap, so no O(m) zero-fill is paid either.
+template <class T, class FlowFn>
+void compute_edge_flows_masked(const graph::TopologyFrame& frame,
+                               const std::vector<T>& load,
+                               std::vector<double>& flows, util::ThreadPool* pool,
+                               FlowFn&& flow_fn) {
+  const auto& edges = frame.base().edges();
+  flows.resize(edges.size());
+  auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      if (!frame.alive(k)) continue;
       const graph::Edge& e = edges[k];
       flows[k] = flow_fn(k, e, static_cast<double>(load[e.u]),
                          static_cast<double>(load[e.v]));
@@ -194,6 +285,38 @@ void run_fused_sequential_round(const graph::Graph& g, std::vector<T>& load,
   snapshot = load;
   const auto& edges = g.edges();
   for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    const double f = flow_fn(k, e, static_cast<double>(snapshot[e.u]),
+                             static_cast<double>(snapshot[e.v]));
+    if (f == 0.0) continue;
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    if (f > 0.0) {
+      load[e.u] -= amount;
+      load[e.v] += amount;
+    } else {
+      load[e.v] -= amount;
+      load[e.u] += amount;
+    }
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+}
+
+/// Masked single-worker fused round: one pass over the base edge list
+/// skipping dead edges, computing each alive flow from the snapshot and
+/// applying it immediately with fused stats.  Alive edges are processed
+/// in ascending base order (= the materialized subgraph's edge order),
+/// so this is bit-identical to run_fused_sequential_round on the
+/// materialized view.  No GraphBuilder, no CSR, no allocations.
+template <class T, class FlowFn>
+void run_fused_sequential_round_masked(const graph::TopologyFrame& frame,
+                                       std::vector<T>& load, std::vector<T>& snapshot,
+                                       StepStats& stats, FlowFn&& flow_fn) {
+  snapshot = load;
+  const auto& edges = frame.base().edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (!frame.alive(k)) continue;
     const graph::Edge& e = edges[k];
     const double f = flow_fn(k, e, static_cast<double>(snapshot[e.u]),
                              static_cast<double>(snapshot[e.v]));

@@ -11,6 +11,23 @@ namespace lb::core {
 
 StepStats FirstOrderScheme::step(RoundContext<double>& ctx,
                                  std::vector<double>& load) {
+  if (ctx.masked() && apply_ == ApplyPath::kLedger) {
+    // Masked dynamic round: α from the mask's alive max-degree, flows
+    // over alive base edges only — no materialization, bit-identical to
+    // stepping on the materialized subgraph.
+    const graph::TopologyFrame& frame = ctx.frame();
+    LB_ASSERT_MSG(load.size() == frame.num_nodes(),
+                  "load vector does not match graph");
+    const double alpha = 1.0 / (static_cast<double>(frame.max_degree()) + 1.0);
+    util::ThreadPool* pool = parallel_ ? ctx.pool() : nullptr;
+    const auto flow_fn = [alpha](std::size_t, const graph::Edge&, double lu,
+                                 double lv) { return alpha * (lu - lv); };
+    StepStats stats;
+    stats.links = frame.num_edges();
+    run_masked_ledger_round(ctx, frame, load, pool, stats, flow_fn);
+    return stats;
+  }
+
   const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
   const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);

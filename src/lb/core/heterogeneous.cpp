@@ -55,34 +55,45 @@ HeterogeneousDiffusion<T>::HeterogeneousDiffusion(std::vector<double> speed)
 
 template <class T>
 StepStats HeterogeneousDiffusion<T>::step(RoundContext<T>& ctx, std::vector<T>& load) {
-  const graph::Graph& g = ctx.graph();
-  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
-  LB_ASSERT_MSG(speed_.size() == g.num_nodes(), "speed vector does not match graph");
+  const graph::TopologyFrame& frame = ctx.frame();
+  LB_ASSERT_MSG(load.size() == frame.num_nodes(), "load vector does not match graph");
+  LB_ASSERT_MSG(speed_.size() == frame.num_nodes(),
+                "speed vector does not match graph");
   util::ThreadPool* pool = ctx.pool();
   std::vector<double>& flows = ctx.arena().flows();
   StepStats stats;
-  stats.links = g.num_edges();
 
   // The normalized-gap flow of Elsässer–Monien–Preis, on the shared
-  // flow-ledger kernel: same per-edge doubles as the original inline
-  // loop, so the trajectory is unchanged; the apply is now node-parallel
-  // (bit-identical to the former sequential edge sweep) instead of the
-  // last serial pass this balancer carried.
-  const auto flow_fn = [this, &g](std::size_t, const graph::Edge& e, double li,
-                                  double lj) {
+  // flow-ledger kernel.  One definition serves both branches: on masked
+  // rounds frame.degree is the mask's alive-degree (= the materialized
+  // subgraph's degree), on unmasked rounds it is the graph's own — the
+  // identical doubles the original inline loop computed either way.
+  const auto flow_fn = [this, &frame](std::size_t, const graph::Edge& e, double li,
+                                      double lj) {
     const double ni = li / speed_[e.u];
     const double nj = lj / speed_[e.v];
     if (ni == nj) return 0.0;
     const double harmonic =
         2.0 * speed_[e.u] * speed_[e.v] / (speed_[e.u] + speed_[e.v]);
     const double denom =
-        4.0 * static_cast<double>(std::max(g.degree(e.u), g.degree(e.v)));
+        4.0 * static_cast<double>(std::max(frame.degree(e.u), frame.degree(e.v)));
     double w = std::fabs(ni - nj) * harmonic / denom;
     if constexpr (std::is_integral_v<T>) {
       w = std::floor(w);
     }
     return ni > nj ? w : -w;
   };
+
+  if (ctx.masked()) {
+    // Masked dynamic round: flows over alive base edges only, CSR keyed
+    // on the base — no materialization, bit-identical to the rebuild path.
+    stats.links = frame.num_edges();
+    run_masked_ledger_round(ctx, frame, load, pool, stats, flow_fn);
+    return stats;
+  }
+
+  const graph::Graph& g = ctx.graph();
+  stats.links = g.num_edges();
 
   if (pool == nullptr || pool->size() <= 1) {
     run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats, flow_fn);

@@ -24,6 +24,7 @@
 #include "lb/core/flow_ledger.hpp"
 #include "lb/core/load.hpp"
 #include "lb/core/metrics.hpp"
+#include "lb/graph/edge_mask.hpp"
 #include "lb/graph/graph.hpp"
 #include "lb/util/rng.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -57,11 +58,31 @@ class RunArena {
 template <class T>
 class RoundContext {
  public:
+  /// Frame-carrying constructor: the round executes against a
+  /// TopologyFrame (base graph + optional edge-alive mask).  The frame —
+  /// and the base/mask it references — must outlive the round.
+  RoundContext(const graph::TopologyFrame& frame, util::Rng& rng,
+               util::ThreadPool* pool, RunArena<T>& arena)
+      : frame_(&frame), rng_(&rng), pool_(pool), arena_(&arena) {}
+
+  /// Full-graph convenience constructor (static rounds, the legacy
+  /// step() shim, direct test call sites).
   RoundContext(const graph::Graph& g, util::Rng& rng, util::ThreadPool* pool,
                RunArena<T>& arena)
-      : graph_(&g), rng_(&rng), pool_(pool), arena_(&arena) {}
+      : own_frame_(g), frame_(&own_frame_), rng_(&rng), pool_(pool), arena_(&arena) {}
 
-  const graph::Graph& graph() const { return *graph_; }
+  /// The round's topology frame.  Mask-aware balancers read degrees and
+  /// edge liveness from here and never materialize.
+  const graph::TopologyFrame& frame() const { return *frame_; }
+  bool masked() const { return frame_->masked(); }
+
+  /// The round's network as a real Graph.  On masked rounds this
+  /// *materializes* the subgraph (lazily, cached per mask revision) —
+  /// which keeps every balancer that needs full Graph structure
+  /// (matchings, spectral lookups) semantically unmodified on dynamic
+  /// sequences, at the old rebuild cost.  Mask-aware fast paths use
+  /// frame() instead.
+  const graph::Graph& graph() const { return frame_->view(); }
   util::Rng& rng() { return *rng_; }
 
   /// The pool rounds should parallelize on; nullptr means run sequential.
@@ -74,13 +95,20 @@ class RoundContext {
 
   RunArena<T>& arena() { return *arena_; }
 
-  /// Current topology epoch (graph::Graph::revision()).
-  std::uint64_t epoch() const { return graph_->revision(); }
-
   /// The shared flow ledger, rebuilt iff its epoch differs from the
-  /// round's graph.  Returns a view valid for graph().
+  /// round's graph.  Returns a view valid for graph() — on masked rounds
+  /// this materializes; mask-aware balancers use frame_ledger().
   FlowLedger& ledger() {
-    arena_->ledger().ensure(*graph_);
+    arena_->ledger().ensure(frame_->view());
+    return arena_->ledger();
+  }
+
+  /// The shared flow ledger keyed on the frame's *base* graph: built
+  /// once per base revision and reused across every mask revision — the
+  /// masked substrate's whole point.  Valid for FlowLedger's frame
+  /// overloads (and for plain apply on unmasked frames).
+  FlowLedger& frame_ledger() {
+    arena_->ledger().ensure(*frame_);
     return arena_->ledger();
   }
 
@@ -111,7 +139,8 @@ class RoundContext {
   const LoadSummary<T>& summary() const { return summary_; }
 
  private:
-  const graph::Graph* graph_;
+  graph::TopologyFrame own_frame_;  // backs the Graph convenience ctor
+  const graph::TopologyFrame* frame_;
   util::Rng* rng_;
   util::ThreadPool* pool_;
   RunArena<T>* arena_;
@@ -139,6 +168,47 @@ inline void apply_flows_observed(RoundContext<T>& ctx, FlowLedger& ledger,
   } else {
     ledger.apply(ctx.graph(), flows, load, pool);
   }
+}
+
+/// Masked-frame variant: `ledger` must be valid for the frame's base
+/// graph (ctx.frame_ledger()); dead edges are skipped inside the apply.
+template <class T>
+inline void apply_flows_observed(RoundContext<T>& ctx, FlowLedger& ledger,
+                                 const graph::TopologyFrame& frame,
+                                 const std::vector<double>& flows,
+                                 std::vector<T>& load, util::ThreadPool* pool) {
+  if (ctx.summary_requested()) {
+    LoadSummary<T> summary;
+    ledger.apply_with_summary(frame, flows, load, pool, ctx.summary_average(),
+                              ctx.summary_mode(), summary);
+    ctx.publish_summary(summary);
+  } else {
+    ledger.apply(frame, flows, load, pool);
+  }
+}
+
+/// The shared masked ledger round (diffusion, FOS, async, heterogeneous):
+/// a single worker takes the fused one-pass masked sweep; otherwise the
+/// flows are filled over alive base edges, totalled, and applied through
+/// the base-keyed CSR with the fused summary riding the gather.  There is
+/// exactly one copy of this dispatch so the bit-identity contract cannot
+/// drift apart between balancers.  (SOS applies into a scratch vector and
+/// fuses its summary into the β-combine instead, so it stays bespoke.)
+template <class T, class FlowFn>
+inline void run_masked_ledger_round(RoundContext<T>& ctx,
+                                    const graph::TopologyFrame& frame,
+                                    std::vector<T>& load, util::ThreadPool* pool,
+                                    StepStats& stats, FlowFn&& flow_fn) {
+  if (pool == nullptr || pool->size() <= 1) {
+    run_fused_sequential_round_masked(frame, load, ctx.arena().node_scratch(),
+                                      stats, flow_fn);
+    return;
+  }
+  FlowLedger& ledger = ctx.frame_ledger();  // CSR keyed on the base graph
+  std::vector<double>& flows = ctx.arena().flows();
+  compute_edge_flows_masked(frame, load, flows, pool, flow_fn);
+  accumulate_flow_totals_masked<T>(frame, flows, stats);
+  apply_flows_observed(ctx, ledger, frame, flows, load, pool);
 }
 
 }  // namespace lb::core

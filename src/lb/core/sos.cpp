@@ -24,12 +24,16 @@ double SecondOrderScheme::optimal_beta(double gamma) {
 
 StepStats SecondOrderScheme::step(RoundContext<double>& ctx,
                                   std::vector<double>& load) {
-  const graph::Graph& g = ctx.graph();
-  LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
+  const graph::TopologyFrame& frame = ctx.frame();
+  const bool masked = ctx.masked() && apply_ == ApplyPath::kLedger;
+  LB_ASSERT_MSG(load.size() == frame.num_nodes(), "load vector does not match graph");
   if (!beta_) {
-    beta_ = optimal_beta(linalg::diffusion_gamma(g));
+    // γ needs the full spectral machinery; on a masked round this
+    // materializes the (cached) round-1 view once — identical to what
+    // the rebuild path computes.  Dynamic runs normally pass β explicitly.
+    beta_ = optimal_beta(linalg::diffusion_gamma(ctx.graph()));
   }
-  const double alpha = 1.0 / (static_cast<double>(g.max_degree()) + 1.0);
+  const double alpha = 1.0 / (static_cast<double>(frame.max_degree()) + 1.0);
   util::ThreadPool* pool = parallel_ ? ctx.pool() : nullptr;
   std::vector<double>& flows = ctx.arena().flows();
 
@@ -39,8 +43,23 @@ StepStats SecondOrderScheme::step(RoundContext<double>& ctx,
                                double lv) { return alpha * (lu - lv); };
 
   StepStats stats;
-  stats.links = g.num_edges();
-  if (apply_ == ApplyPath::kLedger) {
+  stats.links = frame.num_edges();
+  if (masked) {
+    // Masked dynamic round: flows over alive base edges, CSR keyed on
+    // the base — no materialization, bit-identical to the rebuild path.
+    if (pool == nullptr || pool->size() <= 1) {
+      scratch_ = load;
+      run_fused_sequential_round_masked(frame, scratch_, ctx.arena().node_scratch(),
+                                        stats, flow_fn);
+    } else {
+      FlowLedger& ledger = ctx.frame_ledger();
+      compute_edge_flows_masked(frame, load, flows, pool, flow_fn);
+      accumulate_flow_totals_masked<double>(frame, flows, stats);
+      scratch_ = load;
+      ledger.apply(frame, flows, scratch_, pool);
+    }
+  } else if (apply_ == ApplyPath::kLedger) {
+    const graph::Graph& g = ctx.graph();
     if (pool == nullptr || pool->size() <= 1) {
       // The fused path never reads the CSR view; don't build it.
       scratch_ = load;
@@ -54,6 +73,7 @@ StepStats SecondOrderScheme::step(RoundContext<double>& ctx,
       ledger.apply(g, flows, scratch_, pool);
     }
   } else {
+    const graph::Graph& g = ctx.graph();
     compute_edge_flows(g, load, flows, pool, flow_fn);
     accumulate_flow_totals<double>(flows, stats);
     scratch_ = load;

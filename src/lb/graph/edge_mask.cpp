@@ -1,0 +1,98 @@
+#include "lb/graph/edge_mask.hpp"
+
+#include "lb/util/assert.hpp"
+
+namespace lb::graph {
+
+EdgeMask::EdgeMask(const Graph& base) : base_(&base) {
+  alive_degree_.resize(base.num_nodes());
+  degree_hist_.resize(base.max_degree() + 1);
+  alive_.resize(base.num_edges());
+  fill(true);
+}
+
+void EdgeMask::fill(bool alive) {
+  const std::size_t n = base_->num_nodes();
+  const std::size_t m = base_->num_edges();
+  std::fill(alive_.begin(), alive_.end(),
+            static_cast<std::uint8_t>(alive ? 1 : 0));
+  std::fill(degree_hist_.begin(), degree_hist_.end(), 0u);
+  if (alive) {
+    alive_edges_ = m;
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto d = static_cast<std::uint32_t>(base_->degree(static_cast<NodeId>(u)));
+      alive_degree_[u] = d;
+      ++degree_hist_[d];
+    }
+    max_degree_ = base_->max_degree();
+    min_degree_ = base_->min_degree();
+  } else {
+    alive_edges_ = 0;
+    std::fill(alive_degree_.begin(), alive_degree_.end(), 0u);
+    degree_hist_[0] = static_cast<std::uint32_t>(n);
+    max_degree_ = 0;
+    min_degree_ = 0;
+  }
+}
+
+void EdgeMask::bump_degree(NodeId u, bool up) {
+  std::uint32_t& d = alive_degree_[u];
+  const std::size_t old = d;
+  --degree_hist_[old];
+  d = up ? d + 1 : d - 1;
+  ++degree_hist_[d];
+  if (up) {
+    if (d > max_degree_) max_degree_ = d;
+    // The minimum can only rise when its last holder left it.
+    while (min_degree_ < max_degree_ && degree_hist_[min_degree_] == 0) {
+      ++min_degree_;
+    }
+  } else {
+    if (d < min_degree_) min_degree_ = d;
+    while (max_degree_ > 0 && degree_hist_[max_degree_] == 0) --max_degree_;
+  }
+}
+
+void EdgeMask::set_alive(std::size_t edge, bool alive) {
+  LB_DEBUG_ASSERT(edge < alive_.size());
+  if ((alive_[edge] != 0) == alive) return;
+  alive_[edge] = alive ? 1 : 0;
+  const Edge& e = base_->edges()[edge];
+  if (alive) {
+    ++alive_edges_;
+  } else {
+    --alive_edges_;
+  }
+  bump_degree(e.u, alive);
+  bump_degree(e.v, alive);
+}
+
+const Graph& EdgeMask::materialize(const std::string& name) const {
+  if (view_revision_ == revision_) return view_;
+  std::vector<Edge> keep;
+  keep.reserve(alive_edges_);
+  const auto& edges = base_->edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (alive_[i] != 0) keep.push_back(edges[i]);
+  }
+  view_ = subgraph_with_edges(*base_, keep, name);
+  view_revision_ = revision_;
+  return view_;
+}
+
+std::uint64_t TopologyFrame::fingerprint() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;  // FNV-1a prime
+  };
+  mix(num_nodes());
+  const auto& edges = base_->edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (!alive(k)) continue;
+    mix((static_cast<std::uint64_t>(edges[k].u) << 32) | edges[k].v);
+  }
+  return h;
+}
+
+}  // namespace lb::graph

@@ -29,6 +29,38 @@ std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
 
 bool is_connected(const Graph& g) { return component_count(g) == 1; }
 
+std::size_t component_count(const TopologyFrame& frame) {
+  const std::size_t n = frame.num_nodes();
+  if (n == 0) return 0;
+  // Union-find over the alive edges: O(m α(n)) with no adjacency needed,
+  // so masked frames never materialize just to answer connectivity.
+  std::vector<NodeId> parent(n);
+  for (std::size_t u = 0; u < n; ++u) parent[u] = static_cast<NodeId>(u);
+  const auto find = [&parent](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
+    }
+    return x;
+  };
+  std::size_t components = n;
+  const auto& edges = frame.base().edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (!frame.alive(k)) continue;
+    const NodeId ru = find(edges[k].u);
+    const NodeId rv = find(edges[k].v);
+    if (ru != rv) {
+      parent[ru] = rv;
+      --components;
+    }
+  }
+  return components;
+}
+
+bool is_connected(const TopologyFrame& frame) {
+  return component_count(frame) == 1;
+}
+
 std::size_t component_count(const Graph& g) {
   const std::size_t n = g.num_nodes();
   if (n == 0) return 0;

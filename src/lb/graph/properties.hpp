@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "lb/graph/edge_mask.hpp"
 #include "lb/graph/graph.hpp"
 
 namespace lb::graph {
@@ -16,6 +17,12 @@ bool is_connected(const Graph& g);
 
 /// Number of connected components.
 std::size_t component_count(const Graph& g);
+
+/// Frame-aware connectivity over the alive edge set (union-find; no
+/// subgraph materialization).  Matches is_connected/component_count of
+/// the materialized view exactly.
+bool is_connected(const TopologyFrame& frame);
+std::size_t component_count(const TopologyFrame& frame);
 
 /// BFS distances from `source` (SIZE_MAX for unreachable nodes).
 std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);

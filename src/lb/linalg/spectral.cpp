@@ -30,38 +30,52 @@ Vector dense_spectrum(const graph::Graph& g, bool need_vectors, DenseMatrix* vec
 
 }  // namespace
 
+// A full graph is the degenerate (unmasked) frame, so the Graph
+// overloads delegate to the frame assemblers — one copy of each loop.
 CsrMatrix laplacian_csr(const graph::Graph& g) {
-  const std::size_t n = g.num_nodes();
+  return laplacian_csr(graph::TopologyFrame(g));
+}
+
+DenseMatrix laplacian_dense(const graph::Graph& g) {
+  return laplacian_dense(graph::TopologyFrame(g));
+}
+
+CsrMatrix laplacian_csr(const graph::TopologyFrame& frame) {
+  const std::size_t n = frame.num_nodes();
   std::vector<std::size_t> rows, cols;
   std::vector<double> vals;
-  rows.reserve(n + 2 * g.num_edges());
+  rows.reserve(n + 2 * frame.num_edges());
   cols.reserve(rows.capacity());
   vals.reserve(rows.capacity());
   for (std::size_t u = 0; u < n; ++u) {
     rows.push_back(u);
     cols.push_back(u);
-    vals.push_back(static_cast<double>(g.degree(static_cast<graph::NodeId>(u))));
+    vals.push_back(static_cast<double>(frame.degree(static_cast<graph::NodeId>(u))));
   }
-  for (const graph::Edge& e : g.edges()) {
-    rows.push_back(e.u);
-    cols.push_back(e.v);
+  const auto& edges = frame.base().edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (!frame.alive(k)) continue;
+    rows.push_back(edges[k].u);
+    cols.push_back(edges[k].v);
     vals.push_back(-1.0);
-    rows.push_back(e.v);
-    cols.push_back(e.u);
+    rows.push_back(edges[k].v);
+    cols.push_back(edges[k].u);
     vals.push_back(-1.0);
   }
   return CsrMatrix::from_triplets(n, std::move(rows), std::move(cols), std::move(vals));
 }
 
-DenseMatrix laplacian_dense(const graph::Graph& g) {
-  const std::size_t n = g.num_nodes();
+DenseMatrix laplacian_dense(const graph::TopologyFrame& frame) {
+  const std::size_t n = frame.num_nodes();
   DenseMatrix l(n, n, 0.0);
   for (std::size_t u = 0; u < n; ++u) {
-    l(u, u) = static_cast<double>(g.degree(static_cast<graph::NodeId>(u)));
+    l(u, u) = static_cast<double>(frame.degree(static_cast<graph::NodeId>(u)));
   }
-  for (const graph::Edge& e : g.edges()) {
-    l(e.u, e.v) = -1.0;
-    l(e.v, e.u) = -1.0;
+  const auto& edges = frame.base().edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (!frame.alive(k)) continue;
+    l(edges[k].u, edges[k].v) = -1.0;
+    l(edges[k].v, edges[k].u) = -1.0;
   }
   return l;
 }
@@ -103,13 +117,21 @@ DenseMatrix diffusion_matrix_dense(const graph::Graph& g) {
 }
 
 double lambda2(const graph::Graph& g, std::size_t dense_cutoff) {
-  const std::size_t n = g.num_nodes();
+  return lambda2(graph::TopologyFrame(g), dense_cutoff);
+}
+
+double lambda2(const graph::TopologyFrame& frame, std::size_t dense_cutoff) {
+  const std::size_t n = frame.num_nodes();
   LB_ASSERT_MSG(n >= 2, "lambda2 needs at least two nodes");
   if (n <= dense_cutoff) {
-    const Vector spec = dense_spectrum(g, false, nullptr);
-    return spec[1];
+    const DenseMatrix l = laplacian_dense(frame);
+    TridiagOptions opts;
+    opts.compute_vectors = false;
+    EigenDecomposition d = symmetric_eigen(l, opts);
+    LB_ASSERT_MSG(d.converged, "tridiagonal QL failed to converge on a Laplacian");
+    return d.values[1];
   }
-  const CsrMatrix l = laplacian_csr(g);
+  const CsrMatrix l = laplacian_csr(frame);
   LanczosOptions opts;
   opts.deflate = {ones_vector(n)};
   opts.max_dim = std::min<std::size_t>(n - 1, 600);

@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "lb/graph/edge_mask.hpp"
 #include "lb/graph/graph.hpp"
 #include "lb/linalg/csr.hpp"
 #include "lb/linalg/dense.hpp"
@@ -21,6 +22,13 @@ CsrMatrix laplacian_csr(const graph::Graph& g);
 
 /// Laplacian as a dense matrix (small n).
 DenseMatrix laplacian_dense(const graph::Graph& g);
+
+/// Frame-aware Laplacian builders: assemble L directly from the base
+/// edge list with dead edges skipped and alive-degrees on the diagonal,
+/// so masked rounds are profiled without materializing a subgraph.
+/// Identical matrices to laplacian_*(frame.view()).
+CsrMatrix laplacian_csr(const graph::TopologyFrame& frame);
+DenseMatrix laplacian_dense(const graph::TopologyFrame& frame);
 
 /// Cybenko diffusion matrix M with uniform α = 1/(δ+1):
 /// m_ij = α for (i,j) ∈ E, m_ii = 1 − d_i·α.  Doubly stochastic and
@@ -42,6 +50,9 @@ struct SpectralSummary {
 /// conceptually; for disconnected graphs λ2 = 0 is returned (multiplicity
 /// of eigenvalue 0 exceeds 1).
 double lambda2(const graph::Graph& g, std::size_t dense_cutoff = 512);
+
+/// λ2 of a topology frame (masked rounds profiled with no Graph build).
+double lambda2(const graph::TopologyFrame& frame, std::size_t dense_cutoff = 512);
 
 /// Largest Laplacian eigenvalue.
 double lambda_max(const graph::Graph& g, std::size_t dense_cutoff = 512);

@@ -117,6 +117,127 @@ TEST(MatchingSequenceTest, EveryRoundIsAMatching) {
   }
 }
 
+TEST(EdgeMaskTest, IncrementalDegreesMatchMaterializedSubgraph) {
+  // Random toggles: after every commit the mask's incremental degree
+  // caches must equal the freshly built subgraph's degrees exactly.
+  const Graph base = lb::graph::make_torus2d(5, 5);
+  lb::graph::EdgeMask mask(base);
+  lb::util::Rng rng(99);
+  for (std::size_t step = 0; step < 50; ++step) {
+    for (std::size_t t = 0; t < 7; ++t) {
+      mask.set_alive(rng.next_below(base.num_edges()), rng.next_bool(0.5));
+    }
+    mask.commit();
+    const Graph& view = mask.materialize("check");
+    ASSERT_EQ(mask.alive_edges(), view.num_edges());
+    ASSERT_EQ(mask.max_alive_degree(), view.max_degree());
+    ASSERT_EQ(mask.min_alive_degree(), view.min_degree());
+    for (lb::graph::NodeId u = 0; u < base.num_nodes(); ++u) {
+      ASSERT_EQ(mask.alive_degree(u), view.degree(u)) << "node " << u;
+    }
+  }
+}
+
+TEST(EdgeMaskTest, FrameFingerprintMatchesMaterializedView) {
+  const Graph base = lb::graph::make_torus2d(4, 4);
+  lb::graph::EdgeMask mask(base);
+  lb::util::Rng rng(5);
+  for (std::size_t i = 0; i < base.num_edges(); ++i) {
+    mask.set_alive(i, rng.next_bool(0.6));
+  }
+  mask.commit();
+  const lb::graph::TopologyFrame masked(mask);
+  const lb::graph::TopologyFrame materialized(mask.materialize("fp"));
+  EXPECT_EQ(masked.fingerprint(), materialized.fingerprint());
+}
+
+TEST(ChurnSequenceTest, AliveCountStaysAtTarget) {
+  // alive=0.8 of 66 edges -> 53 up; each round swaps turnover*66 ≈ 7
+  // links but the population size never moves.
+  auto seq = lb::graph::make_churn_sequence(lb::graph::make_complete(12), 0.8, 0.1, 3);
+  for (std::size_t k = 1; k <= 30; ++k) {
+    EXPECT_EQ(seq->frame_at(k).num_edges(), 53u) << "round " << k;
+  }
+}
+
+TEST(ChurnSequenceTest, RoundsAreSubgraphsOfBase) {
+  const Graph base = lb::graph::make_torus2d(4, 4);
+  auto seq = lb::graph::make_churn_sequence(base, 0.6, 0.2, 17);
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const Graph& g = seq->at_round(k);
+    for (const auto& e : g.edges()) EXPECT_TRUE(base.has_edge(e.u, e.v));
+  }
+}
+
+TEST(PartitionSequenceTest, OscillatesBetweenWholeAndTwoComponents) {
+  auto seq = lb::graph::make_partition_sequence(lb::graph::make_torus2d(4, 4), 2);
+  for (std::size_t k = 1; k <= 12; ++k) {
+    const auto& frame = seq->frame_at(k);
+    const bool partitioned = ((k - 1) / 2) % 2 == 1;
+    EXPECT_EQ(lb::graph::component_count(frame), partitioned ? 2u : 1u)
+        << "round " << k;
+  }
+}
+
+TEST(FailureWaveSequenceTest, WindowKillsExactlyIncidentEdges) {
+  // Cycle of 10: a 3-node down window always kills the 4 incident edges.
+  auto seq = lb::graph::make_failure_wave_sequence(lb::graph::make_cycle(10), 3, 1);
+  for (std::size_t k = 1; k <= 25; ++k) {
+    EXPECT_EQ(seq->frame_at(k).num_edges(), 6u) << "round " << k;
+  }
+}
+
+TEST(SequenceResetTest, StochasticSequencesReplayIdenticalFrames) {
+  const Graph base = lb::graph::make_torus2d(4, 4);
+  std::vector<std::unique_ptr<lb::graph::GraphSequence>> seqs;
+  seqs.push_back(lb::graph::make_bernoulli_sequence(base, 0.6, 41));
+  seqs.push_back(lb::graph::make_markov_failure_sequence(base, 0.2, 0.5, 42));
+  seqs.push_back(lb::graph::make_churn_sequence(base, 0.7, 0.1, 43));
+  seqs.push_back(lb::graph::make_failure_wave_sequence(base, 4, 3));
+  for (auto& seq : seqs) {
+    std::vector<std::uint64_t> first;
+    for (std::size_t k = 1; k <= 15; ++k) {
+      first.push_back(seq->frame_at(k).fingerprint());
+    }
+    seq->reset();
+    for (std::size_t k = 1; k <= 15; ++k) {
+      EXPECT_EQ(seq->frame_at(k).fingerprint(), first[k - 1])
+          << seq->name() << " round " << k;
+    }
+  }
+}
+
+TEST(MaterializedViewTest, MatchesMaskedFramesRoundByRound) {
+  const Graph base = lb::graph::make_torus2d(4, 4);
+  auto masked = lb::graph::make_bernoulli_sequence(base, 0.5, 77);
+  auto inner = lb::graph::make_bernoulli_sequence(base, 0.5, 77);
+  auto rebuilt = lb::graph::make_materialized(std::move(inner));
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const auto& mf = masked->frame_at(k);
+    const auto& rf = rebuilt->frame_at(k);
+    EXPECT_TRUE(mf.masked());
+    EXPECT_FALSE(rf.masked());
+    EXPECT_EQ(mf.fingerprint(), rf.fingerprint()) << "round " << k;
+    EXPECT_EQ(mf.num_edges(), rf.num_edges());
+    EXPECT_EQ(mf.max_degree(), rf.max_degree());
+  }
+}
+
+TEST(MaskedFrameTest, BernoulliNeverMintsANewBaseRevision) {
+  // The tentpole property: masked rounds move only the mask revision;
+  // the base graph (and with it every base-keyed cache) stays put.
+  const Graph base = lb::graph::make_torus2d(4, 4);
+  auto seq = lb::graph::make_bernoulli_sequence(base, 0.5, 9);
+  const std::uint64_t base_rev = seq->frame_at(1).base_revision();
+  std::uint64_t last_mask_rev = seq->frame_at(2).mask_revision();
+  for (std::size_t k = 3; k <= 12; ++k) {
+    const auto& frame = seq->frame_at(k);
+    EXPECT_EQ(frame.base_revision(), base_rev);
+    EXPECT_GT(frame.mask_revision(), last_mask_rev);
+    last_mask_rev = frame.mask_revision();
+  }
+}
+
 TEST(SequenceNamesTest, DescriptiveNames) {
   auto s1 = lb::graph::make_static_sequence(lb::graph::make_cycle(4));
   EXPECT_NE(s1->name().find("static"), std::string::npos);
@@ -125,6 +246,12 @@ TEST(SequenceNamesTest, DescriptiveNames) {
   auto s3 =
       lb::graph::make_markov_failure_sequence(lb::graph::make_cycle(4), 0.1, 0.9, 1);
   EXPECT_NE(s3->name().find("markov"), std::string::npos);
+  auto s4 = lb::graph::make_churn_sequence(lb::graph::make_cycle(4), 0.5, 0.1, 1);
+  EXPECT_NE(s4->name().find("churn"), std::string::npos);
+  auto s5 = lb::graph::make_partition_sequence(lb::graph::make_cycle(4), 2);
+  EXPECT_NE(s5->name().find("partition"), std::string::npos);
+  auto s6 = lb::graph::make_failure_wave_sequence(lb::graph::make_cycle(4), 1, 1);
+  EXPECT_NE(s6->name().find("wave"), std::string::npos);
 }
 
 }  // namespace
