@@ -1,0 +1,196 @@
+// E15: campaign artifact-cache ablation — cold vs cached µs/cell.
+//
+// The same spectral-profiled grid (SOS with auto-β and OPS need the base
+// spectrum; diffusion rides along for breadth) is executed twice on ONE
+// worker:
+//
+//   cold    every cell rebuilds its graph, recomputes the spectrum /
+//           eigenvalue schedule, and starts from an empty arena — the
+//           fresh-engine oracle, cell by cell;
+//   cached  graph bases, spectral profiles and flow-ledger CSRs are
+//           computed once per base and reused across the base's cells
+//           (CampaignRunner's kCached mode).
+//
+// Per-cell RunResults must be bit-identical between the two modes — and
+// for the cached mode across pools {1, 2, hw} — or the bench exits
+// nonzero: the cache may only ever move work, never change a trajectory.
+// Only µs/cell may differ, and single-core at that (the container pins
+// one core): the win is pass-count amortization, not parallelism.
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "lb/exp/campaign.hpp"
+#include "lb/exp/plan.hpp"
+#include "lb/exp/report.hpp"
+#include "lb/util/thread_pool.hpp"
+
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Cell-by-cell trajectory equality between two reports.
+bool reports_agree(const lb::exp::ExperimentPlan& plan,
+                   const lb::exp::CampaignReport& a,
+                   const lb::exp::CampaignReport& b, const char* label) {
+  if (a.cells.size() != b.cells.size()) {
+    std::fprintf(stderr, "CELL COUNT MISMATCH (%s)\n", label);
+    return false;
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const auto& ra = a.cells[i].run;
+    const auto& rb = b.cells[i].run;
+    if (ra.rounds != rb.rounds || ra.reached_target != rb.reached_target ||
+        !bits_equal(ra.final_potential, rb.final_potential) ||
+        !bits_equal(ra.final_discrepancy, rb.final_discrepancy)) {
+      std::fprintf(stderr,
+                   "CELL MISMATCH (%s) %s: (K=%zu, Phi=%.17g) vs (K=%zu, "
+                   "Phi=%.17g)\n",
+                   label, plan.cell_label(a.cells[i].cell).c_str(), ra.rounds,
+                   ra.final_potential, rb.rounds, rb.final_potential);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void write_json(const std::string& path, const lb::exp::ExperimentPlan& plan,
+                double cold_us, double cached_us, std::size_t cells,
+                bool verified) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_campaign\",\n  \"cells\": %zu,\n"
+               "  \"graphs\": %zu,\n  \"replicates\": %zu,\n"
+               "  \"cold_us_per_cell\": %.3f,\n  \"cached_us_per_cell\": %.3f,\n"
+               "  \"speedup\": %.3f,\n  \"bit_identical\": %s\n}\n",
+               cells, plan.graphs.size(), plan.seeds.size(), cold_us, cached_us,
+               cached_us > 0.0 ? cold_us / cached_us : 0.0,
+               verified ? "true" : "false");
+  std::fclose(f);
+}
+
+void write_ablation_csv(const std::string& dir, const char* mode,
+                        const lb::exp::ExperimentPlan& plan,
+                        const lb::exp::CampaignReport& report) {
+  const std::string path = dir + "/ablation_campaign_" + mode + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s", report.cells_csv(plan).c_str());
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "E15: campaign cold-vs-cached ablation — per-base artifact reuse "
+      "(graph bases, spectral profiles, CSR ledgers) vs fresh-everything cells");
+  opts.add_int("n", 256, "nodes per base graph (dense spectral path)")
+      .add_int("replicates", 3, "seeds per cell group")
+      .add_int("rounds", 400, "round budget per cell")
+      .add_double("eps", 1e-4, "stop a cell at Phi <= eps * Phi0")
+      .add_int("seed", 42, "master seed")
+      .add_string("json", "", "write machine-readable results to this path")
+      .add_string("ablation-dir", "",
+                  "write ablation_campaign_{cold,cached}.csv into this dir")
+      .add_flag("quick", "CI smoke: n=64, 2 replicates, 150 rounds")
+      .add_flag("csv", "emit CSV instead of a table");
+  opts.parse(argc, argv);
+
+  std::size_t n = static_cast<std::size_t>(opts.get_int("n"));
+  std::size_t replicates = static_cast<std::size_t>(opts.get_int("replicates"));
+  std::size_t rounds = static_cast<std::size_t>(opts.get_int("rounds"));
+  if (opts.get_flag("quick")) {
+    n = std::min<std::size_t>(n, 64);
+    replicates = std::min<std::size_t>(replicates, 2);
+    rounds = std::min<std::size_t>(rounds, 150);
+  }
+
+  lb::bench::banner(
+      "E15: campaign artifact-cache ablation",
+      "cached cells reuse per-base artifacts and stay bit-identical to the "
+      "fresh-engine oracle; only us/cell may move",
+      static_cast<std::uint64_t>(opts.get_int("seed")));
+
+  lb::exp::ExperimentPlan plan;
+  plan.graphs = {{"torus2d", n}, {"hypercube", n}, {"cycle", n}};
+  plan.scenarios = {lb::exp::static_scenario()};
+  plan.workloads = {{"spike", 1000.0}, {"uniform", 1000.0}};
+  plan.balancers = {{lb::exp::BalancerKind::kSos, 0.0},
+                    {lb::exp::BalancerKind::kOps, 0.0},
+                    {lb::exp::BalancerKind::kDiffusion, 0.0}};
+  plan.seeds.clear();
+  for (std::size_t r = 0; r < replicates; ++r) plan.seeds.push_back(r + 1);
+  plan.engine.max_rounds = rounds;
+  plan.engine.record_trace = false;  // grids this size keep Φ-only rounds
+  plan.epsilon = opts.get_double("eps");
+  plan.master_seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  // Timing legs run on ONE worker: the claim is single-core pass-count
+  // amortization, not parallel speedup.
+  lb::util::ThreadPool pool1(1);
+  lb::exp::CampaignRunner cold_runner({lb::exp::ArtifactMode::kCold, &pool1});
+  lb::exp::CampaignRunner cached_runner({lb::exp::ArtifactMode::kCached, &pool1});
+  const auto cold = cold_runner.run(plan);
+  const auto cached = cached_runner.run(plan);
+
+  bool verified = reports_agree(plan, cold, cached, "cold vs cached @1");
+
+  // Pool matrix: the cached report must not move at any pool size.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (std::size_t ps : {std::size_t{2}, hw}) {
+    lb::util::ThreadPool pool(ps);
+    lb::exp::CampaignRunner runner({lb::exp::ArtifactMode::kCached, &pool});
+    const auto report = runner.run(plan);
+    char label[48];
+    std::snprintf(label, sizeof label, "cold vs cached @%zu", ps);
+    verified = reports_agree(plan, cold, report, label) && verified;
+  }
+
+  lb::util::Table table(
+      {"mode", "cells", "wall s", "us/cell", "speedup", "bit-identical"});
+  const double speedup =
+      cached.us_per_cell() > 0.0 ? cold.us_per_cell() / cached.us_per_cell() : 0.0;
+  table.row()
+      .add("cold")
+      .add(static_cast<std::int64_t>(cold.cells.size()))
+      .add(cold.wall_seconds, 4)
+      .add(cold.us_per_cell(), 6)
+      .add(1.0, 3)
+      .add("-");
+  table.row()
+      .add("cached")
+      .add(static_cast<std::int64_t>(cached.cells.size()))
+      .add(cached.wall_seconds, 4)
+      .add(cached.us_per_cell(), 6)
+      .add(speedup, 3)
+      .add(verified ? "yes" : "NO");
+  lb::bench::emit(table,
+                  "campaign ablation: fresh-everything cells vs per-base "
+                  "artifact reuse (single worker)",
+                  opts.get_flag("csv"));
+
+  if (!opts.get_string("json").empty()) {
+    write_json(opts.get_string("json"), plan, cold.us_per_cell(),
+               cached.us_per_cell(), cold.cells.size(), verified);
+  }
+  if (!opts.get_string("ablation-dir").empty()) {
+    write_ablation_csv(opts.get_string("ablation-dir"), "cold", plan, cold);
+    write_ablation_csv(opts.get_string("ablation-dir"), "cached", plan, cached);
+  }
+  return verified ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Campaign tour: declare a (graph × scenario × workload × balancer ×
+// scalar × seed) grid, execute it with per-cell run isolation and
+// per-base artifact reuse, and read the replicate-aggregated report.
+//
+//   ./lb_campaign [--n=64] [--replicates=5] [--rounds=2000] [--csv]
+//
+// One CampaignRunner call replaces what used to be dozens of hand-wired
+// Engine::run drivers: the runner builds each base graph once, computes
+// its spectral profile once (SOS's optimal β, OPS's eigenvalue schedule),
+// reuses balancer instances and flow-ledger CSRs across every cell on
+// that base, and still produces per-cell results bit-identical to a
+// fresh engine — that is the Balancer::on_run_begin() run-isolation
+// contract (DESIGN.md §6).
+#include <cstdio>
+
+#include "lb/exp/campaign.hpp"
+#include "lb/exp/plan.hpp"
+#include "lb/exp/report.hpp"
+#include "lb/util/options.hpp"
+
+int main(int argc, char** argv) {
+  lb::util::Options opts("lb_campaign: experiment grids with artifact reuse");
+  opts.add_int("n", 64, "nodes per base graph")
+      .add_int("replicates", 5, "independent seeds per cell group")
+      .add_int("rounds", 2000, "round budget per cell")
+      .add_double("eps", 1e-4, "stop a cell at Phi <= eps * Phi0")
+      .add_flag("csv", "print the per-cell CSV instead of the aggregate table");
+  opts.parse(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(opts.get_int("n"));
+
+  // 1. Declare the grid.  Axes are specs, not objects: the runner owns
+  // construction (and caches it per base).
+  lb::exp::ExperimentPlan plan;
+  plan.graphs = {{"torus2d", n}, {"hypercube", n}, {"cycle", n}};
+  plan.scenarios = {lb::exp::static_scenario(), lb::exp::bernoulli_scenario(0.85),
+                    lb::exp::churn_scenario(0.85, 0.05)};
+  plan.workloads = {{"spike", 1000.0}, {"bimodal", 1000.0}};
+  plan.balancers = {{lb::exp::BalancerKind::kDiffusion, 0.0},
+                    {lb::exp::BalancerKind::kSos, 0.0},
+                    {lb::exp::BalancerKind::kOps, 0.0},
+                    {lb::exp::BalancerKind::kDimensionExchange, 0.0},
+                    {lb::exp::BalancerKind::kRandomPartner, 0.0},
+                    {lb::exp::BalancerKind::kAsync, 0.5},
+                    {lb::exp::BalancerKind::kHeterogeneous, 4.0}};
+  plan.seeds.clear();
+  for (std::int64_t r = 0; r < opts.get_int("replicates"); ++r) {
+    plan.seeds.push_back(static_cast<std::uint64_t>(r + 1));
+  }
+  plan.engine.max_rounds = static_cast<std::size_t>(opts.get_int("rounds"));
+  plan.epsilon = opts.get_double("eps");
+
+  const std::size_t cells = plan.cells().size();
+  std::printf("plan    : %zu graphs x %zu scenarios x %zu workloads x %zu "
+              "balancers x 2 scalars x %zu seeds -> %zu cells (after "
+              "compatibility filtering)\n",
+              plan.graphs.size(), plan.scenarios.size(), plan.workloads.size(),
+              plan.balancers.size(), plan.seeds.size(), cells);
+
+  // 2. Execute.  Cached mode shares per-base artifacts; every cell is
+  // still bit-identical to a fresh-engine run of the same coordinates.
+  lb::exp::CampaignRunner runner({lb::exp::ArtifactMode::kCached, nullptr});
+  const lb::exp::CampaignReport report = runner.run(plan);
+  std::printf("run     : %zu cells in %.2f s (%.1f us/cell)\n\n",
+              report.cells.size(), report.wall_seconds, report.us_per_cell());
+
+  // 3. Report: replicate aggregation with mean/CI (util::RunningStats)
+  // and Phi-trajectory quantiles, as CSV artifacts or a summary table.
+  if (opts.get_flag("csv")) {
+    std::printf("%s", report.cells_csv(plan).c_str());
+    return 0;
+  }
+  std::printf("%s", report.aggregate_csv(plan).c_str());
+  return report.cells.empty() ? 1 : 0;
+}

@@ -37,6 +37,15 @@ for name in "${benches[@]}"; do
     # Its BM_DiffusionRound*/BM_ApplyPhaseOnly rows carry the
     # edge-sweep-vs-ledger apply ablation as the second argument.
     "${bin}" --benchmark_format=csv > "${out_dir}/${name}.csv"
+  elif [[ ${name} == bench_campaign ]]; then
+    # The campaign ablation runs the same spectral-profiled grid cold
+    # (fresh everything per cell) and cached (per-base artifact reuse),
+    # verifies per-cell bit-identity between the modes and across pool
+    # sizes (nonzero exit on divergence), and emits BENCH_campaign.json
+    # plus the ablation_campaign_{cold,cached}.csv pair directly.
+    "${bin}" --csv \
+      --json "${out_dir}/BENCH_campaign.json" \
+      --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
   elif [[ ${name} == bench_thm7_dynamic ]]; then
     # The dynamic-topology bench runs every scenario down both substrates
     # (masked frames vs per-round graph rebuilds) in one invocation, so

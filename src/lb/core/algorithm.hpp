@@ -71,9 +71,19 @@ class Balancer {
   /// cached per-graph views.  The context's shared flow ledger re-keys
   /// itself on graph::Graph::revision(), so most implementations no
   /// longer need this; it remains for balancers with private per-graph
-  /// caches and as an explicit reset hook for reusing a balancer across
-  /// runs.
+  /// caches.
   virtual void on_topology_changed() {}
+
+  /// A new Engine::run is starting: discard every piece of *trajectory*
+  /// state carried between rounds (SOS's L^{t-1}, OPS's schedule
+  /// position, dimension exchange's round-robin counter) so a reused
+  /// balancer produces runs bit-identical to a fresh instance's.  Caches
+  /// that are pure functions of the topology (spectral schedules,
+  /// per-revision denominators, CSR views) are deliberately KEPT — that
+  /// reuse is the campaign layer's amortization (DESIGN.md §6).  The
+  /// engine calls this before round 1; the legacy step() shim never does
+  /// (manual stepping has no run boundary).  Default: no state, no-op.
+  virtual void on_run_begin() {}
 
  private:
   // Arena backing the deprecated step() shim; untouched when callers go

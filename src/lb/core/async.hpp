@@ -30,6 +30,9 @@ class AsyncDiffusion final : public Balancer<T> {
   double activation_probability() const { return p_; }
 
  private:
+  // No inter-round state: the active set is drawn fresh each round from
+  // the context's Rng, so the default (no-op) on_run_begin() suffices —
+  // reused instances are trivially run-isolated.
   double p_;
   DiffusionConfig cfg_;
 };

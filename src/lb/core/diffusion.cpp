@@ -45,11 +45,6 @@ std::string DiffusionBalancer<T>::name() const {
 }
 
 template <class T>
-void DiffusionBalancer<T>::on_topology_changed() {
-  denom_revision_ = 0;
-}
-
-template <class T>
 StepStats DiffusionBalancer<T>::step_masked(RoundContext<T>& ctx,
                                             const graph::TopologyFrame& frame,
                                             std::vector<T>& load) {

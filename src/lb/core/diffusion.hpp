@@ -77,7 +77,6 @@ class DiffusionBalancer final : public Balancer<T> {
   std::string name() const override;
   using Balancer<T>::step;  // keep the deprecated (g, load, rng) shim visible
   StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
-  void on_topology_changed() override;
 
   const DiffusionConfig& config() const { return cfg_; }
 
@@ -91,7 +90,10 @@ class DiffusionBalancer final : public Balancer<T> {
 
   DiffusionConfig cfg_;
   // Per-edge denominators: a per-epoch precomputation private to this
-  // config (they depend on rule/factor), keyed on the graph revision.
+  // config (they depend on rule/factor), keyed on the graph revision —
+  // a pure function of the topology, so it survives run boundaries and
+  // on_topology_changed needs no override (revisions are process-unique;
+  // the step-time key check is the single source of invalidation).
   // Only the unmasked path uses it — alive-degrees move every mask
   // revision, so masked rounds compute denominators inline instead.
   // Flow/snapshot buffers and the CSR ledger come from the RoundContext.

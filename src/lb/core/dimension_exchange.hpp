@@ -42,6 +42,11 @@ class DimensionExchange final : public Balancer<T> {
 
   MatchingStrategy strategy() const { return strategy_; }
 
+  /// Run isolation: restart the round-robin dimension schedule.  Only
+  /// kHypercubeRoundRobin carries trajectory state between rounds; the
+  /// randomized strategies draw everything from the context's Rng.
+  void on_run_begin() override { round_ = 0; }
+
  private:
   MatchingStrategy strategy_;
   ApplyPath apply_;

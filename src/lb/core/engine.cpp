@@ -11,17 +11,20 @@ namespace lb::core {
 
 template <class T>
 RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& load,
-              const EngineConfig& config) {
+              const EngineConfig& config, RunArena<T>& arena) {
   LB_ASSERT_MSG(load.size() == seq.num_nodes(), "load vector does not match network");
   util::Rng rng(config.seed);
   const util::Stopwatch run_watch;
+
+  // Run isolation: trajectory state from a previous run (SOS's L^{t-1},
+  // OPS's schedule position, ...) must not leak into this one.
+  balancer.on_run_begin();
 
   const bool fused = config.metrics == MetricsPath::kFusedParallel;
   util::ThreadPool* pool =
       config.pool != nullptr ? config.pool : &util::ThreadPool::global();
 
   RunResult result;
-  RunArena<T> arena;
 
   // Run-start summary.  The fused path measures every later Φ against
   // this average: total load is invariant under every balancer (exactly
@@ -127,6 +130,13 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
 }
 
 template <class T>
+RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& load,
+              const EngineConfig& config) {
+  RunArena<T> arena;
+  return run(balancer, seq, load, config, arena);
+}
+
+template <class T>
 RunResult run_static(Balancer<T>& balancer, const graph::Graph& g, std::vector<T>& load,
                      const EngineConfig& config) {
   auto seq = graph::make_static_sequence(g);
@@ -134,6 +144,8 @@ RunResult run_static(Balancer<T>& balancer, const graph::Graph& g, std::vector<T
 }
 
 #define LB_INSTANTIATE(T)                                                           \
+  template RunResult run<T>(Balancer<T>&, graph::GraphSequence&, std::vector<T>&,   \
+                            const EngineConfig&, RunArena<T>&);                     \
   template RunResult run<T>(Balancer<T>&, graph::GraphSequence&, std::vector<T>&,   \
                             const EngineConfig&);                                   \
   template RunResult run_static<T>(Balancer<T>&, const graph::Graph&,               \

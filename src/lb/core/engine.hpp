@@ -17,6 +17,9 @@ class ThreadPool;
 
 namespace lb::core {
 
+template <class T>
+class RunArena;
+
 /// How the engine computes the per-round Φ/discrepancy observability.
 enum class MetricsPath : std::uint8_t {
   /// The deterministic fixed-chunk parallel reduction (core/metrics.hpp),
@@ -66,9 +69,21 @@ struct RunResult {
 };
 
 /// Run `balancer` on the dynamic network `seq`, mutating `load` in place.
+/// Calls balancer.on_run_begin() before round 1 (the run-isolation
+/// contract: reused balancers behave exactly like fresh ones).
 template <class T>
 RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& load,
               const EngineConfig& config = {});
+
+/// As above, but executing against a caller-owned RunArena instead of a
+/// run-local one.  The arena's scratch buffers and flow-ledger CSR (keyed
+/// on the graph revision) survive across runs, so back-to-back runs on
+/// the same base graph skip the CSR rebuild — the campaign layer's
+/// per-cell amortization (lb/exp/).  Results are bit-identical to the
+/// run-local-arena overload.
+template <class T>
+RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& load,
+              const EngineConfig& config, RunArena<T>& arena);
 
 /// Convenience wrapper for a fixed network.
 template <class T>

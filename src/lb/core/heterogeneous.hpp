@@ -53,6 +53,9 @@ class HeterogeneousDiffusion final : public Balancer<T> {
   const std::vector<double>& speed() const { return speed_; }
 
  private:
+  // speed_ is configuration, not trajectory state: the default (no-op)
+  // on_run_begin() suffices — reused instances are trivially run-isolated
+  // (tests/test_run_isolation.cpp still exercises the reuse).
   std::vector<double> speed_;
 };
 

@@ -17,7 +17,16 @@ StepStats OptimalPolynomialScheme::step(RoundContext<double>& ctx,
                                         std::vector<double>& load) {
   const graph::Graph& g = ctx.graph();
   LB_ASSERT_MSG(load.size() == g.num_nodes(), "load vector does not match graph");
-  if (schedule_.empty()) {
+  if (schedule_.empty() || g.revision() != bound_revision_) {
+    // Rebinding to a new topology is legal only at a run start, after
+    // on_run_begin() reset position_.  A revision change at any later
+    // round — even one landing exactly on a schedule-length boundary
+    // (e.g. a periodic sequence whose period divides m) — means the
+    // scheme was stepped over a dynamic topology, which OPS cannot
+    // serve.  Note this is stricter than the old node/edge-count check,
+    // which silently accepted a different graph of identical shape.
+    LB_ASSERT_MSG(position_ == 0, "OPS graph changed mid-run");
+    schedule_.clear();
     const linalg::Vector spectrum = linalg::laplacian_spectrum(g);
     std::vector<double> distinct;
     for (double lambda : spectrum) {
@@ -57,11 +66,8 @@ StepStats OptimalPolynomialScheme::step(RoundContext<double>& ctx,
       used[best] = true;
       schedule_.push_back(distinct[best]);
     }
-    bound_nodes_ = g.num_nodes();
-    bound_edges_ = g.num_edges();
+    bound_revision_ = g.revision();
   }
-  LB_ASSERT_MSG(g.num_nodes() == bound_nodes_ && g.num_edges() == bound_edges_,
-                "OPS schedule was computed for a different graph");
 
   const double lambda = schedule_[position_ % schedule_.size()];
   ++position_;

@@ -13,8 +13,12 @@
 // Eigen, so the spectrum comes from lb::linalg).
 //
 // Continuous only; intermediate loads may go negative (a known property
-// of polynomial flow schemes).  Requires a static graph: the spectrum is
-// computed on first step and the schedule asserts the graph stays put.
+// of polynomial flow schemes).  Requires a static graph *within a run*:
+// the spectrum is computed on first step, keyed on the graph's topology
+// revision, and the schedule asserts the graph stays put mid-schedule.
+// Across runs (on_run_begin) the scheme may be rebound to a new graph —
+// it recomputes the schedule then, while a run on the *same* graph
+// reuses the cached spectrum (the campaign layer's amortization).
 #pragma once
 
 #include <memory>
@@ -40,12 +44,16 @@ class OptimalPolynomialScheme final : public Balancer<double> {
   /// its schedule (useful when loads changed externally).
   std::size_t position() const { return position_; }
 
+  /// Run isolation: restart the schedule from λ_1.  The cached spectrum
+  /// is kept — it is a pure function of the graph (revision-keyed), so
+  /// the next run recomputes it only if it executes on a new topology.
+  void on_run_begin() override { position_ = 0; }
+
  private:
   double tol_;
-  std::vector<double> schedule_;  // distinct nonzero eigenvalues, ascending
+  std::vector<double> schedule_;  // distinct nonzero eigenvalues, Leja-ordered
   std::size_t position_ = 0;
-  std::size_t bound_nodes_ = 0;   // sanity: graph must not change
-  std::size_t bound_edges_ = 0;
+  std::uint64_t bound_revision_ = 0;  // topology the schedule was computed for
   std::vector<double> lx_;        // scratch: Laplacian * load
 };
 

@@ -35,6 +35,13 @@ namespace lb::core {
 /// lazily by the balancers that use them, plus the flow-ledger CSR view,
 /// which re-keys itself on graph::Graph::revision() (the topology epoch)
 /// so dynamic sequences rebuild it exactly when the topology changes.
+///
+/// An arena may also outlive a run: Engine::run's caller-owned-arena
+/// overload lets back-to-back runs share one, in which case the CSR
+/// (revision-keyed) survives across runs on the same base — the campaign
+/// layer's per-cell amortization (lb/exp/, DESIGN.md §6).  That reuse is
+/// sound because nothing here is trajectory state: every buffer is
+/// (re)assigned before it is read within a round.
 template <class T>
 class RunArena {
  public:

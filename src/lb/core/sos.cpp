@@ -11,7 +11,7 @@ namespace lb::core {
 
 SecondOrderScheme::SecondOrderScheme(std::optional<double> beta, bool parallel,
                                      ApplyPath apply)
-    : beta_(beta), parallel_(parallel), apply_(apply) {
+    : configured_beta_(beta), beta_(beta), parallel_(parallel), apply_(apply) {
   if (beta_) {
     LB_ASSERT_MSG(*beta_ >= 1.0 && *beta_ < 2.0, "SOS needs beta in [1, 2)");
   }

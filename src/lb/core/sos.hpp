@@ -36,13 +36,23 @@ class SecondOrderScheme final : public Balancer<double> {
   using Balancer<double>::step;
   StepStats step(RoundContext<double>& ctx, std::vector<double>& load) override;
 
+  /// Run isolation: forget L^{t-1} (the next step is a plain FOS round
+  /// again, as for a fresh instance) and, when β was auto-computed,
+  /// forget it too so a run on a different graph re-derives its own
+  /// optimal β exactly as a fresh balancer would.
+  void on_run_begin() override {
+    have_prev_ = false;
+    beta_ = configured_beta_;
+  }
+
   double beta() const { return beta_.value_or(0.0); }
 
   /// Optimal β for a given γ ∈ [0, 1).
   static double optimal_beta(double gamma);
 
  private:
-  std::optional<double> beta_;
+  std::optional<double> configured_beta_;  // constructor argument, verbatim
+  std::optional<double> beta_;             // in effect (auto-filled on first step)
   bool parallel_;
   ApplyPath apply_;
   std::vector<double> prev_;     // L^{t-1} — algorithm state, not scratch

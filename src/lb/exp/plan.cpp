@@ -1,0 +1,215 @@
+#include "lb/exp/plan.hpp"
+
+#include <cstdio>
+
+#include "lb/util/assert.hpp"
+#include "lb/util/rng.hpp"
+
+namespace lb::exp {
+
+const char* to_string(Scalar s) {
+  return s == Scalar::kReal ? "real" : "tokens";
+}
+
+std::string GraphSpec::label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s/%zu", family.c_str(), n);
+  return buf;
+}
+
+std::string ScenarioSpec::label() const {
+  char buf[96];
+  switch (kind) {
+    case ScenarioKind::kStatic:
+      return "static";
+    case ScenarioKind::kBernoulli:
+      std::snprintf(buf, sizeof buf, "bernoulli(keep=%.2f)", a);
+      return buf;
+    case ScenarioKind::kMarkov:
+      std::snprintf(buf, sizeof buf, "markov(fail=%.2f,rec=%.2f)", a, b);
+      return buf;
+    case ScenarioKind::kChurn:
+      std::snprintf(buf, sizeof buf, "churn(alive=%.2f,turn=%.2f)", a, b);
+      return buf;
+    case ScenarioKind::kPartition:
+      std::snprintf(buf, sizeof buf, "partition(period=%zu)", period);
+      return buf;
+    case ScenarioKind::kWave:
+      std::snprintf(buf, sizeof buf, "wave(w=%zu,s=%zu)", period, speed);
+      return buf;
+  }
+  return "?";
+}
+
+ScenarioSpec static_scenario() { return {}; }
+
+ScenarioSpec bernoulli_scenario(double keep_prob) {
+  ScenarioSpec s;
+  s.kind = ScenarioKind::kBernoulli;
+  s.a = keep_prob;
+  return s;
+}
+
+ScenarioSpec markov_scenario(double fail_prob, double recover_prob) {
+  ScenarioSpec s;
+  s.kind = ScenarioKind::kMarkov;
+  s.a = fail_prob;
+  s.b = recover_prob;
+  return s;
+}
+
+ScenarioSpec churn_scenario(double alive_fraction, double turnover) {
+  ScenarioSpec s;
+  s.kind = ScenarioKind::kChurn;
+  s.a = alive_fraction;
+  s.b = turnover;
+  return s;
+}
+
+ScenarioSpec partition_scenario(std::size_t period) {
+  ScenarioSpec s;
+  s.kind = ScenarioKind::kPartition;
+  s.period = period;
+  return s;
+}
+
+ScenarioSpec wave_scenario(std::size_t width, std::size_t speed) {
+  ScenarioSpec s;
+  s.kind = ScenarioKind::kWave;
+  s.period = width;
+  s.speed = speed;
+  return s;
+}
+
+std::string BalancerSpec::label() const {
+  char buf[64];
+  switch (kind) {
+    case BalancerKind::kDiffusion:
+      return "diffusion";
+    case BalancerKind::kFos:
+      return "fos";
+    case BalancerKind::kSos:
+      if (param > 0.0) {
+        std::snprintf(buf, sizeof buf, "sos(b=%.2f)", param);
+        return buf;
+      }
+      return "sos";
+    case BalancerKind::kOps:
+      return "ops";
+    case BalancerKind::kDimensionExchange:
+      return "dimexch";
+    case BalancerKind::kRandomPartner:
+      return "randpartner";
+    case BalancerKind::kAsync:
+      std::snprintf(buf, sizeof buf, "async(p=%.2f)", param > 0.0 ? param : 0.5);
+      return buf;
+    case BalancerKind::kHeterogeneous:
+      std::snprintf(buf, sizeof buf, "hetero(r=%.0f)", param > 0.0 ? param : 4.0);
+      return buf;
+  }
+  return "?";
+}
+
+bool supports_scalar(BalancerKind kind, Scalar scalar) {
+  if (scalar == Scalar::kReal) return true;
+  switch (kind) {
+    case BalancerKind::kFos:
+    case BalancerKind::kSos:
+    case BalancerKind::kOps:
+      return false;  // affine/polynomial combinations need fractional loads
+    default:
+      return true;
+  }
+}
+
+bool supports_scenario(const BalancerSpec& spec, ScenarioKind scenario) {
+  // OPS's schedule is bound to one spectrum; a topology change mid-run
+  // would trip its mid-schedule assert by design.  Auto-β SOS likewise
+  // derives β from one spectrum (and a sparse dynamic round-1 view can
+  // be disconnected, where no optimal β exists).
+  if (spec.kind == BalancerKind::kOps) return scenario == ScenarioKind::kStatic;
+  if (spec.kind == BalancerKind::kSos && spec.param <= 0.0) {
+    return scenario == ScenarioKind::kStatic;
+  }
+  return true;
+}
+
+std::vector<Cell> ExperimentPlan::cells() const {
+  LB_ASSERT_MSG(!graphs.empty(), "plan has no graphs");
+  LB_ASSERT_MSG(!balancers.empty(), "plan has no balancers");
+  LB_ASSERT_MSG(!scenarios.empty() && !workloads.empty() && !scalars.empty() &&
+                    !seeds.empty(),
+                "plan has an empty axis");
+  std::vector<Cell> out;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+      for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t b = 0; b < balancers.size(); ++b) {
+          if (!supports_scenario(balancers[b], scenarios[sc].kind)) continue;
+          for (Scalar s : scalars) {
+            if (!supports_scalar(balancers[b].kind, s)) continue;
+            for (std::size_t r = 0; r < seeds.size(); ++r) {
+              out.push_back(Cell{g, sc, w, b, s, r});
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExperimentPlan::cell_label(const Cell& c) const {
+  return graphs[c.graph].label() + "/" + scenarios[c.scenario].label() + "/" +
+         workloads[c.workload].label() + "/" + balancers[c.balancer].label() + "/" +
+         to_string(c.scalar) + "/s" + std::to_string(c.seed_index);
+}
+
+namespace {
+
+/// Deterministic chained mix: each argument perturbs the state the same
+/// way regardless of platform.  Axis salts keep the streams disjoint.
+std::uint64_t mix(std::uint64_t seed, std::initializer_list<std::uint64_t> parts) {
+  util::SplitMix64 sm(seed);
+  std::uint64_t h = sm.next();
+  for (std::uint64_t p : parts) {
+    util::SplitMix64 step(h ^ p);
+    h = step.next();
+  }
+  return h;
+}
+
+constexpr std::uint64_t kGraphSalt = 0x6772617068ULL;     // "graph"
+constexpr std::uint64_t kScenarioSalt = 0x7363656eULL;    // "scen"
+constexpr std::uint64_t kWorkloadSalt = 0x776f726bULL;    // "work"
+constexpr std::uint64_t kEngineSalt = 0x656e67ULL;        // "eng"
+
+}  // namespace
+
+std::uint64_t graph_build_seed(const ExperimentPlan& plan, std::size_t graph_index) {
+  return mix(plan.master_seed, {kGraphSalt, graph_index});
+}
+
+// scenario_seed and workload_seed deliberately exclude the balancer and
+// scalar coordinates: cells that differ only in those axes face the SAME
+// failure pattern and the same initial load shape (common random
+// numbers), so the report's cross-balancer comparisons are paired
+// instead of each balancer drawing its own instances.
+
+std::uint64_t scenario_seed(const ExperimentPlan& plan, const Cell& c) {
+  return mix(plan.master_seed, {kScenarioSalt, c.graph, c.scenario, c.workload,
+                                plan.seeds[c.seed_index]});
+}
+
+std::uint64_t workload_seed(const ExperimentPlan& plan, const Cell& c) {
+  return mix(plan.master_seed, {kWorkloadSalt, c.graph, c.scenario, c.workload,
+                                plan.seeds[c.seed_index]});
+}
+
+std::uint64_t engine_seed(const ExperimentPlan& plan, const Cell& c) {
+  return mix(plan.master_seed, {kEngineSalt, c.graph, c.scenario, c.workload,
+                                c.balancer, static_cast<std::uint64_t>(c.scalar),
+                                plan.seeds[c.seed_index]});
+}
+
+}  // namespace lb::exp

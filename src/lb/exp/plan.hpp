@@ -1,0 +1,173 @@
+// ExperimentPlan: the declarative (graph × scenario × workload ×
+// balancer × scalar × seed) grid the campaign layer executes.
+//
+// The ROADMAP north-star is many cells per process — every topology
+// family, every dynamic scenario, every balancer, both scalar domains,
+// several replicate seeds — not one hand-wired Engine::run per binary.
+// A plan names the axes declaratively; cells() expands the filtered
+// cross product (continuous-only schemes never pair with Tokens, OPS
+// never pairs with a dynamic scenario) in a deterministic order with
+// the graph axis outermost, so consecutive cells share a base graph and
+// the campaign's per-base artifact cache (lb/exp/campaign.hpp) gets
+// maximal reuse.
+//
+// Everything a cell consumes — the graph structure, the initial
+// workload, the scenario's failure pattern, the engine's round RNG — is
+// derived deterministically from (master_seed, cell coordinates), so a
+// cell is a pure function of (plan, cell): the campaign runner and the
+// fresh-everything oracle (CampaignRunner::run_cell_fresh) must produce
+// bit-identical RunResults.  Replicate aggregation over the seed axis
+// follows the repeated-trajectory methodology of the related work
+// (Cancrini–Posta's repeated balls-into-bins mixing, Loh–Lubetzky's
+// coalescence analysis): report mean/CI over independent trajectories,
+// never a single run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/core/engine.hpp"
+
+namespace lb::exp {
+
+/// Scalar domain of a cell: kReal runs double loads (the continuous
+/// model), kTokens runs std::int64_t loads (the discrete model).
+enum class Scalar : std::uint8_t { kReal, kTokens };
+const char* to_string(Scalar s);
+
+/// A base topology, named by graph::make_named family.  Built once per
+/// campaign (cached by axis index) from a seed derived off the plan.
+struct GraphSpec {
+  std::string family;  ///< one of graph::named_families()
+  std::size_t n = 64;  ///< requested size (make_named rounds to realizable)
+
+  std::string label() const;
+};
+
+/// Dynamic-topology scenario over a cell's base graph, mirroring the
+/// graph/dynamic.hpp generators.  kStatic runs the base unmodified (and
+/// is the only scenario OPS cells accept).
+enum class ScenarioKind : std::uint8_t {
+  kStatic,
+  kBernoulli,  ///< keep each edge with probability a, fresh per round
+  kMarkov,     ///< per-edge UP/DOWN chain: fail a, recover b
+  kChurn,      ///< alive fraction a, turnover b per round
+  kPartition,  ///< whole for `period` rounds, cut in half for `period`
+  kWave,       ///< sweeping node-down window, width w, speed s
+};
+
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::kStatic;
+  double a = 0.0;         ///< kind-specific (keep / fail / alive fraction)
+  double b = 0.0;         ///< kind-specific (recover / turnover)
+  std::size_t period = 0; ///< partition period / wave width
+  std::size_t speed = 1;  ///< wave speed
+
+  std::string label() const;
+};
+
+ScenarioSpec static_scenario();
+ScenarioSpec bernoulli_scenario(double keep_prob);
+ScenarioSpec markov_scenario(double fail_prob, double recover_prob);
+ScenarioSpec churn_scenario(double alive_fraction, double turnover);
+ScenarioSpec partition_scenario(std::size_t period);
+ScenarioSpec wave_scenario(std::size_t width, std::size_t speed);
+
+/// The eight balancers of the library, as declarative specs.
+enum class BalancerKind : std::uint8_t {
+  kDiffusion,          ///< Algorithm 1 (continuous + discrete)
+  kFos,                ///< Cybenko first-order scheme (continuous)
+  kSos,                ///< second-order scheme (continuous; β from the
+                       ///< cached spectral profile, or auto when cold)
+  kOps,                ///< optimal polynomial scheme (continuous, static)
+  kDimensionExchange,  ///< Ghosh–Muthukrishnan random matchings
+  kRandomPartner,      ///< Algorithm 2 (ignores the network)
+  kAsync,              ///< async diffusion, activation probability `param`
+  kHeterogeneous,      ///< Elsässer–Monien–Preis speeds; odd nodes run
+                       ///< `param`× faster than even ones
+};
+
+struct BalancerSpec {
+  BalancerKind kind = BalancerKind::kDiffusion;
+  /// kAsync: activation probability p (default 0.5);
+  /// kHeterogeneous: fast/slow speed ratio (default 4);
+  /// kSos: explicit β in [1, 2), or 0 to derive the optimal β from the
+  /// base spectrum (auto-β pairs with static scenarios only — a dynamic
+  /// round-1 view has no meaningful single spectrum).
+  double param = 0.0;
+
+  std::string label() const;
+};
+
+/// Which scalar domains a balancer kind can run.
+bool supports_scalar(BalancerKind kind, Scalar scalar);
+/// Which scenarios a spec accepts: OPS and auto-β SOS require a static
+/// topology (their schedules are bound to one spectrum), everything else
+/// accepts any sequence.
+bool supports_scenario(const BalancerSpec& spec, ScenarioKind scenario);
+
+/// Initial load shape, named by workload::make_named.  The total scales
+/// with the cell's node count (total = total_per_node · n) so grids over
+/// several sizes stay comparable.
+struct WorkloadSpec {
+  std::string name = "spike";  ///< one of workload::named_workloads()
+  double total_per_node = 1000.0;
+
+  std::string label() const { return name; }
+};
+
+/// One grid cell: indices into the plan's axes plus the replicate index.
+struct Cell {
+  std::size_t graph = 0;
+  std::size_t scenario = 0;
+  std::size_t workload = 0;
+  std::size_t balancer = 0;
+  Scalar scalar = Scalar::kReal;
+  std::size_t seed_index = 0;
+};
+
+struct ExperimentPlan {
+  std::vector<GraphSpec> graphs;
+  std::vector<ScenarioSpec> scenarios{ScenarioSpec{}};
+  std::vector<WorkloadSpec> workloads{WorkloadSpec{}};
+  std::vector<BalancerSpec> balancers;
+  std::vector<Scalar> scalars{Scalar::kReal, Scalar::kTokens};
+  /// Replicate count = seeds.size(); the values only salt the per-cell
+  /// seed derivation (two distinct values give independent trajectories).
+  std::vector<std::uint64_t> seeds{1};
+
+  /// Per-cell engine settings.  `seed`, `pool` and `target_potential`
+  /// are overwritten per cell: the target becomes epsilon · Φ(L⁰).
+  core::EngineConfig engine;
+  /// Stop a cell once Φ <= epsilon · Φ(L⁰).
+  double epsilon = 1e-4;
+  /// Root of every derived seed (graph build, workload, scenario, run).
+  std::uint64_t master_seed = 42;
+
+  /// The filtered cross product in deterministic order: graph outermost,
+  /// then scenario, workload, balancer, scalar, seed innermost.
+  std::vector<Cell> cells() const;
+
+  /// Human-readable cell coordinates ("torus2d(8x8)/static/spike/sos/real/s0").
+  std::string cell_label(const Cell& c) const;
+
+  /// Number of nodes the cell's graph spec requests (before rounding).
+  const GraphSpec& graph_of(const Cell& c) const { return graphs[c.graph]; }
+};
+
+// --- Deterministic per-cell seed derivation --------------------------
+// Chained SplitMix64 over the master seed, an axis salt, and the cell
+// coordinates.  Exposed so the campaign runner, the fresh-cell oracle
+// and the tests all derive the identical streams.  Workload and
+// scenario seeds ignore the balancer/scalar coordinates — cells
+// differing only in those axes see the same initial load and the same
+// failure pattern (common random numbers), pairing the report's
+// cross-balancer comparisons.
+
+std::uint64_t graph_build_seed(const ExperimentPlan& plan, std::size_t graph_index);
+std::uint64_t scenario_seed(const ExperimentPlan& plan, const Cell& c);
+std::uint64_t workload_seed(const ExperimentPlan& plan, const Cell& c);
+std::uint64_t engine_seed(const ExperimentPlan& plan, const Cell& c);
+
+}  // namespace lb::exp

@@ -1,0 +1,159 @@
+#include "lb/exp/report.hpp"
+
+#include <cstdio>
+
+#include "lb/util/assert.hpp"
+#include "lb/util/table.hpp"
+
+namespace lb::exp {
+
+namespace {
+
+bool same_group(const Cell& a, const Cell& b) {
+  return a.graph == b.graph && a.scenario == b.scenario &&
+         a.workload == b.workload && a.balancer == b.balancer &&
+         a.scalar == b.scalar;
+}
+
+std::string group_label(const ExperimentPlan& plan, const Cell& c) {
+  return plan.graphs[c.graph].label() + "/" + plan.scenarios[c.scenario].label() +
+         "/" + plan.workloads[c.workload].label() + "/" +
+         plan.balancers[c.balancer].label() + "/" + to_string(c.scalar);
+}
+
+/// CI half-width that degrades to 0 for single-replicate groups
+/// (RunningStats returns infinity there, which %.3f would print as
+/// "inf" — invalid JSON and a poisoned CSV cell).
+double ci_or_zero(const util::RunningStats& s) {
+  return s.count() >= 2 ? s.ci_halfwidth() : 0.0;
+}
+
+/// Φ at `frac` of one replicate's own trajectory (0 without a trace).
+double phi_at_fraction(const core::Trace& trace, double frac) {
+  const auto& records = trace.records();
+  if (records.empty()) return 0.0;
+  const std::size_t last = records.size() - 1;
+  const std::size_t idx =
+      static_cast<std::size_t>(frac * static_cast<double>(last) + 0.5);
+  return records[std::min(idx, last)].potential;
+}
+
+}  // namespace
+
+std::vector<AggregateRow> CampaignReport::aggregate(const ExperimentPlan& plan) const {
+  std::vector<AggregateRow> rows;
+  std::size_t i = 0;
+  while (i < cells.size()) {
+    // The seed axis is innermost in plan.cells(), so a replicate group is
+    // a contiguous run.
+    std::size_t j = i;
+    while (j < cells.size() && same_group(cells[i].cell, cells[j].cell)) ++j;
+
+    AggregateRow row;
+    row.key = cells[i].cell;
+    row.key.seed_index = 0;
+    row.label = group_label(plan, row.key);
+    row.replicates = j - i;
+    if (row.key.graph < lambda2_per_graph.size()) {
+      row.lambda2 = lambda2_per_graph[row.key.graph];
+    }
+
+    std::vector<double> phi25, phi50, phi75;
+    for (std::size_t k = i; k < j; ++k) {
+      const core::RunResult& r = cells[k].run;
+      if (r.reached_target) ++row.reached;
+      row.rounds.add(static_cast<double>(r.rounds));
+      row.final_potential.add(r.final_potential);
+      if (!r.trace.records().empty()) {
+        phi25.push_back(phi_at_fraction(r.trace, 0.25));
+        phi50.push_back(phi_at_fraction(r.trace, 0.50));
+        phi75.push_back(phi_at_fraction(r.trace, 0.75));
+      }
+    }
+    if (!phi50.empty()) {
+      row.phi_q25_med = util::quantile(phi25, 0.5);
+      row.phi_q50_med = util::quantile(phi50, 0.5);
+      row.phi_q75_med = util::quantile(phi75, 0.5);
+      row.phi_q50_p10 = util::quantile(phi50, 0.1);
+      row.phi_q50_p90 = util::quantile(phi50, 0.9);
+    }
+    rows.push_back(std::move(row));
+    i = j;
+  }
+  return rows;
+}
+
+std::string CampaignReport::cells_csv(const ExperimentPlan& plan) const {
+  util::Table table({"graph", "scenario", "workload", "balancer", "scalar", "seed",
+                     "rounds", "reached", "phi_initial", "phi_final",
+                     "discrepancy", "setup_us", "run_us"});
+  for (const CellResult& c : cells) {
+    table.row()
+        .add(plan.graphs[c.cell.graph].label())
+        .add(plan.scenarios[c.cell.scenario].label())
+        .add(plan.workloads[c.cell.workload].label())
+        .add(plan.balancers[c.cell.balancer].label())
+        .add(to_string(c.cell.scalar))
+        .add(static_cast<std::int64_t>(c.cell.seed_index))
+        .add(static_cast<std::int64_t>(c.run.rounds))
+        .add(c.run.reached_target ? 1 : 0)
+        .add_sci(c.run.initial_potential)
+        .add_sci(c.run.final_potential)
+        .add(c.run.final_discrepancy)
+        .add(c.setup_seconds * 1e6, 6)
+        .add(c.run_seconds * 1e6, 6);
+  }
+  return table.to_csv();
+}
+
+std::string CampaignReport::aggregate_csv(const ExperimentPlan& plan) const {
+  util::Table table({"group", "replicates", "reached", "rounds_mean", "rounds_ci95",
+                     "rounds_min", "rounds_max", "phi_final_mean", "phi_mid_p10",
+                     "phi_mid_p50", "phi_mid_p90", "lambda2"});
+  for (const AggregateRow& row : aggregate(plan)) {
+    table.row()
+        .add(row.label)
+        .add(static_cast<std::int64_t>(row.replicates))
+        .add(static_cast<std::int64_t>(row.reached))
+        .add(row.rounds.mean())
+        .add(ci_or_zero(row.rounds))
+        .add(row.rounds.min())
+        .add(row.rounds.max())
+        .add_sci(row.final_potential.mean())
+        .add_sci(row.phi_q50_p10)
+        .add_sci(row.phi_q50_med)
+        .add_sci(row.phi_q50_p90)
+        .add(row.lambda2, 4);
+  }
+  return table.to_csv();
+}
+
+bool CampaignReport::write_json(const ExperimentPlan& plan,
+                                const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"campaign\": {\"cells\": %zu, \"wall_seconds\": %.6f, "
+               "\"us_per_cell\": %.3f, \"epsilon\": %g},\n  \"groups\": [\n",
+               cells.size(), wall_seconds, us_per_cell(), plan.epsilon);
+  const std::vector<AggregateRow> rows = aggregate(plan);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AggregateRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"group\": \"%s\", \"replicates\": %zu, \"reached\": %zu, "
+                 "\"rounds_mean\": %.3f, \"rounds_ci95\": %.3f, "
+                 "\"phi_final_mean\": %.6g, \"phi_mid_p50\": %.6g, "
+                 "\"lambda2\": %.6g}%s\n",
+                 r.label.c_str(), r.replicates, r.reached, r.rounds.mean(),
+                 ci_or_zero(r.rounds), r.final_potential.mean(), r.phi_q50_med,
+                 r.lambda2, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace lb::exp

@@ -55,6 +55,12 @@ class GraphSequence {
 /// The constant sequence G, G, G, ... (reduces Section 5 to Section 4).
 std::unique_ptr<GraphSequence> make_static_sequence(Graph g);
 
+/// Non-owning variant of make_static_sequence: frames reference `g`
+/// instead of copying it.  `g` must outlive the sequence.  The campaign
+/// layer (lb/exp/) uses this to serve many cells off one cached base
+/// graph with zero per-cell CSR copies.
+std::unique_ptr<GraphSequence> make_static_view(const Graph& g);
+
 /// Cycle through the given graphs: G_1, ..., G_p, G_1, ... (all must share
 /// the node count).
 std::unique_ptr<GraphSequence> make_periodic_sequence(std::vector<Graph> graphs);

@@ -54,3 +54,10 @@
 
 // Workload generators.
 #include "lb/workload/initial.hpp"
+
+// Experiment campaigns: declarative grids over (graph x scenario x
+// workload x balancer x scalar x seed), executed with per-cell run
+// isolation and per-base artifact reuse.
+#include "lb/exp/campaign.hpp"
+#include "lb/exp/plan.hpp"
+#include "lb/exp/report.hpp"

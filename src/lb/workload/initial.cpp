@@ -11,11 +11,38 @@ namespace lb::workload {
 namespace {
 
 /// Adjust an integer vector (non-negative entries) so its sum equals
-/// `total`, spreading the correction one token at a time over random
-/// nodes (never driving an entry negative).
+/// `total`, never driving an entry negative.  The bulk of the correction
+/// is distributed uniformly (an equal share to/from every node), so the
+/// cost is O(n · log(correction)) instead of the old one-token-at-a-time
+/// O(correction) loop, which degenerated when the draws summed far from
+/// `total` (large totals over few nodes).  Only the sub-n remainder is
+/// placed one token at a time on random nodes, preserving the randomized
+/// placement the generators rely on.  Draw-order contract: the remainder
+/// loop consumes one next_below(n) per leftover token (plus re-draws for
+/// nodes already at zero when removing); the bulk phase consumes none.
 void fix_total(std::vector<std::int64_t>& load, std::int64_t total, util::Rng& rng) {
+  const std::int64_t n = static_cast<std::int64_t>(load.size());
   std::int64_t sum = 0;
   for (std::int64_t v : load) sum += v;
+
+  if (sum < total && total - sum >= n) {
+    const std::int64_t share = (total - sum) / n;
+    for (std::int64_t& v : load) v += share;
+    sum += share * n;  // leftover is now < n, placed randomly below
+  }
+  while (sum > total) {
+    // Uniform cut, clamped at zero.  Each pass removes either the full
+    // n·share or hits the clamp on some nodes; either way the excess at
+    // least halves per pass once share >= 1, so the loop is logarithmic.
+    const std::int64_t share = (sum - total) / n;
+    if (share == 0) break;
+    for (std::int64_t& v : load) {
+      const std::int64_t cut = std::min(v, share);
+      v -= cut;
+      sum -= cut;
+    }
+  }
+
   while (sum < total) {
     ++load[static_cast<std::size_t>(rng.next_below(load.size()))];
     ++sum;
@@ -61,7 +88,14 @@ std::vector<T> uniform_random(std::size_t n, T total, util::Rng& rng) {
   const double cap = 2.0 * static_cast<double>(total) / static_cast<double>(n);
   for (T& v : load) {
     if constexpr (std::is_integral_v<T>) {
-      v = static_cast<T>(rng.next_below(static_cast<std::uint64_t>(cap) + 1));
+      // Draw a real uniform over [0, cap) and round to the nearest
+      // integer.  Truncating the cap itself (the old
+      // next_below(floor(cap)+1)) floored fractional caps — total=5, n=4
+      // drew from {0,1,2} with mean 1.0 instead of ≈ total/n = 1.25 —
+      // biasing every draw low and shifting the whole correction onto
+      // fix_total.  Rounding the draw keeps the mean at cap/2 (exactly,
+      // for integral caps: the two half-weight endpoints balance).
+      v = static_cast<T>(std::llround(rng.next_double(0.0, cap)));
     } else {
       v = static_cast<T>(rng.next_double(0.0, cap));
     }

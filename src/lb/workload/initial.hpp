@@ -22,8 +22,9 @@ namespace lb::workload {
 template <class T>
 std::vector<T> spike(std::size_t n, T total);
 
-/// Every node's load uniform in [0, 2·total/n], then adjusted to the
-/// exact total.
+/// Every node's load uniform in [0, 2·total/n] (rounded to the nearest
+/// token for integral T — fractional caps are NOT floored, so the draw
+/// mean stays at total/n), then adjusted to the exact total.
 template <class T>
 std::vector<T> uniform_random(std::size_t n, T total, util::Rng& rng);
 

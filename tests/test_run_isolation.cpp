@@ -1,0 +1,419 @@
+// Run-isolation and campaign-equivalence suite.
+//
+// The contract (DESIGN.md §6): Engine::run calls Balancer::on_run_begin()
+// so a REUSED balancer produces runs bit-identical to a FRESH instance's —
+// for all eight balancers, both scalar types, every pool size.  Before
+// the protocol existed, SecondOrderScheme carried prev_/have_prev_ and
+// OptimalPolynomialScheme carried position_ across runs whenever the
+// graph revision did not change, silently corrupting the second run;
+// these tests fail on that behaviour.
+//
+// The campaign half: CampaignRunner's cached mode (shared graph bases,
+// spectral profiles, reused balancers and arenas) must be bit-identical
+// per cell to the fresh-everything oracle and to the cold mode, at every
+// pool size.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "lb/core/async.hpp"
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/fos.hpp"
+#include "lb/core/heterogeneous.hpp"
+#include "lb/core/ops.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/core/round_context.hpp"
+#include "lb/core/sos.hpp"
+#include "lb/exp/campaign.hpp"
+#include "lb/exp/plan.hpp"
+#include "lb/graph/dynamic.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/util/thread_pool.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::core::EngineConfig;
+using lb::core::RunResult;
+using lb::util::ThreadPool;
+
+template <class T>
+bool bits_equal(T a, T b) {
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+::testing::AssertionResult runs_bits_equal(const RunResult& a, const RunResult& b) {
+  if (a.rounds != b.rounds) {
+    return ::testing::AssertionFailure()
+           << "rounds " << a.rounds << " vs " << b.rounds;
+  }
+  if (a.reached_target != b.reached_target || a.stalled != b.stalled) {
+    return ::testing::AssertionFailure() << "termination flags differ";
+  }
+  if (!bits_equal(a.initial_potential, b.initial_potential) ||
+      !bits_equal(a.final_potential, b.final_potential) ||
+      !bits_equal(a.final_discrepancy, b.final_discrepancy)) {
+    return ::testing::AssertionFailure()
+           << "potentials differ: " << a.final_potential << " vs "
+           << b.final_potential;
+  }
+  if (a.trace.size() != b.trace.size()) {
+    return ::testing::AssertionFailure() << "trace length differs";
+  }
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    if (!bits_equal(a.trace[i].potential, b.trace[i].potential) ||
+        !bits_equal(a.trace[i].transferred, b.trace[i].transferred) ||
+        a.trace[i].active_edges != b.trace[i].active_edges) {
+      return ::testing::AssertionFailure() << "trace diverges at round " << i + 1;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+template <class T>
+::testing::AssertionResult loads_bits_equal(const std::vector<T>& a,
+                                            const std::vector<T>& b) {
+  if (a.size() != b.size()) return ::testing::AssertionFailure() << "size mismatch";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!bits_equal(a[i], b[i])) {
+      return ::testing::AssertionFailure()
+             << "loads diverge at node " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<std::size_t> pool_sizes() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return {1, 2, hw};
+}
+
+std::vector<double> test_speeds(std::size_t n) {
+  std::vector<double> speed(n, 1.0);
+  for (std::size_t i = 1; i < n; i += 2) speed[i] = 4.0;
+  return speed;
+}
+
+/// All eight balancers, by stable index (continuous-only kinds return
+/// nullptr for Tokens and are skipped).
+constexpr const char* kBalancerNames[] = {
+    "diffusion", "dimexch", "randpartner", "async", "hetero", "fos", "sos", "ops"};
+
+template <class T>
+std::unique_ptr<lb::core::Balancer<T>> make_test_balancer(std::size_t kind,
+                                                          std::size_t n) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<lb::core::DiffusionBalancer<T>>();
+    case 1:
+      return std::make_unique<lb::core::DimensionExchange<T>>();
+    case 2:
+      return std::make_unique<lb::core::RandomPartnerBalancer<T>>();
+    case 3:
+      return std::make_unique<lb::core::AsyncDiffusion<T>>(0.5);
+    case 4:
+      return std::make_unique<lb::core::HeterogeneousDiffusion<T>>(test_speeds(n));
+    default:
+      break;
+  }
+  if constexpr (std::is_same_v<T, double>) {
+    switch (kind) {
+      case 5:
+        return std::make_unique<lb::core::FirstOrderScheme>();
+      case 6:
+        return std::make_unique<lb::core::SecondOrderScheme>();  // auto β
+      case 7:
+        return std::make_unique<lb::core::OptimalPolynomialScheme>();
+      default:
+        break;
+    }
+  }
+  return nullptr;
+}
+
+/// The two-run protocol: run 1 on a spike (short — stops an OPS schedule
+/// mid-way, an SOS with prev_ set, a round-robin mid-cycle), then run 2
+/// on an unrelated workload.  Returns run 2's result + final loads.
+template <class T>
+std::pair<RunResult, std::vector<T>> second_run(lb::core::Balancer<T>& balancer,
+                                                const lb::graph::Graph& g,
+                                                ThreadPool* pool,
+                                                bool do_first_run) {
+  EngineConfig cfg;
+  cfg.record_trace = true;
+  cfg.pool = pool;
+  if (do_first_run) {
+    cfg.max_rounds = 7;
+    cfg.seed = 11;
+    // Unreachable target: run 1 executes all 7 rounds even on schedules
+    // that balance perfectly sooner (OPS, hypercube round-robin), so it
+    // always ends MID-schedule — the state the reset must clear.
+    cfg.target_potential = -1.0;
+    auto load = lb::workload::spike<T>(g.num_nodes(),
+                                       static_cast<T>(1000 * g.num_nodes()));
+    (void)lb::core::run_static(balancer, g, load, cfg);
+  }
+  cfg.max_rounds = 40;
+  cfg.seed = 22;
+  cfg.target_potential = EngineConfig{}.target_potential;
+  lb::util::Rng rng(77);
+  auto load = lb::workload::uniform_random<T>(
+      g.num_nodes(), static_cast<T>(500 * g.num_nodes()), rng);
+  RunResult r = lb::core::run_static(balancer, g, load, cfg);
+  return {std::move(r), std::move(load)};
+}
+
+template <class T>
+void expect_reuse_clean(const lb::graph::Graph& g) {
+  for (std::size_t ps : pool_sizes()) {
+    ThreadPool pool(ps);
+    for (std::size_t kind = 0; kind < 8; ++kind) {
+      auto reused = make_test_balancer<T>(kind, g.num_nodes());
+      if (!reused) continue;  // continuous-only kind under Tokens
+      auto fresh = make_test_balancer<T>(kind, g.num_nodes());
+      // Reused: two consecutive runs.  Fresh: the second run only, on a
+      // brand-new instance — the behaviour a reused balancer must match.
+      const auto got = second_run(*reused, g, &pool, /*do_first_run=*/true);
+      const auto want = second_run(*fresh, g, &pool, /*do_first_run=*/false);
+      EXPECT_TRUE(runs_bits_equal(got.first, want.first))
+          << kBalancerNames[kind] << " pool=" << ps;
+      EXPECT_TRUE(loads_bits_equal(got.second, want.second))
+          << kBalancerNames[kind] << " pool=" << ps;
+    }
+  }
+}
+
+TEST(RunIsolationTest, ReusedBalancerBitIdenticalToFreshContinuous) {
+  expect_reuse_clean<double>(lb::graph::make_torus2d(6, 6));
+}
+
+TEST(RunIsolationTest, ReusedBalancerBitIdenticalToFreshDiscrete) {
+  expect_reuse_clean<std::int64_t>(lb::graph::make_torus2d(6, 6));
+}
+
+TEST(RunIsolationTest, SosSecondRunForgetsPrev) {
+  // The historical leak: prev_/have_prev_ survived into the next run, so
+  // the reused scheme's first round was a β-combination against the OLD
+  // run's trajectory instead of a plain FOS step.
+  const auto g = lb::graph::make_torus2d(4, 4);
+  lb::core::SecondOrderScheme reused(1.6), fresh(1.6);
+  const auto got = second_run(reused, g, nullptr, true);
+  const auto want = second_run(fresh, g, nullptr, false);
+  EXPECT_TRUE(runs_bits_equal(got.first, want.first));
+  EXPECT_TRUE(loads_bits_equal(got.second, want.second));
+}
+
+TEST(RunIsolationTest, OpsRestartsSchedulePerRun) {
+  // Q_4 has a 4-factor schedule; run 1 stops after 3 rounds, so the
+  // pre-fix scheme resumed run 2 at λ_4 instead of λ_1.
+  const auto g = lb::graph::make_hypercube(4);
+  lb::core::OptimalPolynomialScheme reused, fresh;
+  const auto got = second_run(reused, g, nullptr, true);
+  const auto want = second_run(fresh, g, nullptr, false);
+  EXPECT_TRUE(runs_bits_equal(got.first, want.first));
+  EXPECT_TRUE(loads_bits_equal(got.second, want.second));
+  EXPECT_EQ(reused.schedule_length(), 4u);
+}
+
+TEST(RunIsolationTest, HypercubeRoundRobinRestartsPerRun) {
+  // Round-robin dimension exchange: run 1 ends mid-cycle (7 % 4 != 0);
+  // without the reset run 2 starts on dimension 3 instead of 0.
+  const auto g = lb::graph::make_hypercube(4);
+  lb::core::ContinuousDimensionExchange reused(
+      lb::core::MatchingStrategy::kHypercubeRoundRobin);
+  lb::core::ContinuousDimensionExchange fresh(
+      lb::core::MatchingStrategy::kHypercubeRoundRobin);
+  const auto got = second_run(reused, g, nullptr, true);
+  const auto want = second_run(fresh, g, nullptr, false);
+  EXPECT_TRUE(runs_bits_equal(got.first, want.first));
+  EXPECT_TRUE(loads_bits_equal(got.second, want.second));
+}
+
+TEST(RunIsolationTest, SosAutoBetaRebindsAcrossGraphs) {
+  // An auto-β SOS reused on a DIFFERENT graph must re-derive β from the
+  // new spectrum, exactly as a fresh instance would.
+  const auto torus = lb::graph::make_torus2d(4, 4);
+  const auto cycle = lb::graph::make_cycle(16);
+  lb::core::SecondOrderScheme reused, fresh;
+  {
+    EngineConfig cfg;
+    cfg.max_rounds = 7;
+    auto load = lb::workload::spike<double>(16, 16000.0);
+    (void)lb::core::run_static(reused, torus, load, cfg);
+  }
+  EngineConfig cfg;
+  cfg.max_rounds = 40;
+  cfg.record_trace = true;
+  auto load_a = lb::workload::spike<double>(16, 16000.0);
+  auto load_b = load_a;
+  const RunResult got = lb::core::run_static(reused, cycle, load_a, cfg);
+  const RunResult want = lb::core::run_static(fresh, cycle, load_b, cfg);
+  EXPECT_TRUE(runs_bits_equal(got, want));
+  EXPECT_TRUE(loads_bits_equal(load_a, load_b));
+  EXPECT_DOUBLE_EQ(reused.beta(), fresh.beta());
+}
+
+TEST(RunIsolationTest, OpsRebindsAcrossGraphsAtRunBoundary) {
+  // OPS reused across graphs: the revision-keyed schedule is recomputed
+  // at the next run start instead of tripping the mid-schedule assert.
+  const auto complete = lb::graph::make_complete(8);
+  const auto cube = lb::graph::make_hypercube(3);
+  lb::core::OptimalPolynomialScheme reused, fresh;
+  {
+    EngineConfig cfg;
+    cfg.max_rounds = 5;
+    auto load = lb::workload::spike<double>(8, 800.0);
+    (void)lb::core::run_static(reused, complete, load, cfg);
+    EXPECT_EQ(reused.schedule_length(), 1u);  // K_8: single eigenvalue
+  }
+  EngineConfig cfg;
+  cfg.max_rounds = 20;
+  cfg.record_trace = true;
+  auto load_a = lb::workload::spike<double>(8, 800.0);
+  auto load_b = load_a;
+  const RunResult got = lb::core::run_static(reused, cube, load_a, cfg);
+  const RunResult want = lb::core::run_static(fresh, cube, load_b, cfg);
+  EXPECT_EQ(reused.schedule_length(), 3u);  // Q_3: eigenvalues {2, 4, 6}
+  EXPECT_TRUE(runs_bits_equal(got, want));
+  EXPECT_TRUE(loads_bits_equal(load_a, load_b));
+}
+
+TEST(RunIsolationTest, ExternalArenaMatchesInternal) {
+  // The engine's caller-owned-arena overload (campaign reuse) must be
+  // bit-identical to the run-local default, including back-to-back runs
+  // reusing one arena's flow-ledger CSR.
+  const auto g = lb::graph::make_torus2d(6, 6);
+  auto seq = lb::graph::make_static_view(g);
+  lb::core::RunArena<double> arena;
+  for (int rep = 0; rep < 2; ++rep) {
+    lb::core::ContinuousDiffusion a, b;
+    EngineConfig cfg;
+    cfg.max_rounds = 30;
+    cfg.record_trace = true;
+    auto load_a = lb::workload::spike<double>(36, 36000.0);
+    auto load_b = load_a;
+    const RunResult ra = lb::core::run(a, *seq, load_a, cfg, arena);
+    const RunResult rb = lb::core::run(b, *seq, load_b, cfg);
+    EXPECT_TRUE(runs_bits_equal(ra, rb)) << "rep " << rep;
+    EXPECT_TRUE(loads_bits_equal(load_a, load_b)) << "rep " << rep;
+  }
+}
+
+// --- Campaign-vs-oracle equivalence ----------------------------------
+
+lb::exp::ExperimentPlan small_plan() {
+  lb::exp::ExperimentPlan plan;
+  plan.graphs = {{"torus2d", 16}, {"cycle", 12}};
+  plan.scenarios = {lb::exp::static_scenario(), lb::exp::bernoulli_scenario(0.8)};
+  plan.workloads = {{"spike", 1000.0}, {"uniform", 500.0}};
+  plan.balancers = {{lb::exp::BalancerKind::kDiffusion, 0.0},
+                    {lb::exp::BalancerKind::kSos, 0.0},
+                    {lb::exp::BalancerKind::kOps, 0.0},
+                    {lb::exp::BalancerKind::kAsync, 0.5}};
+  plan.seeds = {1, 2};
+  plan.engine.max_rounds = 50;
+  plan.engine.record_trace = true;
+  plan.epsilon = 1e-4;
+  return plan;
+}
+
+TEST(CampaignTest, CellGridFiltersIncompatibleAxes) {
+  const auto plan = small_plan();
+  const auto cells = plan.cells();
+  for (const lb::exp::Cell& c : cells) {
+    EXPECT_TRUE(
+        lb::exp::supports_scalar(plan.balancers[c.balancer].kind, c.scalar));
+    EXPECT_TRUE(lb::exp::supports_scenario(plan.balancers[c.balancer],
+                                           plan.scenarios[c.scenario].kind));
+  }
+  // Per (graph, workload, seed): static carries diffusion×2 + sos + ops +
+  // async×2 = 6 cells; bernoulli loses OPS and auto-β SOS = 4.
+  EXPECT_EQ(cells.size(), 2u * 2u * 2u * (6u + 4u));
+}
+
+TEST(CampaignTest, CachedBitIdenticalToFreshOracleEveryPoolSize) {
+  const auto plan = small_plan();
+  const auto cells = plan.cells();
+
+  std::vector<lb::exp::CampaignReport> reports;
+  for (std::size_t ps : pool_sizes()) {
+    ThreadPool pool(ps);
+    lb::exp::CampaignRunner runner(
+        {lb::exp::ArtifactMode::kCached, &pool});
+    reports.push_back(runner.run(plan));
+    ASSERT_EQ(reports.back().cells.size(), cells.size());
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto oracle = lb::exp::CampaignRunner::run_cell_fresh(plan, cells[i]);
+    for (std::size_t p = 0; p < reports.size(); ++p) {
+      EXPECT_TRUE(runs_bits_equal(reports[p].cells[i].run, oracle.run))
+          << plan.cell_label(cells[i]) << " pool#" << p;
+    }
+  }
+}
+
+TEST(CampaignTest, ColdModeMatchesCachedMode) {
+  const auto plan = small_plan();
+  lb::exp::CampaignRunner cold({lb::exp::ArtifactMode::kCold, nullptr});
+  lb::exp::CampaignRunner cached({lb::exp::ArtifactMode::kCached, nullptr});
+  const auto a = cold.run(plan);
+  const auto b = cached.run(plan);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_TRUE(runs_bits_equal(a.cells[i].run, b.cells[i].run))
+        << plan.cell_label(a.cells[i].cell);
+  }
+}
+
+TEST(CampaignTest, ReportAggregatesReplicates) {
+  const auto plan = small_plan();
+  lb::exp::CampaignRunner runner({lb::exp::ArtifactMode::kCached, nullptr});
+  const auto report = runner.run(plan);
+  const auto rows = report.aggregate(plan);
+  ASSERT_FALSE(rows.empty());
+  std::size_t total = 0;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.replicates, plan.seeds.size()) << row.label;
+    EXPECT_LE(row.reached, row.replicates);
+    EXPECT_GT(row.rounds.mean(), 0.0);
+    total += row.replicates;
+  }
+  EXPECT_EQ(total, report.cells.size());
+  // Cached mode profiled the bases SOS-static cells run on.
+  ASSERT_EQ(report.lambda2_per_graph.size(), plan.graphs.size());
+  for (double l2 : report.lambda2_per_graph) EXPECT_GT(l2, 0.0);
+  // Emitters produce non-trivial artifacts.
+  EXPECT_NE(report.cells_csv(plan).find("rounds"), std::string::npos);
+  EXPECT_NE(report.aggregate_csv(plan).find("rounds_mean"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/campaign.json";
+  EXPECT_TRUE(report.write_json(plan, path));
+}
+
+TEST(CampaignTest, SingleReplicateEmitsFiniteStatistics) {
+  // One seed -> RunningStats' CI half-width is infinite; the emitters
+  // must degrade it to 0 instead of printing "inf" (invalid JSON, a
+  // poisoned CSV cell).
+  auto plan = small_plan();
+  plan.seeds = {1};
+  lb::exp::CampaignRunner runner({lb::exp::ArtifactMode::kCached, nullptr});
+  const auto report = runner.run(plan);
+  EXPECT_EQ(report.aggregate_csv(plan).find("inf"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/campaign_single.json";
+  ASSERT_TRUE(report.write_json(plan, path));
+  std::ifstream in(path);
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_ci95\": 0.000"), std::string::npos);
+}
+
+}  // namespace

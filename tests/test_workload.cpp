@@ -99,6 +99,55 @@ TEST(NamedWorkloadTest, UnknownNameDies) {
                "unknown workload");
 }
 
+TEST(UniformRandomTest, FractionalCapIsNotFloored) {
+  // Regression: with cap = 2·total/n = 6.5, the old draw floored the cap
+  // (next_below(6+1): uniform over {0..6}, mean 3.0 < total/n = 3.25) and
+  // fix_total back-filled the ~0.27·n deficit with random increments,
+  // pushing ~4% of nodes past the cap to 7+.  The rounded draw keeps the
+  // mean at ~cap/2, so values above the cap stay rare (~0.6%: only
+  // remainder tokens landing on capped nodes).  n is large enough that
+  // the draw-sum's own variance (≈ sqrt(n)·1.9 tokens either way) stays
+  // small against the pre-fix bias, keeping the two regimes separated.
+  lb::util::Rng rng(99);
+  std::size_t above_cap = 0, samples = 0;
+  for (int rep = 0; rep < 500; ++rep) {
+    const auto load = lb::workload::uniform_random<std::int64_t>(400, 1300, rng);
+    ASSERT_EQ(lb::core::total_load(load), 1300);
+    for (std::int64_t v : load) {
+      ASSERT_GE(v, 0);
+      if (v >= 7) ++above_cap;
+      ++samples;
+    }
+  }
+  EXPECT_LT(static_cast<double>(above_cap) / static_cast<double>(samples), 0.02);
+}
+
+TEST(UniformRandomTest, SurplusDrawsAreTrimmedExactly) {
+  // Rounding can push the draw sum above the total (small caps round up
+  // often); the trim path must land on the exact total without going
+  // negative, across many realizations.
+  lb::util::Rng rng(123);
+  for (int rep = 0; rep < 500; ++rep) {
+    const auto load = lb::workload::uniform_random<std::int64_t>(3, 2, rng);
+    EXPECT_EQ(lb::core::total_load(load), 2);
+    EXPECT_TRUE(lb::core::all_non_negative(load));
+  }
+}
+
+TEST(UniformRandomTest, HugeCorrectionIsBulkDistributed) {
+  // Regression for the O(deficit) fix_total loop: with two nodes and a
+  // 4e9 total, a low draw leaves a deficit of ~1e9 tokens, which the old
+  // loop paid for one RNG call at a time.  The bulk distribution makes
+  // this instantaneous; the exact-total postcondition is unchanged.
+  lb::util::Rng rng(7);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::int64_t total = 4'000'000'000LL;
+    const auto load = lb::workload::uniform_random<std::int64_t>(2, total, rng);
+    EXPECT_EQ(lb::core::total_load(load), total);
+    EXPECT_TRUE(lb::core::all_non_negative(load));
+  }
+}
+
 TEST(WorkloadDeterminismTest, SameSeedSameLoad) {
   lb::util::Rng a(42), b(42);
   EXPECT_EQ(lb::workload::uniform_random<std::int64_t>(32, 3200, a),
