@@ -46,6 +46,14 @@ for name in "${benches[@]}"; do
     "${bin}" --csv \
       --json "${out_dir}/BENCH_campaign.json" \
       --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
+  elif [[ ${name} == bench_shard ]]; then
+    # The sharded-execution bench verifies bit-identity to the
+    # shared-memory oracle itself (nonzero exit on divergence) and emits
+    # BENCH_shard.json plus the ablation_shard_k{1,4}.csv trace pair
+    # (per-round Φ + comm columns at K=1 and K=4) directly.
+    "${bin}" --csv \
+      --json "${out_dir}/BENCH_shard.json" \
+      --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
   elif [[ ${name} == bench_thm7_dynamic ]]; then
     # The dynamic-topology bench runs every scenario down both substrates
     # (masked frames vs per-round graph rebuilds) in one invocation, so

@@ -30,6 +30,8 @@ template <class T>
 class RoundContext;
 template <class T>
 class RunArena;
+template <class T>
+struct FlowProgram;
 
 /// What one round did, for traces and convergence detection.
 struct StepStats {
@@ -66,6 +68,23 @@ class Balancer {
   /// True if the algorithm ignores `g` and builds its own communication
   /// pattern (Algorithm 2's random partners).
   virtual bool uses_network() const { return true; }
+
+  /// Distributed-execution hook (lb/shard/): describe this round as a
+  /// FlowProgram — a pure per-edge flow function plus optional structure
+  /// (see flow_program.hpp) — and return true; the sharded engine then
+  /// replays the identical arithmetic through its ownership/halo
+  /// machinery instead of calling step().  All round-consumed RNG draws
+  /// (matchings) and trajectory-state updates (SOS's L^{t-1} flag,
+  /// dimension exchange's round-robin counter) must happen HERE, exactly
+  /// as step() would perform them, so planned and stepped runs consume
+  /// identical streams.  Default: not plannable — the sharded engine
+  /// falls back to step() for such rounds (shared-memory execution,
+  /// zero modeled comm).
+  virtual bool plan_round(RoundContext<T>& ctx, FlowProgram<T>& program) {
+    (void)ctx;
+    (void)program;
+    return false;
+  }
 
   /// The network's topology epoch changed (dynamic sequences): drop any
   /// cached per-graph views.  The context's shared flow ledger re-keys

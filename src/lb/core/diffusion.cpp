@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "lb/core/flow_program.hpp"
 #include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -115,30 +116,7 @@ StepStats DiffusionBalancer<T>::step(RoundContext<T>& ctx, std::vector<T>& load)
   // round is free of degree lookups.  The cached denominator is the same
   // double the seed computes inline, so the flows — and therefore the
   // loads — remain bit-identical to the edge-sweep path.
-  if (denom_revision_ != g.revision()) {
-    denom_revision_ = g.revision();
-    const auto& edges = g.edges();
-    denoms_.resize(edges.size());
-    auto fill = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t k = lo; k < hi; ++k) {
-        const graph::Edge& e = edges[k];
-        switch (cfg_.rule) {
-          case DenominatorRule::kFactorTimesMaxDegree:
-            denoms_[k] = cfg_.factor *
-                         static_cast<double>(std::max(g.degree(e.u), g.degree(e.v)));
-            break;
-          case DenominatorRule::kDegreePlusOne:
-            denoms_[k] = static_cast<double>(g.max_degree()) + 1.0;
-            break;
-        }
-      }
-    };
-    if (pool != nullptr) {
-      pool->parallel_for(0, edges.size(), 2048, fill);
-    } else {
-      fill(0, edges.size());
-    }
-  }
+  ensure_denominators(g, pool);
 
   const auto flow_fn = [this](std::size_t k, const graph::Edge&, double li,
                               double lj) {
@@ -174,6 +152,73 @@ StepStats DiffusionBalancer<T>::step(RoundContext<T>& ctx, std::vector<T>& load)
   accumulate_flow_totals<T>(flows, stats);
   apply_flows_observed(ctx, ledger, flows, load, pool);
   return stats;
+}
+
+template <class T>
+void DiffusionBalancer<T>::ensure_denominators(const graph::Graph& g,
+                                               util::ThreadPool* pool) {
+  if (denom_revision_ == g.revision()) return;
+  denom_revision_ = g.revision();
+  const auto& edges = g.edges();
+  denoms_.resize(edges.size());
+  auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const graph::Edge& e = edges[k];
+      switch (cfg_.rule) {
+        case DenominatorRule::kFactorTimesMaxDegree:
+          denoms_[k] = cfg_.factor *
+                       static_cast<double>(std::max(g.degree(e.u), g.degree(e.v)));
+          break;
+        case DenominatorRule::kDegreePlusOne:
+          denoms_[k] = static_cast<double>(g.max_degree()) + 1.0;
+          break;
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, edges.size(), 2048, fill);
+  } else {
+    fill(0, edges.size());
+  }
+}
+
+template <class T>
+bool DiffusionBalancer<T>::plan_round(RoundContext<T>& ctx, FlowProgram<T>& program) {
+  // The kEdgeSweep configuration is the seed-verbatim ablation oracle;
+  // it keeps its bespoke step() shape and is never distributed.
+  if (cfg_.apply != ApplyPath::kLedger) return false;
+  program.links = ctx.frame().num_edges();
+  if (ctx.masked()) {
+    // Same inline alive-degree denominator as step_masked's flow_fn; the
+    // frame reference outlives the round (it lives in the sequence).
+    const graph::TopologyFrame& frame = ctx.frame();
+    const double factor = cfg_.factor;
+    const double degree_plus_one = static_cast<double>(frame.max_degree()) + 1.0;
+    const DenominatorRule rule = cfg_.rule;
+    program.flow = [&frame, factor, degree_plus_one, rule](
+                       std::size_t, const graph::Edge& e, double li, double lj) {
+      if (li == lj) return 0.0;
+      const double denom =
+          masked_diffusion_denominator(frame, e, rule, factor, degree_plus_one);
+      double w = std::fabs(li - lj) / denom;
+      if constexpr (std::is_integral_v<T>) {
+        w = std::floor(w);
+      }
+      return li > lj ? w : -w;
+    };
+    return true;
+  }
+  const graph::Graph& g = ctx.graph();
+  ensure_denominators(g, cfg_.parallel ? ctx.pool() : nullptr);
+  program.flow = [this](std::size_t k, const graph::Edge&, double li, double lj) {
+    if (li == lj) return 0.0;
+    double w = std::fabs(li - lj) / denoms_[k];
+    if constexpr (std::is_integral_v<T>) {
+      w = std::floor(w);
+    }
+    return li > lj ? w : -w;
+  };
+  return true;
 }
 
 template class DiffusionBalancer<double>;

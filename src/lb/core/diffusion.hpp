@@ -78,9 +78,19 @@ class DiffusionBalancer final : public Balancer<T> {
   using Balancer<T>::step;  // keep the deprecated (g, load, rng) shim visible
   StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
 
+  /// Sharded replay (flow_program.hpp): the identical flow function the
+  /// ledger paths run — cached per-epoch denominators unmasked, inline
+  /// alive-degree denominators masked.  The kEdgeSweep ablation oracle
+  /// keeps its bespoke step() shape and is not planned.
+  bool plan_round(RoundContext<T>& ctx, FlowProgram<T>& program) override;
+
   const DiffusionConfig& config() const { return cfg_; }
 
  private:
+  // (Re)fill denoms_ for `g`'s epoch if stale — the shared per-epoch
+  // precomputation behind both the ledger step() and plan_round().
+  void ensure_denominators(const graph::Graph& g, util::ThreadPool* pool);
+
   // Masked-frame fast path: flows over the base edge list with dead
   // edges skipped and denominators from the mask's alive-degrees — no
   // graph materialization, no CSR rebuild.  Bit-identical to stepping on

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lb/core/flow_program.hpp"
 #include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -108,6 +109,59 @@ StepStats DimensionExchange<T>::step(RoundContext<T>& ctx, std::vector<T>& load)
     for (const std::uint32_t k : matched_) flows_[k] = 0.0;
   }
   return stats;
+}
+
+template <class T>
+bool DimensionExchange<T>::plan_round(RoundContext<T>& ctx, FlowProgram<T>& program) {
+  if (apply_ != ApplyPath::kLedger) return false;
+  // Identical matching draw to step(): same view (materialized on masked
+  // rounds), same RNG stream, same round-robin counter advance.
+  const graph::Graph& g = ctx.graph();
+  util::Rng& rng = ctx.rng();
+  graph::Matching m;
+  switch (strategy_) {
+    case MatchingStrategy::kGhoshMuthukrishnan:
+      m = graph::gm_random_matching(g, rng);
+      break;
+    case MatchingStrategy::kRandomMaximal:
+      m = graph::random_maximal_matching(g, rng);
+      break;
+    case MatchingStrategy::kHypercubeRoundRobin: {
+      const std::size_t d = hypercube_dimensions(g);
+      m = graph::hypercube_dimension_matching(g, d, round_ % d);
+      break;
+    }
+  }
+  ++round_;
+
+  // Export as BASE edge ids (a masked view's edges are a subset of the
+  // base list with identical endpoints), preserving matching order so
+  // the replayed stats accumulate exactly like step()'s loop.  The
+  // transfer itself is orientation-symmetric (richer endpoint sends), so
+  // canonical endpoint order is equivalent to the matching's own.
+  const graph::Graph& base = ctx.frame().base();
+  program.support = FlowProgram<T>::Support::kMatching;
+  program.links = m.size();
+  program.matched.clear();
+  program.matched.reserve(m.size());
+  for (const graph::Edge& e : m) {
+    const std::size_t k = base.edge_index(e.u, e.v);
+    LB_DEBUG_ASSERT(k < base.num_edges());
+    program.matched.push_back(static_cast<std::uint32_t>(k));
+  }
+  program.flow = [](std::size_t, const graph::Edge&, double lu, double lv) {
+    const double diff = lu - lv;
+    if (diff == 0.0) return 0.0;
+    double amount;
+    if constexpr (std::is_integral_v<T>) {
+      amount = std::floor(std::fabs(diff) / 2.0);
+    } else {
+      amount = std::fabs(diff) / 2.0;
+    }
+    if (amount == 0.0) return 0.0;
+    return diff > 0.0 ? amount : -amount;
+  };
+  return true;
 }
 
 template class DimensionExchange<double>;

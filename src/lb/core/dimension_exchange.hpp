@@ -40,6 +40,13 @@ class DimensionExchange final : public Balancer<T> {
   using Balancer<T>::step;
   StepStats step(RoundContext<T>& ctx, std::vector<T>& load) override;
 
+  /// Sharded replay (flow_program.hpp): draws the round's matching from
+  /// ctx.rng() exactly as step() would (same stream position), exports
+  /// it as base edge ids in matching order, and describes the matched
+  /// transfer ±⌊|ℓ_u − ℓ_v|/2⌋ as the flow function.  The kEdgeSweep
+  /// ablation configuration is not planned.
+  bool plan_round(RoundContext<T>& ctx, FlowProgram<T>& program) override;
+
   MatchingStrategy strategy() const { return strategy_; }
 
   /// Run isolation: restart the round-robin dimension schedule.  Only

@@ -54,6 +54,17 @@ struct EngineConfig {
   util::ThreadPool* pool = nullptr;
 };
 
+/// Communication accounting for one ownership domain of a sharded run
+/// (lb/shard/).  All three fields are *modeled* deterministic quantities
+/// — message/byte counts from the halo protocol, wait from the per-link
+/// latency/bandwidth config — never wall clock, so they are part of the
+/// bit-identity surface (unlike the *_seconds fields below).
+struct DomainCommStats {
+  std::uint64_t messages = 0;        ///< halo messages received
+  std::uint64_t boundary_bytes = 0;  ///< boundary payload bytes received
+  double halo_wait_us = 0.0;         ///< modeled wait at halo barriers
+};
+
 struct RunResult {
   bool reached_target = false;
   bool stalled = false;
@@ -62,6 +73,13 @@ struct RunResult {
   double final_potential = 0.0;
   double final_discrepancy = 0.0;
   Trace trace;                      ///< empty unless record_trace
+  // Sharded-execution observability (lb/shard/): zero/empty for
+  // shared-memory runs and for K=1 (a single domain has no links).
+  std::size_t domains = 0;          ///< K; 0 = shared-memory engine
+  std::size_t sharded_rounds = 0;   ///< rounds run via the domain path
+                                    ///< (others fell back to step())
+  DomainCommStats comm;             ///< totals across all domains
+  std::vector<DomainCommStats> domain_comm;  ///< per-domain breakdown
   // Wall-clock observability (seconds; excluded from determinism claims).
   double total_seconds = 0.0;       ///< whole run, setup included
   double step_seconds = 0.0;        ///< Σ Balancer::step() time

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "lb/core/diffusion.hpp"
+#include "lb/core/flow_program.hpp"
 #include "lb/core/round_context.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -58,6 +59,20 @@ StepStats FirstOrderScheme::step(RoundContext<double>& ctx,
     apply_edge_sweep(g, flows, load);
   }
   return stats;
+}
+
+bool FirstOrderScheme::plan_round(RoundContext<double>& ctx,
+                                  FlowProgram<double>& program) {
+  if (apply_ != ApplyPath::kLedger) return false;
+  // Unmasked frames: frame.max_degree() == graph().max_degree(), so this
+  // is the exact α both step() branches derive.
+  const graph::TopologyFrame& frame = ctx.frame();
+  const double alpha = 1.0 / (static_cast<double>(frame.max_degree()) + 1.0);
+  program.links = frame.num_edges();
+  program.flow = [alpha](std::size_t, const graph::Edge&, double lu, double lv) {
+    return alpha * (lu - lv);
+  };
+  return true;
 }
 
 std::unique_ptr<ContinuousBalancer> make_fos_continuous() {

@@ -28,6 +28,12 @@ class FirstOrderScheme final : public Balancer<double> {
   using Balancer<double>::step;
   StepStats step(RoundContext<double>& ctx, std::vector<double>& load) override;
 
+  /// Sharded replay (flow_program.hpp): the FOS edge flow α·(ℓ_u − ℓ_v)
+  /// with α from the frame's (alive) max degree — the identical closure
+  /// step() runs.  The kEdgeSweep oracle is not planned.
+  bool plan_round(RoundContext<double>& ctx,
+                  FlowProgram<double>& program) override;
+
  private:
   bool parallel_;
   ApplyPath apply_;

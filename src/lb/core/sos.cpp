@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lb/core/flow_program.hpp"
 #include "lb/core/round_context.hpp"
 #include "lb/linalg/spectral.hpp"
 #include "lb/util/assert.hpp"
@@ -119,6 +120,42 @@ StepStats SecondOrderScheme::step(RoundContext<double>& ctx,
     }
   }
   return stats;
+}
+
+bool SecondOrderScheme::plan_round(RoundContext<double>& ctx,
+                                   FlowProgram<double>& program) {
+  if (apply_ != ApplyPath::kLedger) return false;
+  const graph::TopologyFrame& frame = ctx.frame();
+  if (!beta_) {
+    // Same round-1 spectral derivation as step(); on masked rounds this
+    // materializes the cached view, identical to the stepped run.
+    beta_ = optimal_beta(linalg::diffusion_gamma(ctx.graph()));
+  }
+  const double alpha = 1.0 / (static_cast<double>(frame.max_degree()) + 1.0);
+  program.links = frame.num_edges();
+  program.flow = [alpha](std::size_t, const graph::Edge&, double lu, double lv) {
+    return alpha * (lu - lv);
+  };
+  if (!have_prev_) {
+    // First round is a plain FOS step: the applied value stands, and the
+    // round-start load becomes L^{t-1} (step()'s prev_ = load copy).
+    prev_.resize(frame.num_nodes());
+    program.post = [this](std::size_t u, double applied, double before) {
+      prev_[u] = before;
+      return applied;
+    };
+    have_prev_ = true;
+    return true;
+  }
+  const double b = *beta_;
+  program.post = [this, b](std::size_t u, double applied, double before) {
+    // `applied` is step()'s scratch_[u] (M·L at u), so this is the exact
+    // combine expression: b·scratch + (1−b)·prev, then prev <- L^t.
+    const double next = b * applied + (1.0 - b) * prev_[u];
+    prev_[u] = before;
+    return next;
+  };
+  return true;
 }
 
 std::unique_ptr<ContinuousBalancer> make_sos(std::optional<double> beta) {

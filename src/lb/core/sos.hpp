@@ -36,6 +36,14 @@ class SecondOrderScheme final : public Balancer<double> {
   using Balancer<double>::step;
   StepStats step(RoundContext<double>& ctx, std::vector<double>& load) override;
 
+  /// Sharded replay (flow_program.hpp): the FOS edge flow plus a per-node
+  /// post combine carrying the β-recurrence — plain FOS on the first
+  /// round (recording L^{t-1}), β·(M·L)_u + (1−β)·prev otherwise, with
+  /// the exact per-node expression step() evaluates.  prev_ is per-node
+  /// state, so the post closure is safe to run from any domain.
+  bool plan_round(RoundContext<double>& ctx,
+                  FlowProgram<double>& program) override;
+
   /// Run isolation: forget L^{t-1} (the next step is a plain FOS round
   /// again, as for a fresh instance) and, when β was auto-computed,
   /// forget it too so a run on a different graph re-derives its own

@@ -20,11 +20,13 @@ std::size_t Trace::first_round_at_or_below(double target_potential) const {
 
 std::string Trace::to_csv() const {
   std::ostringstream os;
-  os << "round,potential,discrepancy,transferred,active_edges,step_us,metrics_us\n";
+  os << "round,potential,discrepancy,transferred,active_edges,step_us,metrics_us,"
+        "messages,boundary_bytes,halo_wait_us\n";
   for (const RoundRecord& r : records_) {
     os << r.round << ',' << r.potential << ',' << r.discrepancy << ','
        << r.transferred << ',' << r.active_edges << ',' << r.step_us << ','
-       << r.metrics_us << '\n';
+       << r.metrics_us << ',' << r.messages << ',' << r.boundary_bytes << ','
+       << r.halo_wait_us << '\n';
   }
   return os.str();
 }

@@ -17,6 +17,12 @@ struct RoundRecord {
   /// Wall-clock µs computing the post-round summary *outside* step();
   /// ~0 when the balancer fused the metrics sweep into its apply phase.
   double metrics_us = 0.0;
+  // Sharded-execution comm observability (lb/shard/): modeled, therefore
+  // deterministic, unlike the two wall fields above.  Zero for
+  // shared-memory rounds.
+  std::uint64_t messages = 0;        ///< halo messages this round
+  std::uint64_t boundary_bytes = 0;  ///< boundary payload bytes this round
+  double halo_wait_us = 0.0;         ///< modeled critical-path halo wait
 };
 
 class Trace {
@@ -35,8 +41,8 @@ class Trace {
   /// First round whose potential is <= target; 0 if never reached.
   std::size_t first_round_at_or_below(double target_potential) const;
 
-  /// CSV with header
-  /// round,potential,discrepancy,transferred,active_edges,step_us,metrics_us.
+  /// CSV with header round,potential,discrepancy,transferred,
+  /// active_edges,step_us,metrics_us,messages,boundary_bytes,halo_wait_us.
   std::string to_csv() const;
 
  private:

@@ -18,6 +18,7 @@
 #include "lb/graph/dynamic.hpp"
 #include "lb/graph/generators.hpp"
 #include "lb/linalg/spectral.hpp"
+#include "lb/shard/sharded_engine.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 #include "lb/util/timer.hpp"
@@ -169,7 +170,18 @@ CellResult run_cell_impl(const ExperimentPlan& plan, const Cell& cell,
   result.setup_seconds = setup_watch.elapsed_seconds();
 
   const util::Stopwatch run_watch;
-  result.run = core::run(balancer, *seq, load, config, arena);
+  const std::size_t domains =
+      plan.shards.empty() ? 1 : plan.shards[cell.shard];
+  if (domains > 1) {
+    // Sharded execution is its own runtime (domain CSR slices, comm
+    // engine) — the shared arena's amortized ledger is not reused, and
+    // the RunResult is bit-identical to the arena path regardless.
+    shard::ShardConfig shard_cfg;
+    shard_cfg.domains = domains;
+    result.run = shard::run(balancer, *seq, load, config, shard_cfg);
+  } else {
+    result.run = core::run(balancer, *seq, load, config, arena);
+  }
   result.run_seconds = run_watch.elapsed_seconds();
   return result;
 }

@@ -138,7 +138,7 @@ std::vector<Cell> ExperimentPlan::cells() const {
   LB_ASSERT_MSG(!graphs.empty(), "plan has no graphs");
   LB_ASSERT_MSG(!balancers.empty(), "plan has no balancers");
   LB_ASSERT_MSG(!scenarios.empty() && !workloads.empty() && !scalars.empty() &&
-                    !seeds.empty(),
+                    !shards.empty() && !seeds.empty(),
                 "plan has an empty axis");
   std::vector<Cell> out;
   for (std::size_t g = 0; g < graphs.size(); ++g) {
@@ -148,8 +148,12 @@ std::vector<Cell> ExperimentPlan::cells() const {
           if (!supports_scenario(balancers[b], scenarios[sc].kind)) continue;
           for (Scalar s : scalars) {
             if (!supports_scalar(balancers[b].kind, s)) continue;
-            for (std::size_t r = 0; r < seeds.size(); ++r) {
-              out.push_back(Cell{g, sc, w, b, s, r});
+            // The seed axis stays innermost (aggregation groups are
+            // contiguous replicate runs), so shards sits just outside it.
+            for (std::size_t k = 0; k < shards.size(); ++k) {
+              for (std::size_t r = 0; r < seeds.size(); ++r) {
+                out.push_back(Cell{g, sc, w, b, s, k, r});
+              }
             }
           }
         }
@@ -160,9 +164,15 @@ std::vector<Cell> ExperimentPlan::cells() const {
 }
 
 std::string ExperimentPlan::cell_label(const Cell& c) const {
-  return graphs[c.graph].label() + "/" + scenarios[c.scenario].label() + "/" +
-         workloads[c.workload].label() + "/" + balancers[c.balancer].label() + "/" +
-         to_string(c.scalar) + "/s" + std::to_string(c.seed_index);
+  std::string label = graphs[c.graph].label() + "/" + scenarios[c.scenario].label() +
+                      "/" + workloads[c.workload].label() + "/" +
+                      balancers[c.balancer].label() + "/" + to_string(c.scalar);
+  // Only non-default domain counts mark the label, so single-K plans keep
+  // their historical cell names.
+  if (c.shard < shards.size() && shards[c.shard] > 1) {
+    label += "/k" + std::to_string(shards[c.shard]);
+  }
+  return label + "/s" + std::to_string(c.seed_index);
 }
 
 namespace {

@@ -124,6 +124,7 @@ struct Cell {
   std::size_t workload = 0;
   std::size_t balancer = 0;
   Scalar scalar = Scalar::kReal;
+  std::size_t shard = 0;  ///< index into ExperimentPlan::shards
   std::size_t seed_index = 0;
 };
 
@@ -133,6 +134,13 @@ struct ExperimentPlan {
   std::vector<WorkloadSpec> workloads{WorkloadSpec{}};
   std::vector<BalancerSpec> balancers;
   std::vector<Scalar> scalars{Scalar::kReal, Scalar::kTokens};
+  /// Ownership-domain counts (lb/shard/).  K = 1 runs the shared-memory
+  /// engine; K > 1 runs the sharded engine at that partition count.  The
+  /// per-cell seed derivation deliberately ignores this axis: the sharded
+  /// engine is bit-identical to the oracle, so cells differing only in K
+  /// must produce identical trajectories — the axis varies only the comm
+  /// observability (and cost), which is exactly what it is for.
+  std::vector<std::size_t> shards{1};
   /// Replicate count = seeds.size(); the values only salt the per-cell
   /// seed derivation (two distinct values give independent trajectories).
   std::vector<std::uint64_t> seeds{1};

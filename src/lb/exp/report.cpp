@@ -12,13 +12,18 @@ namespace {
 bool same_group(const Cell& a, const Cell& b) {
   return a.graph == b.graph && a.scenario == b.scenario &&
          a.workload == b.workload && a.balancer == b.balancer &&
-         a.scalar == b.scalar;
+         a.scalar == b.scalar && a.shard == b.shard;
 }
 
 std::string group_label(const ExperimentPlan& plan, const Cell& c) {
-  return plan.graphs[c.graph].label() + "/" + plan.scenarios[c.scenario].label() +
-         "/" + plan.workloads[c.workload].label() + "/" +
-         plan.balancers[c.balancer].label() + "/" + to_string(c.scalar);
+  std::string label =
+      plan.graphs[c.graph].label() + "/" + plan.scenarios[c.scenario].label() +
+      "/" + plan.workloads[c.workload].label() + "/" +
+      plan.balancers[c.balancer].label() + "/" + to_string(c.scalar);
+  if (c.shard < plan.shards.size() && plan.shards[c.shard] > 1) {
+    label += "/k" + std::to_string(plan.shards[c.shard]);
+  }
+  return label;
 }
 
 /// CI half-width that degrades to 0 for single-replicate groups
@@ -84,22 +89,28 @@ std::vector<AggregateRow> CampaignReport::aggregate(const ExperimentPlan& plan) 
 }
 
 std::string CampaignReport::cells_csv(const ExperimentPlan& plan) const {
-  util::Table table({"graph", "scenario", "workload", "balancer", "scalar", "seed",
-                     "rounds", "reached", "phi_initial", "phi_final",
-                     "discrepancy", "setup_us", "run_us"});
+  util::Table table({"graph", "scenario", "workload", "balancer", "scalar",
+                     "domains", "seed", "rounds", "reached", "phi_initial",
+                     "phi_final", "discrepancy", "messages", "boundary_bytes",
+                     "setup_us", "run_us"});
   for (const CellResult& c : cells) {
+    const std::size_t domains =
+        c.cell.shard < plan.shards.size() ? plan.shards[c.cell.shard] : 1;
     table.row()
         .add(plan.graphs[c.cell.graph].label())
         .add(plan.scenarios[c.cell.scenario].label())
         .add(plan.workloads[c.cell.workload].label())
         .add(plan.balancers[c.cell.balancer].label())
         .add(to_string(c.cell.scalar))
+        .add(static_cast<std::int64_t>(domains))
         .add(static_cast<std::int64_t>(c.cell.seed_index))
         .add(static_cast<std::int64_t>(c.run.rounds))
         .add(c.run.reached_target ? 1 : 0)
         .add_sci(c.run.initial_potential)
         .add_sci(c.run.final_potential)
         .add(c.run.final_discrepancy)
+        .add(static_cast<std::int64_t>(c.run.comm.messages))
+        .add(static_cast<std::int64_t>(c.run.comm.boundary_bytes))
         .add(c.setup_seconds * 1e6, 6)
         .add(c.run_seconds * 1e6, 6);
   }

@@ -1,0 +1,119 @@
+#include "lb/shard/halo.hpp"
+
+#include <algorithm>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::shard {
+
+namespace {
+
+/// Find-or-append the link entry for `peer`, keeping insertion cheap;
+/// links are sorted once all edges have been swept.
+HaloLink& link_for(DomainPlan& plan, std::uint32_t peer) {
+  for (HaloLink& l : plan.links) {
+    if (l.peer == peer) return l;
+  }
+  plan.links.push_back(HaloLink{});
+  plan.links.back().peer = peer;
+  return plan.links.back();
+}
+
+void sort_unique(std::vector<graph::NodeId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+HaloExchange HaloExchange::build(const graph::Graph& g, const OwnershipMap& map) {
+  LB_ASSERT_MSG(map.valid_for(g, map.domains(), map.policy()),
+                "ownership map was built for a different topology");
+  const std::size_t K = map.domains();
+  const auto& owner = map.owners();
+  const auto& edges = g.edges();
+
+  HaloExchange halo;
+  halo.revision_ = g.revision();
+  halo.plans_.resize(K);
+
+  // Owned node lists + local row index of each node within its domain.
+  std::vector<std::uint32_t> local(g.num_nodes());
+  for (std::size_t d = 0; d < K; ++d) {
+    halo.plans_[d].nodes = map.nodes(d);
+    const auto& nodes = halo.plans_[d].nodes;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      local[nodes[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Pass 1 over the ascending edge list: owned-edge lists, link node/flow
+  // lists, and per-row incident counts for the CSR slices.
+  std::vector<std::vector<std::size_t>> row_count(K);
+  for (std::size_t d = 0; d < K; ++d) {
+    row_count[d].assign(halo.plans_[d].nodes.size(), 0);
+  }
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    const std::uint32_t a = owner[e.u];
+    const std::uint32_t b = owner[e.v];
+    halo.plans_[a].owned_edges.push_back(static_cast<std::uint32_t>(k));
+    ++row_count[a][local[e.u]];
+    ++row_count[b][local[e.v]];
+    if (a == b) continue;
+    ++halo.cut_edges_;
+    // a computes flow k: needs v's load from b, then ships the flow back.
+    link_for(halo.plans_[a], b).recv_nodes.push_back(e.v);
+    link_for(halo.plans_[b], a).send_nodes.push_back(e.v);
+    link_for(halo.plans_[a], b).send_flow_edges.push_back(static_cast<std::uint32_t>(k));
+    link_for(halo.plans_[b], a).recv_flow_edges.push_back(static_cast<std::uint32_t>(k));
+  }
+
+  // CSR slices: cursor fill in ascending edge order — each row's incident
+  // ids come out ascending, matching FlowLedger's layout.
+  for (std::size_t d = 0; d < K; ++d) {
+    DomainPlan& plan = halo.plans_[d];
+    plan.row_ptr.assign(plan.nodes.size() + 1, 0);
+    for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+      plan.row_ptr[i + 1] = plan.row_ptr[i] + row_count[d][i];
+    }
+    plan.edge_idx.resize(plan.row_ptr.back());
+    plan.sign.resize(plan.row_ptr.back());
+  }
+  std::vector<std::vector<std::size_t>>& cursor = row_count;  // reuse as cursors
+  for (std::size_t d = 0; d < K; ++d) {
+    for (std::size_t i = 0; i < halo.plans_[d].nodes.size(); ++i) {
+      cursor[d][i] = halo.plans_[d].row_ptr[i];
+    }
+  }
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const graph::Edge& e = edges[k];
+    const std::uint32_t a = owner[e.u];
+    const std::uint32_t b = owner[e.v];
+    DomainPlan& pa = halo.plans_[a];
+    const std::size_t pu = cursor[a][local[e.u]]++;
+    pa.edge_idx[pu] = static_cast<std::uint32_t>(k);
+    pa.sign[pu] = -1.0;  // the row's node is the edge's u
+    DomainPlan& pb = halo.plans_[b];
+    const std::size_t pv = cursor[b][local[e.v]]++;
+    pb.edge_idx[pv] = static_cast<std::uint32_t>(k);
+    pb.sign[pv] = 1.0;
+  }
+
+  // Canonical link order + deduplicated node lists.  Both endpoints of a
+  // pair run the same sort over the same underlying sets, so sender pack
+  // order == receiver unpack order.  Flow-edge lists were appended from
+  // one ascending sweep and stay as-is.
+  for (std::size_t d = 0; d < K; ++d) {
+    DomainPlan& plan = halo.plans_[d];
+    std::sort(plan.links.begin(), plan.links.end(),
+              [](const HaloLink& x, const HaloLink& y) { return x.peer < y.peer; });
+    for (HaloLink& l : plan.links) {
+      sort_unique(l.send_nodes);
+      sort_unique(l.recv_nodes);
+    }
+  }
+  return halo;
+}
+
+}  // namespace lb::shard

@@ -1,0 +1,87 @@
+// Halo-exchange plans: the per-domain routing tables the sharded engine
+// executes each round.
+//
+// For a cut edge k = (u, v) with a = owner(u) ≠ owner(v) = b, the round
+// protocol is fixed by convention on the *u endpoint*: domain a owns
+// edge k, computes its flow, and applies u's side; domain b contributes
+// v's round-start load beforehand and receives the computed flow after.
+// So per ordered domain pair there are two payload kinds:
+//
+//   loads:  b → a   load[v] for every boundary node v (deduplicated —
+//                   one copy feeds all of a's edges into v),
+//   flows:  a → b   flows[k] for every cut edge a owns toward b.
+//
+// Both sides derive each list from the same ascending base-edge sweep
+// (node lists sorted + deduplicated, edge lists naturally ascending), so
+// sender pack order and receiver unpack order agree by construction —
+// the channel is a FIFO with no per-message framing.
+//
+// Each DomainPlan also carries a CSR slice over its owned nodes that
+// replicates core::FlowLedger's layout (incident edge ids ascending per
+// row, sign −1 when the row's node is the edge's u).  The domain-local
+// apply sweep walks this slice with gather arithmetic identical to
+// FlowLedger::gather_node, which is what makes the sharded apply
+// bit-identical to the shared-memory oracle (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/graph/graph.hpp"
+#include "lb/shard/ownership.hpp"
+
+namespace lb::shard {
+
+/// One peer's routing entry within a DomainPlan.  All four lists are
+/// from the plan-owning domain's perspective.
+struct HaloLink {
+  std::uint32_t peer = 0;
+  /// Owned boundary nodes whose loads the peer needs (ascending, unique).
+  std::vector<graph::NodeId> send_nodes;
+  /// Peer-owned boundary nodes this domain needs (ascending, unique).
+  std::vector<graph::NodeId> recv_nodes;
+  /// Owned cut edges whose flow goes to the peer (ascending base ids).
+  std::vector<std::uint32_t> send_flow_edges;
+  /// Peer-owned cut edges whose flow arrives here (ascending base ids).
+  std::vector<std::uint32_t> recv_flow_edges;
+};
+
+struct DomainPlan {
+  /// Owned nodes, ascending (== OwnershipMap::nodes(d)).
+  std::vector<graph::NodeId> nodes;
+  /// Owned edges — base ids k with owner(edges()[k].u) == d — ascending.
+  std::vector<std::uint32_t> owned_edges;
+  /// CSR over owned nodes (row i = nodes[i]), FlowLedger layout.
+  std::vector<std::size_t> row_ptr;      // nodes.size() + 1 entries
+  std::vector<std::uint32_t> edge_idx;   // incident base edge ids, ascending per row
+  std::vector<double> sign;              // -1 if the row's node is the edge's u
+  /// Peers, sorted ascending by domain id.
+  std::vector<HaloLink> links;
+};
+
+class HaloExchange {
+ public:
+  HaloExchange() = default;
+
+  /// Build all K domain plans for (g, map).  map must have been built
+  /// for g (same revision).  Deterministic: pure function of the two.
+  static HaloExchange build(const graph::Graph& g, const OwnershipMap& map);
+
+  std::size_t domains() const { return plans_.size(); }
+  const DomainPlan& plan(std::size_t d) const { return plans_[d]; }
+
+  /// Cut edges crossing any domain boundary (== map.cut_edges()).
+  std::size_t cut_edges() const { return cut_edges_; }
+
+  bool valid_for(const graph::Graph& g, const OwnershipMap& map) const {
+    return revision_ != 0 && revision_ == g.revision() &&
+           plans_.size() == map.domains();
+  }
+
+ private:
+  std::uint64_t revision_ = 0;
+  std::size_t cut_edges_ = 0;
+  std::vector<DomainPlan> plans_;
+};
+
+}  // namespace lb::shard

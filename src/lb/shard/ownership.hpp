@@ -1,0 +1,77 @@
+// Ownership domains: the deterministic node→domain assignment under the
+// sharded execution layer.  Every node is owned by exactly one of K
+// domains; an edge is *cut* when its endpoints live in different domains
+// and must then move its boundary traffic through sim::CommEngine.
+//
+// Construction is a pure function of (Graph::revision, K, policy) — no
+// RNG, no thread count, no iteration-order dependence — so the same
+// topology always shards the same way across pools, runs, and processes
+// (the precondition for the sharded engine's bit-identity claim,
+// DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/graph/graph.hpp"
+
+namespace lb::shard {
+
+enum class PartitionPolicy : std::uint8_t {
+  /// Contiguous blocks of ⌈n/K⌉ node ids.  Optimal for generators that
+  /// emit locality-preserving ids (paths, rings, torus rows).
+  kContiguous,
+  /// Node u → domain u mod K.  The worst-case strawman: nearly every
+  /// edge is cut.  Kept as the upper baseline for the edge-cut tests.
+  kStrided,
+  /// Contiguous seed + deterministic boundary refinement: bounded
+  /// greedy passes that move a node to the neighbour-majority domain
+  /// when that strictly reduces the cut.  Never worse than kContiguous.
+  kGreedyEdgeCut,
+};
+
+std::string to_string(PartitionPolicy policy);
+
+class OwnershipMap {
+ public:
+  OwnershipMap() = default;
+
+  /// Partition g's nodes into `domains` ownership domains.
+  static OwnershipMap build(const graph::Graph& g, std::size_t domains,
+                            PartitionPolicy policy);
+
+  std::size_t domains() const { return domains_; }
+  PartitionPolicy policy() const { return policy_; }
+
+  /// Owning domain of node u.
+  std::uint32_t owner(graph::NodeId u) const { return owner_[u]; }
+  const std::vector<std::uint32_t>& owners() const { return owner_; }
+
+  /// Nodes owned by domain d, ascending.
+  const std::vector<graph::NodeId>& nodes(std::size_t d) const {
+    return nodes_[d];
+  }
+
+  /// Number of cut edges (endpoints in different domains).
+  std::size_t cut_edges() const { return cut_edges_; }
+
+  /// True iff this map was built for (g.revision(), domains, policy) —
+  /// the sharded engine's cache key for dynamic sequences that
+  /// materialize new base graphs mid-run.
+  bool valid_for(const graph::Graph& g, std::size_t domains,
+                 PartitionPolicy policy) const {
+    return revision_ == g.revision() && revision_ != 0 &&
+           domains_ == domains && policy_ == policy;
+  }
+
+ private:
+  std::uint64_t revision_ = 0;
+  std::size_t domains_ = 0;
+  PartitionPolicy policy_ = PartitionPolicy::kContiguous;
+  std::vector<std::uint32_t> owner_;            // node → domain
+  std::vector<std::vector<graph::NodeId>> nodes_;  // domain → owned nodes
+  std::size_t cut_edges_ = 0;
+};
+
+}  // namespace lb::shard

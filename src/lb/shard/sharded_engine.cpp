@@ -1,0 +1,495 @@
+#include "lb/shard/sharded_engine.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "lb/core/flow_ledger.hpp"
+#include "lb/core/flow_program.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/metrics.hpp"
+#include "lb/core/round_context.hpp"
+#include "lb/shard/halo.hpp"
+#include "lb/util/assert.hpp"
+#include "lb/util/thread_pool.hpp"
+#include "lb/util/timer.hpp"
+
+namespace lb::shard {
+
+namespace {
+
+/// Run fn(d) for every domain, on the pool when it has workers to give.
+/// One domain per chunk: domains are the unit of independence here.
+template <class Fn>
+void for_each_domain(util::ThreadPool* pool, std::size_t domains, Fn&& fn) {
+  if (pool == nullptr || pool->size() <= 1 || domains <= 1) {
+    for (std::size_t d = 0; d < domains; ++d) fn(d);
+    return;
+  }
+  pool->parallel_for(0, domains, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t d = lo; d < hi; ++d) fn(d);
+  });
+}
+
+/// Per-run sharded state: the ownership/halo tables (rebuilt when the
+/// base topology epoch moves — mask churn never rebuilds), the comm
+/// engine (lives for the whole run; totals are cumulative), and per-
+/// domain scratch.
+template <class T>
+struct Runtime {
+  Runtime(std::size_t domains, const ShardConfig& cfg) : comm(domains), prev(domains) {
+    comm.set_default_link(cfg.default_link);
+    for (const LinkOverride& o : cfg.link_overrides) {
+      comm.set_link(o.from, o.to, o.config);
+    }
+    halo_load.resize(domains);
+    node_buf.resize(domains);
+    flow_buf.resize(domains);
+    local_pairs.resize(domains);
+    remote_out.resize(domains);
+    remote_in.resize(domains);
+  }
+
+  void ensure(const graph::Graph& base, const ShardConfig& cfg) {
+    if (map.valid_for(base, cfg.domains, cfg.policy)) return;
+    map = OwnershipMap::build(base, cfg.domains, cfg.policy);
+    halo = HaloExchange::build(base, map);
+    for (std::vector<T>& h : halo_load) h.assign(base.num_nodes(), T{});
+  }
+
+  OwnershipMap map;
+  HaloExchange halo;
+  sim::CommEngine comm;
+  std::vector<sim::CommTotals> prev;           // totals at last round boundary
+  std::vector<std::vector<T>> halo_load;       // per domain: remote loads by node id
+  std::vector<std::vector<T>> node_buf;        // per domain pack/unpack scratch
+  std::vector<std::vector<double>> flow_buf;   // per domain flow payload scratch
+  // kMatching per-round work lists (rebuilt each matching round).
+  std::vector<std::vector<std::uint32_t>> local_pairs;
+  std::vector<std::vector<std::uint32_t>> remote_out;  // this domain owns e.u
+  std::vector<std::vector<std::uint32_t>> remote_in;   // this domain owns e.v
+};
+
+/// One kAllEdges round: the halo protocol around the standard
+/// compute-flows / gather-apply round shape.
+template <class T>
+core::StepStats step_all_edges(core::RoundContext<T>& ctx,
+                               const core::FlowProgram<T>& program,
+                               std::vector<T>& load, Runtime<T>& rt,
+                               util::ThreadPool* pool) {
+  const graph::TopologyFrame& frame = ctx.frame();
+  const auto& edges = frame.base().edges();
+  const bool masked = frame.masked();
+  const std::size_t K = rt.map.domains();
+  const auto& owner = rt.map.owners();
+  std::vector<double>& flows = ctx.arena().flows();
+  flows.resize(edges.size());
+
+  core::StepStats stats;
+  stats.links = program.links;
+
+  // Phase A: every domain ships its boundary nodes' round-start loads.
+  // Node halos are a function of the topology alone (not of the round's
+  // mask): a dead boundary edge still carries its endpoint load, keeping
+  // the payload schedule deterministic per topology epoch.
+  for_each_domain(pool, K, [&](std::size_t d) {
+    const DomainPlan& plan = rt.halo.plan(d);
+    std::vector<T>& buf = rt.node_buf[d];
+    for (const HaloLink& l : plan.links) {
+      if (l.send_nodes.empty()) continue;
+      buf.clear();
+      for (graph::NodeId v : l.send_nodes) buf.push_back(load[v]);
+      rt.comm.send(d, l.peer, buf.data(), buf.size());
+    }
+  });
+  rt.comm.deliver();
+
+  // Phase B: unpack halos, compute owned-edge flows from (local load,
+  // halo copy) pairs, ship boundary flows back.  Edge k's slot is written
+  // exclusively by owner(edges[k].u), so the shared flow vector needs no
+  // synchronization beyond the phase barriers.
+  for_each_domain(pool, K, [&](std::size_t d) {
+    const DomainPlan& plan = rt.halo.plan(d);
+    std::vector<T>& halo = rt.halo_load[d];
+    std::vector<T>& buf = rt.node_buf[d];
+    for (const HaloLink& l : plan.links) {
+      if (l.recv_nodes.empty()) continue;
+      buf.resize(l.recv_nodes.size());
+      rt.comm.recv(l.peer, d, buf.data(), buf.size());
+      for (std::size_t i = 0; i < l.recv_nodes.size(); ++i) {
+        halo[l.recv_nodes[i]] = buf[i];
+      }
+    }
+    for (const std::uint32_t k : plan.owned_edges) {
+      if (masked && !frame.alive(k)) continue;
+      const graph::Edge& e = edges[k];
+      const T lv = owner[e.v] == static_cast<std::uint32_t>(d) ? load[e.v]
+                                                               : halo[e.v];
+      flows[k] = program.flow(k, e, static_cast<double>(load[e.u]),
+                              static_cast<double>(lv));
+    }
+    std::vector<double>& fbuf = rt.flow_buf[d];
+    for (const HaloLink& l : plan.links) {
+      fbuf.clear();
+      for (const std::uint32_t k : l.send_flow_edges) {
+        if (masked && !frame.alive(k)) continue;
+        fbuf.push_back(flows[k]);
+      }
+      if (!fbuf.empty()) rt.comm.send(d, l.peer, fbuf.data(), fbuf.size());
+    }
+  });
+  rt.comm.deliver();
+
+  // Round totals, centrally at the barrier: the same edge-order
+  // accumulation the shared-memory paths use, so StepStats — a
+  // left-to-right double sum — cannot depend on the domain split.
+  if (masked) {
+    core::accumulate_flow_totals_masked<T>(frame, flows, stats);
+  } else {
+    core::accumulate_flow_totals<T>(flows, stats);
+  }
+
+  // Phase C1: unpack received boundary flows.  A separate phase from the
+  // gathers below so no domain reads a slot another is still writing.
+  for_each_domain(pool, K, [&](std::size_t d) {
+    const DomainPlan& plan = rt.halo.plan(d);
+    std::vector<double>& fbuf = rt.flow_buf[d];
+    for (const HaloLink& l : plan.links) {
+      std::size_t count = 0;
+      for (const std::uint32_t k : l.recv_flow_edges) {
+        if (masked && !frame.alive(k)) continue;
+        ++count;
+      }
+      if (count == 0) continue;
+      fbuf.resize(count);
+      rt.comm.recv(l.peer, d, fbuf.data(), count);
+      std::size_t i = 0;
+      for (const std::uint32_t k : l.recv_flow_edges) {
+        if (masked && !frame.alive(k)) continue;
+        flows[k] = fbuf[i++];
+      }
+    }
+  });
+
+  // Phase C2: domain-local apply sweeps.  Each owned node's row walk is
+  // FlowLedger::gather_node(_masked) verbatim — ascending incident base
+  // edges, identical skip/cast/accumulate rules — so the loads land bit
+  // for bit on the oracle's.
+  for_each_domain(pool, K, [&](std::size_t d) {
+    const DomainPlan& plan = rt.halo.plan(d);
+    for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+      const graph::NodeId u = plan.nodes[i];
+      const T before = load[u];
+      T value = before;
+      const std::size_t row_end = plan.row_ptr[i + 1];
+      for (std::size_t p = plan.row_ptr[i]; p < row_end; ++p) {
+        const std::uint32_t k = plan.edge_idx[p];
+        if (masked && !frame.alive(k)) continue;  // dead slot: may be stale
+        const double f = flows[k];
+        if (f == 0.0) continue;
+        if constexpr (std::is_integral_v<T>) {
+          value += static_cast<T>(plan.sign[p] * f);
+        } else {
+          value += static_cast<T>(plan.sign[p]) * static_cast<T>(f);
+        }
+      }
+      load[u] = program.post ? program.post(u, value, before) : value;
+    }
+  });
+  return stats;
+}
+
+/// One kMatching round (dimension exchange): a vertex-disjoint edge set,
+/// so each endpoint takes exactly one ±amount update.  Convention as for
+/// owned edges: owner(e.u) computes the flow; owner(e.v) ships v's load
+/// forward and applies the returned flow.
+template <class T>
+core::StepStats step_matching(core::RoundContext<T>& ctx,
+                              const core::FlowProgram<T>& program,
+                              std::vector<T>& load, Runtime<T>& rt,
+                              util::ThreadPool* pool) {
+  const auto& edges = ctx.frame().base().edges();
+  const std::size_t K = rt.map.domains();
+  const auto& owner = rt.map.owners();
+
+  core::StepStats stats;
+  stats.links = program.links;
+
+  // Round totals centrally, in matching order from round-start loads —
+  // the oracle's own accumulation sequence.  The matching is vertex-
+  // disjoint, so these loads are exactly what each domain computes from
+  // below; this pass only fixes the summation order of the double total.
+  for (const std::uint32_t k : program.matched) {
+    const graph::Edge& e = edges[k];
+    const double f = program.flow(k, e, static_cast<double>(load[e.u]),
+                                  static_cast<double>(load[e.v]));
+    if (f == 0.0) continue;
+    const T amount = static_cast<T>(std::fabs(f));
+    if (amount == T{}) continue;
+    stats.transferred += static_cast<double>(amount);
+    ++stats.active_edges;
+  }
+
+  // Per-round work lists, in matching order.  Each (sender, receiver)
+  // channel sees the same matched subsequence on both sides, so the
+  // per-value sends below line up FIFO with the recvs.
+  for (std::size_t d = 0; d < K; ++d) {
+    rt.local_pairs[d].clear();
+    rt.remote_out[d].clear();
+    rt.remote_in[d].clear();
+  }
+  for (const std::uint32_t k : program.matched) {
+    const graph::Edge& e = edges[k];
+    const std::uint32_t a = owner[e.u];
+    const std::uint32_t b = owner[e.v];
+    if (a == b) {
+      rt.local_pairs[a].push_back(k);
+    } else {
+      rt.remote_out[a].push_back(k);
+      rt.remote_in[b].push_back(k);
+    }
+  }
+
+  // Phase A: v-side domains ship their endpoint loads to the owners.
+  for_each_domain(pool, K, [&](std::size_t d) {
+    for (const std::uint32_t k : rt.remote_in[d]) {
+      const graph::Edge& e = edges[k];
+      rt.comm.send(d, owner[e.u], &load[e.v], 1);
+    }
+  });
+  rt.comm.deliver();
+
+  // Phase B: owners compute each matched flow, apply u's side, and ship
+  // the flow back (every matched cut edge ships, zero or not, keeping
+  // message counts a function of the matching alone).  Local pairs apply
+  // both sides at once, exactly like the oracle's direct loop.
+  for_each_domain(pool, K, [&](std::size_t d) {
+    for (const std::uint32_t k : rt.remote_out[d]) {
+      const graph::Edge& e = edges[k];
+      T lv{};
+      rt.comm.recv(owner[e.v], d, &lv, 1);
+      const double f = program.flow(k, e, static_cast<double>(load[e.u]),
+                                    static_cast<double>(lv));
+      rt.comm.send(d, owner[e.v], &f, 1);
+      if (f == 0.0) continue;
+      const T amount = static_cast<T>(std::fabs(f));
+      if (amount == T{}) continue;
+      if (f > 0.0) {
+        load[e.u] -= amount;
+      } else {
+        load[e.u] += amount;
+      }
+    }
+    for (const std::uint32_t k : rt.local_pairs[d]) {
+      const graph::Edge& e = edges[k];
+      const double f = program.flow(k, e, static_cast<double>(load[e.u]),
+                                    static_cast<double>(load[e.v]));
+      if (f == 0.0) continue;
+      const T amount = static_cast<T>(std::fabs(f));
+      if (amount == T{}) continue;
+      if (f > 0.0) {
+        load[e.u] -= amount;
+        load[e.v] += amount;
+      } else {
+        load[e.v] -= amount;
+        load[e.u] += amount;
+      }
+    }
+  });
+  rt.comm.deliver();
+
+  // Phase C: v-side domains apply the received flows.
+  for_each_domain(pool, K, [&](std::size_t d) {
+    for (const std::uint32_t k : rt.remote_in[d]) {
+      const graph::Edge& e = edges[k];
+      double f = 0.0;
+      rt.comm.recv(owner[e.u], d, &f, 1);
+      if (f == 0.0) continue;
+      const T amount = static_cast<T>(std::fabs(f));
+      if (amount == T{}) continue;
+      if (f > 0.0) {
+        load[e.v] += amount;
+      } else {
+        load[e.v] -= amount;
+      }
+    }
+  });
+  return stats;
+}
+
+}  // namespace
+
+template <class T>
+core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
+                    std::vector<T>& load, const core::EngineConfig& config,
+                    const ShardConfig& shard) {
+  using core::LoadSummary;
+  using core::MetricsPath;
+  using core::RunResult;
+  using core::SummaryMode;
+
+  LB_ASSERT_MSG(load.size() == seq.num_nodes(), "load vector does not match network");
+  LB_ASSERT_MSG(shard.domains >= 1, "need at least one ownership domain");
+  LB_ASSERT_MSG(shard.domains <= seq.num_nodes(), "more domains than nodes");
+  util::Rng rng(config.seed);
+  const util::Stopwatch run_watch;
+
+  balancer.on_run_begin();
+
+  const bool fused = config.metrics == MetricsPath::kFusedParallel;
+  util::ThreadPool* pool =
+      config.pool != nullptr ? config.pool : &util::ThreadPool::global();
+
+  Runtime<T> rt(shard.domains, shard);
+  core::RunArena<T> arena;
+  core::FlowProgram<T> program;
+
+  RunResult result;
+  result.domains = shard.domains;
+
+  const auto fill_comm = [&](RunResult& r) {
+    r.domain_comm.resize(shard.domains);
+    for (std::size_t d = 0; d < shard.domains; ++d) {
+      const sim::CommTotals& t = rt.comm.totals(d);
+      r.domain_comm[d] = core::DomainCommStats{t.messages, t.boundary_bytes, t.wait_us};
+      r.comm.messages += t.messages;
+      r.comm.boundary_bytes += t.boundary_bytes;
+      r.comm.halo_wait_us += t.wait_us;
+    }
+  };
+
+  // Everything below mirrors core::run() round for round — the bit-
+  // identity contract is "same branches, same reductions, same order",
+  // with only the step body swapped for the domain protocol.
+  const LoadSummary<T> initial =
+      fused ? core::summarize_parallel(load, pool) : core::summarize(load);
+  const double run_average = initial.average;
+  result.initial_potential = initial.potential;
+
+  if (result.initial_potential <= config.target_potential) {
+    result.reached_target = true;
+    result.final_potential = result.initial_potential;
+    result.final_discrepancy = initial.discrepancy;
+    fill_comm(result);
+    result.total_seconds = run_watch.elapsed_seconds();
+    return result;
+  }
+
+  if (config.record_trace) result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
+  const SummaryMode mode =
+      config.record_trace ? SummaryMode::kFull : SummaryMode::kPotentialOnly;
+
+  const auto finish = [&](RunResult& r) {
+    if (fused && !config.record_trace) {
+      r.final_discrepancy =
+          core::summarize_deterministic(load, run_average, pool, SummaryMode::kExtremaOnly)
+              .discrepancy;
+    }
+    fill_comm(r);
+    r.total_seconds = run_watch.elapsed_seconds();
+  };
+
+  std::size_t consecutive_idle = 0;
+  std::uint64_t base_epoch = 0;
+  std::uint64_t mask_epoch = 0;
+  for (std::size_t round = 1; round <= config.max_rounds; ++round) {
+    const graph::TopologyFrame& frame = seq.frame_at(round);
+    if (frame.base_revision() != base_epoch || frame.mask_revision() != mask_epoch) {
+      balancer.on_topology_changed();
+      base_epoch = frame.base_revision();
+      mask_epoch = frame.mask_revision();
+    }
+    rt.ensure(frame.base(), shard);
+
+    core::RoundContext<T> ctx(frame, rng, pool, arena);
+    if (fused) ctx.request_summary(mode, run_average);
+
+    util::Stopwatch watch;
+    program.reset();
+    core::StepStats stats;
+    bool planned = balancer.plan_round(ctx, program);
+    if (planned) {
+      LB_ASSERT_MSG(program.flow != nullptr, "planned round without a flow function");
+      stats = program.support == core::FlowProgram<T>::Support::kMatching
+                  ? step_matching(ctx, program, load, rt, pool)
+                  : step_all_edges(ctx, program, load, rt, pool);
+      ++result.sharded_rounds;
+    } else {
+      // Non-distributable round: shared-memory step() inside the sharded
+      // loop (zero comm; not counted in sharded_rounds).
+      stats = balancer.step(ctx, load);
+    }
+    const double step_us = watch.elapsed_seconds() * 1e6;
+    ++result.rounds;
+
+    watch.reset();
+    LoadSummary<T> summary;
+    if (!fused) {
+      summary = core::summarize(load);
+    } else if (ctx.has_summary()) {
+      summary = ctx.summary();
+    } else {
+      summary = core::summarize_deterministic(load, run_average, pool, mode);
+    }
+    const double metrics_us = watch.elapsed_seconds() * 1e6;
+    result.step_seconds += step_us * 1e-6;
+    result.metrics_seconds += metrics_us * 1e-6;
+
+    if (config.record_trace) {
+      core::RoundRecord rec{round, summary.potential, summary.discrepancy,
+                            stats.transferred, stats.active_edges, step_us,
+                            metrics_us};
+      for (std::size_t d = 0; d < shard.domains; ++d) {
+        const sim::CommTotals& t = rt.comm.totals(d);
+        rec.messages += t.messages - rt.prev[d].messages;
+        rec.boundary_bytes += t.boundary_bytes - rt.prev[d].boundary_bytes;
+        rec.halo_wait_us += t.wait_us - rt.prev[d].wait_us;
+        rt.prev[d] = t;
+      }
+      result.trace.add(rec);
+      result.final_discrepancy = summary.discrepancy;
+    } else if (!fused) {
+      result.final_discrepancy = summary.discrepancy;
+    }
+    result.final_potential = summary.potential;
+
+    if (summary.potential <= config.target_potential) {
+      result.reached_target = true;
+      finish(result);
+      return result;
+    }
+    if (stats.transferred == 0.0) {
+      ++consecutive_idle;
+      if (config.stall_rounds > 0 && consecutive_idle >= config.stall_rounds) {
+        result.stalled = true;
+        finish(result);
+        return result;
+      }
+    } else {
+      consecutive_idle = 0;
+    }
+  }
+  finish(result);
+  return result;
+}
+
+template <class T>
+core::RunResult run_static(core::Balancer<T>& balancer, const graph::Graph& g,
+                           std::vector<T>& load, const core::EngineConfig& config,
+                           const ShardConfig& shard) {
+  auto seq = graph::make_static_sequence(g);
+  return run(balancer, *seq, load, config, shard);
+}
+
+#define LB_INSTANTIATE(T)                                                       \
+  template core::RunResult run<T>(core::Balancer<T>&, graph::GraphSequence&,    \
+                                  std::vector<T>&, const core::EngineConfig&,   \
+                                  const ShardConfig&);                          \
+  template core::RunResult run_static<T>(core::Balancer<T>&, const graph::Graph&, \
+                                         std::vector<T>&, const core::EngineConfig&, \
+                                         const ShardConfig&);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::shard

@@ -1,0 +1,55 @@
+#include "lb/sim/comm.hpp"
+
+#include <algorithm>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::sim {
+
+CommEngine::CommEngine(std::size_t domains)
+    : domains_(domains), channels_(domains * domains), totals_(domains) {
+  LB_ASSERT_MSG(domains > 0, "CommEngine needs at least one domain");
+}
+
+void CommEngine::set_default_link(const LinkConfig& cfg) {
+  for (Channel& ch : channels_) ch.cfg = cfg;
+}
+
+void CommEngine::set_link(std::size_t from, std::size_t to, const LinkConfig& cfg) {
+  LB_ASSERT_MSG(from < domains_ && to < domains_, "link endpoint out of range");
+  channel(from, to).cfg = cfg;
+}
+
+void CommEngine::deliver() {
+  ++supersteps_;
+  for (std::size_t to = 0; to < domains_; ++to) {
+    double wait = 0.0;
+    CommTotals& t = totals_[to];
+    for (std::size_t from = 0; from < domains_; ++from) {
+      Channel& ch = channel(from, to);
+      LB_ASSERT_MSG(ch.cursor == ch.inbox.size(),
+                    "undrained inbox at superstep barrier");
+      ch.inbox.swap(ch.staged);
+      ch.staged.clear();
+      ch.cursor = 0;
+      if (ch.inbox.empty()) continue;
+      t.messages += 1;
+      t.boundary_bytes += ch.inbox.size();
+      wait = std::max(wait, ch.cfg.latency_us +
+                                static_cast<double>(ch.inbox.size()) * ch.cfg.us_per_byte);
+    }
+    t.wait_us += wait;
+  }
+}
+
+CommTotals CommEngine::grand_totals() const {
+  CommTotals sum;
+  for (const CommTotals& t : totals_) {
+    sum.messages += t.messages;
+    sum.boundary_bytes += t.boundary_bytes;
+    sum.wait_us += t.wait_us;
+  }
+  return sum;
+}
+
+}  // namespace lb::sim

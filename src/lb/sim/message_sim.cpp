@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -135,7 +136,21 @@ SimStats MessageSimulator<T>::step() {
     }
   }
   ++round_;
+  last_stats_ = stats;
   return stats;
+}
+
+template <class T>
+std::string MessageSimulator<T>::round_summary_json() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"round\": %zu, \"messages_sent\": %zu, "
+                "\"tokens_moved_messages\": %zu, \"total_payload\": %.17g, "
+                "\"potential\": %.17g, \"discrepancy\": %.17g}",
+                round_, last_stats_.messages_sent,
+                last_stats_.tokens_moved_messages, last_stats_.total_payload,
+                summary_.potential, summary_.discrepancy);
+  return buf;
 }
 
 template class MessageSimulator<double>;

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "lb/core/algorithm.hpp"
@@ -99,6 +100,16 @@ class MessageSimulator {
   /// Rounds executed so far.
   std::size_t round() const { return round_; }
 
+  /// Statistics of the last executed round (zeroes before the first
+  /// step()).
+  const SimStats& last_stats() const { return last_stats_; }
+
+  /// One-line JSON of the last round: message counts, credit totals and
+  /// the fused load summary.  Deterministic (modeled quantities only), so
+  /// benches can diff it across runs and `--json` consumers can ingest it
+  /// without a schema.
+  std::string round_summary_json() const;
+
  private:
   const graph::Graph& graph_;
   core::DiffusionConfig cfg_;
@@ -109,6 +120,7 @@ class MessageSimulator {
   std::size_t round_ = 0;
   double run_average_ = 0.0;
   core::LoadSummary<T> summary_{};
+  SimStats last_stats_{};
 };
 
 using ContinuousMessageSimulator = MessageSimulator<double>;

@@ -1,0 +1,445 @@
+// Tests for the sharded ownership/communication layer (lb/shard/):
+// partitioner properties, halo-plan consistency, and the headline
+// contract — RunResults bit-identical to the shared-memory engine at
+// every (K, pool, balancer, sequence) combination.
+#include "lb/shard/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/fos.hpp"
+#include "lb/core/load.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/core/sos.hpp"
+#include "lb/exp/campaign.hpp"
+#include "lb/graph/dynamic.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/shard/halo.hpp"
+#include "lb/shard/ownership.hpp"
+#include "lb/util/rng.hpp"
+#include "lb/util/thread_pool.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::core::EngineConfig;
+using lb::core::RunResult;
+using lb::graph::Graph;
+using lb::shard::OwnershipMap;
+using lb::shard::PartitionPolicy;
+using lb::shard::ShardConfig;
+
+// ---------------------------------------------------------------- ownership
+
+TEST(OwnershipTest, DeterministicAcrossBuilds) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  for (const PartitionPolicy policy :
+       {PartitionPolicy::kContiguous, PartitionPolicy::kStrided,
+        PartitionPolicy::kGreedyEdgeCut}) {
+    const OwnershipMap a = OwnershipMap::build(g, 4, policy);
+    const OwnershipMap b = OwnershipMap::build(g, 4, policy);
+    EXPECT_EQ(a.owners(), b.owners()) << lb::shard::to_string(policy);
+    EXPECT_EQ(a.cut_edges(), b.cut_edges());
+    EXPECT_TRUE(a.valid_for(g, 4, policy));
+    EXPECT_FALSE(a.valid_for(g, 8, policy));
+  }
+}
+
+TEST(OwnershipTest, EveryNodeOwnedExactlyOnce) {
+  // Property test over random graphs: owners partition the node set.
+  lb::util::Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 40 + 17 * static_cast<std::size_t>(trial);
+    const Graph g = lb::graph::make_erdos_renyi(n, 0.08, rng);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+      for (const PartitionPolicy policy :
+           {PartitionPolicy::kContiguous, PartitionPolicy::kStrided,
+            PartitionPolicy::kGreedyEdgeCut}) {
+        const OwnershipMap map = OwnershipMap::build(g, k, policy);
+        std::size_t covered = 0;
+        for (std::size_t d = 0; d < k; ++d) {
+          EXPECT_FALSE(map.nodes(d).empty());
+          lb::graph::NodeId prev = 0;
+          for (const lb::graph::NodeId u : map.nodes(d)) {
+            EXPECT_EQ(map.owner(u), d);  // membership agrees with owner()
+            if (covered > 0 && !map.nodes(d).empty()) {
+              EXPECT_TRUE(map.nodes(d).front() == u || prev < u);  // ascending
+            }
+            prev = u;
+            ++covered;
+          }
+        }
+        EXPECT_EQ(covered, n);  // partition: n memberships over n nodes
+      }
+    }
+  }
+}
+
+TEST(OwnershipTest, GreedyCutNeverWorseThanStridedOrContiguous) {
+  const Graph torus = lb::graph::make_torus2d(16, 16);
+  const Graph cube = lb::graph::make_hypercube(8);
+  for (const Graph* g : {&torus, &cube}) {
+    for (const std::size_t k : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const auto contiguous =
+          OwnershipMap::build(*g, k, PartitionPolicy::kContiguous);
+      const auto strided = OwnershipMap::build(*g, k, PartitionPolicy::kStrided);
+      const auto greedy =
+          OwnershipMap::build(*g, k, PartitionPolicy::kGreedyEdgeCut);
+      EXPECT_LE(greedy.cut_edges(), contiguous.cut_edges()) << g->name();
+      EXPECT_LE(greedy.cut_edges(), strided.cut_edges()) << g->name();
+    }
+  }
+}
+
+// --------------------------------------------------------------- halo plans
+
+TEST(HaloTest, LinkListsMirrorBetweenPeers) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  const OwnershipMap map = OwnershipMap::build(g, 4, PartitionPolicy::kGreedyEdgeCut);
+  const lb::shard::HaloExchange halo = lb::shard::HaloExchange::build(g, map);
+  ASSERT_EQ(halo.domains(), 4u);
+  EXPECT_EQ(halo.cut_edges(), map.cut_edges());
+
+  std::size_t owned_total = 0;
+  for (std::size_t d = 0; d < 4; ++d) {
+    owned_total += halo.plan(d).owned_edges.size();
+    for (const lb::shard::HaloLink& l : halo.plan(d).links) {
+      // Find the reverse link and check every list mirrors exactly —
+      // same node ids, same order (the FIFO-correctness invariant).
+      const lb::shard::DomainPlan& peer = halo.plan(l.peer);
+      const lb::shard::HaloLink* back = nullptr;
+      for (const lb::shard::HaloLink& pl : peer.links) {
+        if (pl.peer == d) back = &pl;
+      }
+      ASSERT_NE(back, nullptr);
+      EXPECT_EQ(l.send_nodes, back->recv_nodes);
+      EXPECT_EQ(l.recv_nodes, back->send_nodes);
+      EXPECT_EQ(l.send_flow_edges, back->recv_flow_edges);
+      EXPECT_EQ(l.recv_flow_edges, back->send_flow_edges);
+    }
+  }
+  EXPECT_EQ(owned_total, g.num_edges());  // every edge owned exactly once
+}
+
+// ------------------------------------------------------- engine bit-identity
+
+/// Compare two RunResults field by field, bitwise on every deterministic
+/// quantity (wall-clock fields excluded by design).
+void expect_identical(const RunResult& oracle, const RunResult& sharded,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(oracle.reached_target, sharded.reached_target);
+  EXPECT_EQ(oracle.stalled, sharded.stalled);
+  EXPECT_EQ(oracle.rounds, sharded.rounds);
+  EXPECT_EQ(oracle.initial_potential, sharded.initial_potential);
+  EXPECT_EQ(oracle.final_potential, sharded.final_potential);
+  EXPECT_EQ(oracle.final_discrepancy, sharded.final_discrepancy);
+  ASSERT_EQ(oracle.trace.size(), sharded.trace.size());
+  for (std::size_t i = 0; i < oracle.trace.size(); ++i) {
+    EXPECT_EQ(oracle.trace[i].potential, sharded.trace[i].potential) << i;
+    EXPECT_EQ(oracle.trace[i].discrepancy, sharded.trace[i].discrepancy) << i;
+    EXPECT_EQ(oracle.trace[i].transferred, sharded.trace[i].transferred) << i;
+    EXPECT_EQ(oracle.trace[i].active_edges, sharded.trace[i].active_edges) << i;
+  }
+}
+
+template <class T>
+struct Case {
+  std::string name;
+  std::function<std::unique_ptr<lb::core::Balancer<T>>()> make;
+};
+
+template <class T>
+void run_matrix(const std::vector<Case<T>>& cases,
+                const std::function<std::unique_ptr<lb::graph::GraphSequence>()>& seq,
+                const std::vector<T>& load0, const std::string& seq_label) {
+  EngineConfig cfg;
+  cfg.max_rounds = 60;
+  cfg.target_potential = 0.0;
+  cfg.record_trace = true;
+  for (const Case<T>& c : cases) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+      lb::util::ThreadPool pool(threads);
+      cfg.pool = &pool;
+      auto oracle_alg = c.make();
+      auto oracle_seq = seq();
+      std::vector<T> oracle_load = load0;
+      const RunResult oracle =
+          lb::core::run(*oracle_alg, *oracle_seq, oracle_load, cfg);
+      for (const std::size_t k :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        ShardConfig shard;
+        shard.domains = k;
+        auto alg = c.make();
+        auto s = seq();
+        std::vector<T> load = load0;
+        const RunResult run = lb::shard::run(*alg, *s, load, cfg, shard);
+        const std::string label = seq_label + "/" + c.name + "/pool" +
+                                  std::to_string(pool.size()) + "/k" +
+                                  std::to_string(k);
+        expect_identical(oracle, run, label);
+        SCOPED_TRACE(label);
+        ASSERT_EQ(load.size(), oracle_load.size());
+        for (std::size_t i = 0; i < load.size(); ++i) {
+          EXPECT_EQ(load[i], oracle_load[i]) << "node " << i;
+        }
+        EXPECT_EQ(run.domains, k);
+        EXPECT_EQ(run.sharded_rounds, run.rounds);
+      }
+    }
+  }
+}
+
+std::vector<Case<double>> continuous_cases() {
+  using lb::core::MatchingStrategy;
+  return {
+      {"diffusion-cont", [] { return lb::core::make_diffusion_continuous(); }},
+      {"fos", [] { return lb::core::make_fos_continuous(); }},
+      {"sos", [] { return lb::core::make_sos(); }},
+      {"dimexch-cont",
+       [] {
+         return lb::core::make_dimension_exchange_continuous(
+             MatchingStrategy::kGhoshMuthukrishnan);
+       }},
+  };
+}
+
+std::vector<Case<std::int64_t>> discrete_cases() {
+  using lb::core::MatchingStrategy;
+  return {
+      {"diffusion-disc", [] { return lb::core::make_diffusion_discrete(); }},
+      {"dimexch-disc",
+       [] {
+         return lb::core::make_dimension_exchange_discrete(
+             MatchingStrategy::kRandomMaximal);
+       }},
+  };
+}
+
+TEST(ShardEngineTest, BitIdenticalStaticContinuous) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  lb::util::Rng wrng(11);
+  const auto load0 = lb::workload::bimodal<double>(64, 6400.0, wrng);
+  run_matrix<double>(
+      continuous_cases(),
+      [&] { return lb::graph::make_static_sequence(g); }, load0, "static");
+}
+
+TEST(ShardEngineTest, BitIdenticalStaticDiscrete) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  lb::util::Rng wrng(13);
+  const auto load0 = lb::workload::uniform_random<std::int64_t>(64, 64000, wrng);
+  run_matrix<std::int64_t>(
+      discrete_cases(),
+      [&] { return lb::graph::make_static_sequence(g); }, load0, "static");
+}
+
+TEST(ShardEngineTest, BitIdenticalMaskedDynamicContinuous) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  lb::util::Rng wrng(17);
+  const auto load0 = lb::workload::two_spikes<double>(64, 6400.0);
+  run_matrix<double>(
+      continuous_cases(),
+      [&] { return lb::graph::make_bernoulli_sequence(g, 0.8, 99); }, load0,
+      "bernoulli");
+}
+
+TEST(ShardEngineTest, BitIdenticalMaskedDynamicDiscrete) {
+  const Graph g = lb::graph::make_hypercube(6);
+  lb::util::Rng wrng(19);
+  const auto load0 = lb::workload::spike<std::int64_t>(64, 64000);
+  run_matrix<std::int64_t>(
+      discrete_cases(),
+      [&] { return lb::graph::make_bernoulli_sequence(g, 0.85, 123); }, load0,
+      "bernoulli");
+}
+
+TEST(ShardEngineTest, PartitionPolicyDoesNotChangeResults) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  auto load0 = lb::workload::spike<double>(64, 6400.0);
+  EngineConfig cfg;
+  cfg.max_rounds = 40;
+  cfg.target_potential = 0.0;
+  RunResult first;
+  std::vector<double> first_load;
+  bool have_first = false;
+  for (const PartitionPolicy policy :
+       {PartitionPolicy::kContiguous, PartitionPolicy::kStrided,
+        PartitionPolicy::kGreedyEdgeCut}) {
+    ShardConfig shard;
+    shard.domains = 4;
+    shard.policy = policy;
+    auto alg = lb::core::make_diffusion_continuous();
+    std::vector<double> load = load0;
+    const RunResult r = lb::shard::run_static(*alg, g, load, cfg, shard);
+    if (!have_first) {
+      first = r;
+      first_load = load;
+      have_first = true;
+    } else {
+      expect_identical(first, r, lb::shard::to_string(policy));
+      EXPECT_EQ(load, first_load);
+    }
+  }
+}
+
+TEST(ShardEngineTest, UnplannableBalancerFallsBackAndStillMatches) {
+  // Random-partner pairing is inherently centralized (global pairing
+  // draw), so it falls back to shared-memory step() inside the sharded
+  // loop — zero sharded rounds, zero comm, still bit-identical.
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  auto load0 = lb::workload::spike<double>(64, 6400.0);
+  EngineConfig cfg;
+  cfg.max_rounds = 30;
+  cfg.target_potential = 0.0;
+  auto oracle_alg = lb::core::make_random_partner_continuous();
+  std::vector<double> oracle_load = load0;
+  const RunResult oracle = lb::core::run_static(*oracle_alg, g, oracle_load, cfg);
+  ShardConfig shard;
+  shard.domains = 4;
+  auto alg = lb::core::make_random_partner_continuous();
+  std::vector<double> load = load0;
+  const RunResult r = lb::shard::run_static(*alg, g, load, cfg, shard);
+  expect_identical(oracle, r, "random-partner fallback");
+  EXPECT_EQ(load, oracle_load);
+  EXPECT_EQ(r.sharded_rounds, 0u);
+  EXPECT_EQ(r.comm.messages, 0u);
+}
+
+// -------------------------------------------------------- comm observability
+
+TEST(ShardEngineTest, CommMetricsSurfaceThroughRunResultAndTrace) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  auto load0 = lb::workload::spike<double>(64, 6400.0);
+  EngineConfig cfg;
+  cfg.max_rounds = 20;
+  cfg.target_potential = 0.0;
+
+  ShardConfig shard;
+  shard.domains = 4;
+  auto alg = lb::core::make_diffusion_continuous();
+  std::vector<double> load = load0;
+  const RunResult r = lb::shard::run_static(*alg, g, load, cfg, shard);
+  EXPECT_EQ(r.domains, 4u);
+  EXPECT_EQ(r.sharded_rounds, r.rounds);
+  EXPECT_GT(r.comm.messages, 0u);
+  EXPECT_GT(r.comm.boundary_bytes, 0u);
+  ASSERT_EQ(r.domain_comm.size(), 4u);
+  std::uint64_t msg_sum = 0, byte_sum = 0, trace_msgs = 0, trace_bytes = 0;
+  for (const auto& d : r.domain_comm) {
+    msg_sum += d.messages;
+    byte_sum += d.boundary_bytes;
+  }
+  EXPECT_EQ(msg_sum, r.comm.messages);
+  EXPECT_EQ(byte_sum, r.comm.boundary_bytes);
+  for (const auto& rec : r.trace.records()) {
+    trace_msgs += rec.messages;
+    trace_bytes += rec.boundary_bytes;
+  }
+  EXPECT_EQ(trace_msgs, r.comm.messages);
+  EXPECT_EQ(trace_bytes, r.comm.boundary_bytes);
+  EXPECT_NE(r.trace.to_csv().find("messages,boundary_bytes,halo_wait_us"),
+            std::string::npos);
+
+  // K = 1: the full machinery with no links — zero comm by construction.
+  ShardConfig solo;
+  solo.domains = 1;
+  auto alg1 = lb::core::make_diffusion_continuous();
+  std::vector<double> load1 = load0;
+  const RunResult r1 = lb::shard::run_static(*alg1, g, load1, cfg, solo);
+  EXPECT_EQ(r1.comm.messages, 0u);
+  EXPECT_EQ(r1.comm.boundary_bytes, 0u);
+}
+
+// ------------------------------------------------------------ campaign axis
+
+TEST(ShardEngineTest, CampaignShardAxisIsBitIdenticalAcrossK) {
+  // K as a campaign-grid axis (lb/exp): the per-cell seed derivation
+  // ignores the shard coordinate, so cells differing only in K must
+  // produce identical trajectories — K varies only comm observability.
+  lb::exp::ExperimentPlan plan;
+  plan.graphs = {{"torus2d", 36}};
+  plan.balancers = {{lb::exp::BalancerKind::kDiffusion, 0.0}};
+  plan.scenarios = {lb::exp::static_scenario(),
+                    lb::exp::bernoulli_scenario(0.8)};
+  plan.shards = {1, 4};
+  plan.seeds = {1, 2};
+  plan.engine.max_rounds = 25;
+
+  lb::exp::CampaignRunner runner;
+  const lb::exp::CampaignReport report = runner.run(plan);
+  const std::vector<lb::exp::Cell> cells = plan.cells();
+  ASSERT_EQ(report.cells.size(), cells.size());
+
+  // Pair each K=4 cell with its K=1 twin (same coordinates, shard index 0).
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].shard == 0) continue;
+    std::size_t twin = cells.size();
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (cells[j].shard == 0 && cells[j].graph == cells[i].graph &&
+          cells[j].scenario == cells[i].scenario &&
+          cells[j].workload == cells[i].workload &&
+          cells[j].balancer == cells[i].balancer &&
+          cells[j].scalar == cells[i].scalar &&
+          cells[j].seed_index == cells[i].seed_index) {
+        twin = j;
+      }
+    }
+    ASSERT_LT(twin, cells.size());
+    const lb::core::RunResult& base = report.cells[twin].run;
+    const lb::core::RunResult& sharded = report.cells[i].run;
+    expect_identical(base, sharded, plan.cell_label(cells[i]));
+    EXPECT_EQ(sharded.domains, 4u);
+    EXPECT_GT(sharded.comm.messages, 0u);
+  }
+
+  // The shard axis shows up in labels and the per-cell CSV.
+  const std::string csv = report.cells_csv(plan);
+  EXPECT_NE(csv.find("domains"), std::string::npos);
+  EXPECT_NE(csv.find("messages"), std::string::npos);
+  bool saw_k4_label = false;
+  for (const lb::exp::Cell& c : cells) {
+    if (c.shard == 1) {
+      saw_k4_label = plan.cell_label(c).find("/k4/") != std::string::npos;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_k4_label);
+}
+
+TEST(ShardEngineTest, ModeledLinkCostsAreDeterministic) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  auto load0 = lb::workload::spike<double>(64, 6400.0);
+  EngineConfig cfg;
+  cfg.max_rounds = 10;
+  cfg.target_potential = 0.0;
+  ShardConfig shard;
+  shard.domains = 4;
+  shard.default_link = {2.0, 0.01};           // 2µs latency, 100 MB/s-ish
+  shard.link_overrides = {{0, 1, {50.0, 0.1}}};  // one straggler link
+
+  auto run_once = [&] {
+    auto alg = lb::core::make_diffusion_continuous();
+    std::vector<double> load = load0;
+    return lb::shard::run_static(*alg, g, load, cfg, shard);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_GT(a.comm.halo_wait_us, 0.0);
+  EXPECT_EQ(a.comm.halo_wait_us, b.comm.halo_wait_us);
+  ASSERT_EQ(a.domain_comm.size(), b.domain_comm.size());
+  for (std::size_t d = 0; d < a.domain_comm.size(); ++d) {
+    EXPECT_EQ(a.domain_comm[d].halo_wait_us, b.domain_comm[d].halo_wait_us);
+  }
+  // The straggler link 0→1 must show up in domain 1's modeled wait.
+  EXPECT_GT(a.domain_comm[1].halo_wait_us, a.domain_comm[2].halo_wait_us);
+}
+
+}  // namespace

@@ -129,6 +129,65 @@ TEST(SimTest, FusedRoundSummaryMatchesStandaloneReduction) {
   }
 }
 
+TEST(SimTest, RoundSummaryJsonIsWellFormedAndDeterministic) {
+  lb::util::Rng rng(29);
+  const Graph g = lb::graph::make_torus2d(6, 6);
+  const auto load = lb::workload::uniform_random<std::int64_t>(36, 36000, rng);
+
+  auto run_json = [&] {
+    lb::sim::DiscreteMessageSimulator sim(g, load);
+    sim.step();
+    sim.step();
+    return sim.round_summary_json();
+  };
+  const std::string json = run_json();
+  // Modeled quantities only, so a rerun prints the identical line.
+  EXPECT_EQ(json, run_json());
+  for (const char* key : {"\"round\"", "\"messages_sent\"",
+                          "\"tokens_moved_messages\"", "\"total_payload\"",
+                          "\"potential\"", "\"discrepancy\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+
+  // last_stats() mirrors the value step() returned.
+  lb::sim::DiscreteMessageSimulator sim(g, load);
+  EXPECT_EQ(sim.last_stats().messages_sent, 0u);  // nothing ran yet
+  const auto stats = sim.step();
+  EXPECT_EQ(sim.last_stats().messages_sent, stats.messages_sent);
+  EXPECT_EQ(sim.last_stats().tokens_moved_messages, stats.tokens_moved_messages);
+  EXPECT_DOUBLE_EQ(sim.last_stats().total_payload, stats.total_payload);
+}
+
+TEST(SimTest, SuperstepDrawOrderRegression) {
+  // Golden regression pinning the BSP superstep schedule: announce,
+  // barrier, transfer, barrier+credit.  A 5-cycle with one loaded node
+  // has a hand-computable trajectory; any reordering of the supersteps
+  // (e.g. reading post-deduction loads instead of the announced
+  // round-start snapshot) changes these exact values.
+  const Graph g = lb::graph::make_cycle(5);
+  lb::sim::DiscreteMessageSimulator sim(g, {100, 0, 0, 0, 0});
+
+  // Round 1: node 0 announces 100; the default rule moves
+  // floor((100-0)/(4·max(2,2))) = 12 to each of its two poorer
+  // neighbours.  Were the transfer computed from post-deduction loads
+  // instead of the announced snapshot (a superstep-order bug), the
+  // second edge would see 88, not 100, and ship 11.
+  auto stats = sim.step();
+  EXPECT_EQ(sim.snapshot(), (std::vector<std::int64_t>{76, 12, 0, 0, 12}));
+  EXPECT_EQ(stats.tokens_moved_messages, 2u);
+  EXPECT_DOUBLE_EQ(stats.total_payload, 24.0);
+
+  // Round 2: all decisions from the round-1 snapshot {76,12,0,0,12}:
+  //   0 sends floor(64/8)=8 to 1 and to 4; 1 sends floor(12/8)=1 to 2;
+  //   4 sends 1 to 3.
+  stats = sim.step();
+  EXPECT_EQ(sim.snapshot(), (std::vector<std::int64_t>{60, 19, 1, 1, 19}));
+  EXPECT_EQ(stats.tokens_moved_messages, 4u);
+  EXPECT_DOUBLE_EQ(stats.total_payload, 18.0);
+}
+
 TEST(SimTest, LocalLoadAccessor) {
   const Graph g = lb::graph::make_path(3);
   lb::sim::DiscreteMessageSimulator sim(g, {5, 0, 0});
