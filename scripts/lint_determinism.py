@@ -1,0 +1,468 @@
+#!/usr/bin/env python3
+"""Project determinism linter (DESIGN.md §8).
+
+Encodes the determinism rules that clang-tidy cannot express, as
+text-level heuristics over ``src/``.  The library's headline contract is
+bit-identical RunResults across thread pools {1, 2, hw} and shard counts
+K {1, 2, 4, 8}; each rule below bans a construct that historically breaks
+that contract silently:
+
+LD001  std::unordered_{map,set} in src/.  Unordered iteration order is
+       unspecified and varies across standard libraries, so any use must
+       either not exist or carry an explicit allowlist tag proving the
+       use is membership-only (never iterated):
+
+           std::unordered_set<std::size_t> seen;  // lint: order-independent(<why>)
+
+       The tag must appear on the declaration line or one of the three
+       preceding lines, and the reason is mandatory — violations are
+       named, not suppressed wholesale.  Iterating a tagged container
+       (range-for, .begin()) is still a violation: the tag asserts the
+       container is *never* iterated.  Worked example: util/rng.cpp
+       sample_without_replacement.
+
+LD002  Nondeterministic sources in result-bearing directories (core/,
+       shard/, graph/, linalg/): std::random_device, std::rand/srand,
+       and wall-clock reads (std::chrono clocks, ::time()).  All
+       randomness must flow through util::Rng (seeded, counted) and all
+       timing through util/timer.hpp observability fields that are
+       excluded from the determinism claims.
+
+LD003  Unsynchronized writes to captured shared state inside parallel
+       region bodies (parallel_for / for_fixed_chunks / for_each_domain
+       lambdas).  Allowed: writes to locally-declared variables and
+       subscripted writes (``flows[k] = ...`` — the disjoint-index
+       protocol).  Anything else needs a ``// lint: par-safe(<why>)``
+       tag on the offending line.
+
+LD004  Floating-point accumulation (compound assignment) onto captured
+       shared state in parallel regions.  FP reduction outside the
+       SummaryPartial / fixed-chunk protocol is order-dependent even
+       when it is race-free; use core/metrics.hpp.  Same allowances and
+       tag as LD003.
+
+Exit status: 0 clean, 1 violations found, 2 internal/usage error.
+
+``--self-test`` runs the rules against the fixtures in
+``scripts/lint_fixtures/`` and verifies each documented violation still
+fires (and that the clean fixture stays clean), so the linter itself is
+regression-tested by CTest (LintDeterminism.selftest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src",)
+RESULT_BEARING = re.compile(r"(^|/)(core|shard|graph|linalg)/")
+CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+TAG_RE = re.compile(r"//\s*lint:\s*(?P<tag>[a-z-]+)\((?P<reason>[^)]+)\)")
+UNORDERED_RE = re.compile(r"\bstd::unordered_(map|set)\b")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;{]*?>\s+(?P<name>\w+)\s*[;{(]")
+PARALLEL_CALL_RE = re.compile(
+    r"\b(?:parallel_for|for_fixed_chunks|for_each_domain)\s*\(")
+NONDET_SOURCES = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|"
+                r"high_resolution_clock)\b"), "wall-clock read"),
+    (re.compile(r"(?<![\w.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "::time() wall-clock read"),
+]
+
+# Assignment to a target expression: compound ops first, then plain `=`
+# (excluding ==, <=, >=, !=, and the declaration forms handled separately).
+ASSIGN_RE = re.compile(
+    r"(?P<target>[A-Za-z_]\w*(?:(?:\.|->)\w+|\[[^\]]*\])*)\s*"
+    r"(?P<op>\+=|-=|\*=|/=|\|=|&=|\^=|<<=|>>=|(?<![=!<>+\-*/%&|^])=(?![=]))")
+INCDEC_RE = re.compile(r"(?:\+\+|--)\s*(?P<pre>[A-Za-z_]\w*)\b|"
+                       r"\b(?P<post>[A-Za-z_]\w*)\s*(?:\+\+|--)")
+MUTATOR_RE = re.compile(
+    r"(?P<chain>[A-Za-z_]\w*(?:\[[^\]]*\]|(?:\.|->)\w+)*)(?:\.|->)"
+    r"(?:push_back|emplace_back|emplace|resize|"
+    r"clear|assign|insert|erase|pop_back|swap|reserve)\s*\(")
+# A local declaration inside a lambda body: `Type name = ...;`,
+# `Type& name = ...;`, `auto name{...}` etc.  Deliberately loose; it only
+# needs to cover the idioms used in this codebase.
+LOCAL_DECL_RE = re.compile(
+    r"^\s*(?:const\s+|static\s+|constexpr\s+)*"
+    r"(?:[A-Za-z_][\w:]*(?:\s*<[^;={}]*?>)?)\s*[&*]?\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:=|;|\{|\()", re.M)
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[A-Za-z_][\w:<>,\s]*?[&*]?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*:\s*")
+LOOP_INIT_RE = re.compile(r"\bfor\s*\(\s*(?:[A-Za-z_][\w:<>,\s]*?\s+)?"
+                          r"(?P<name>[A-Za-z_]\w*)\s*=")
+
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "return", "break",
+    "continue", "const", "constexpr", "static", "auto", "this", "sizeof",
+}
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literal contents, preserving
+    line structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(c if c == "\n" else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def collect_tags(lines: list[str]) -> dict[int, dict[str, str]]:
+    """line number (1-based) -> {tag: reason} from `// lint: tag(reason)`."""
+    tags: dict[int, dict[str, str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        for m in TAG_RE.finditer(line):
+            tags.setdefault(idx, {})[m.group("tag")] = m.group("reason").strip()
+    return tags
+
+
+def has_tag(tags: dict[int, dict[str, str]], line: int, tag: str,
+            lookback: int = 0) -> bool:
+    for ln in range(line - lookback, line + 1):
+        if tag in tags.get(ln, {}):
+            return True
+    return False
+
+
+def extract_lambda_body(code: str, call_start: int) -> tuple[int, int] | None:
+    """Given the offset of a parallel-call token in `code`, return the
+    (start, end) offsets of the last lambda body `{...}` inside the call's
+    argument list, or None when no lambda literal is present (e.g. a
+    named functor is passed)."""
+    open_paren = code.find("(", call_start)
+    if open_paren < 0:
+        return None
+    depth = 0
+    i = open_paren
+    end_paren = -1
+    while i < len(code):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                end_paren = i
+                break
+        i += 1
+    if end_paren < 0:
+        return None
+    args = code[open_paren:end_paren]
+    # The first bracket group in the argument list is the lambda's capture
+    # list (subscripts in earlier arguments are rare enough to ignore;
+    # named-functor arguments simply have no lambda literal here).
+    lam = re.search(r"\[[^\]]*\]", args)
+    if lam is None:
+        return None
+    brace = code.find("{", open_paren + lam.end())
+    if brace < 0 or brace > end_paren:
+        return None
+    depth = 0
+    i = brace
+    while i < len(code):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return brace, i + 1
+        i += 1
+    return None
+
+
+def local_names(body: str) -> set[str]:
+    names: set[str] = set()
+    for rx in (LOCAL_DECL_RE, RANGE_FOR_RE, LOOP_INIT_RE):
+        for m in rx.finditer(body):
+            name = m.group("name")
+            if name and name not in CONTROL_KEYWORDS:
+                names.add(name)
+    return names
+
+
+def base_identifier(target: str) -> str:
+    m = re.match(r"[A-Za-z_]\w*", target)
+    return m.group(0) if m else target
+
+
+def lint_parallel_body(rel: str, body: str, body_start_line: int,
+                       tags: dict[int, dict[str, str]],
+                       findings: list[Finding]) -> None:
+    locals_ = local_names(body)
+    for off, line in enumerate(body.splitlines()):
+        line_no = body_start_line + off
+        if has_tag(tags, line_no, "par-safe"):
+            continue
+        for m in ASSIGN_RE.finditer(line):
+            target = m.group("target")
+            op = m.group("op")
+            if "[" in target:
+                continue  # disjoint-index protocol writes
+            base = base_identifier(target)
+            if base in locals_ or base in CONTROL_KEYWORDS:
+                continue
+            # Member writes through a local object (`stats.links = ...`
+            # where stats is local) are fine; through a captured one not.
+            if op == "=":
+                findings.append(Finding(
+                    rel, line_no, "LD003",
+                    f"write to captured shared state '{target}' inside a "
+                    f"parallel region (declare it locally, write through a "
+                    f"disjoint subscript, or tag `// lint: par-safe(why)`)"))
+            else:
+                findings.append(Finding(
+                    rel, line_no, "LD004",
+                    f"accumulation '{target} {op}' onto captured shared state "
+                    f"inside a parallel region — shared-order reduction; use "
+                    f"the SummaryPartial/fixed-chunk protocol "
+                    f"(core/metrics.hpp) or tag `// lint: par-safe(why)`"))
+        for m in MUTATOR_RE.finditer(line):
+            chain = m.group("chain")
+            if "[" in chain:
+                continue  # disjoint-index protocol: per-slot mutation
+            base = base_identifier(chain)
+            if base in locals_ or base in CONTROL_KEYWORDS:
+                continue
+            findings.append(Finding(
+                rel, line_no, "LD003",
+                f"container mutation through captured '{base}' inside a "
+                f"parallel region (alias a per-worker slot locally or tag "
+                f"`// lint: par-safe(why)`)"))
+        for m in INCDEC_RE.finditer(line):
+            name = m.group("pre") or m.group("post")
+            if name in locals_ or name in CONTROL_KEYWORDS:
+                continue
+            findings.append(Finding(
+                rel, line_no, "LD004",
+                f"increment of captured '{name}' inside a parallel region "
+                f"(shared counter; reduce per chunk instead or tag "
+                f"`// lint: par-safe(why)`)"))
+
+
+def lint_text(rel: str, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    raw_lines = text.splitlines()
+    tags = collect_tags(raw_lines)
+    code = strip_comments_and_strings(text)
+    code_lines = code.splitlines()
+
+    def line_of(offset: int) -> int:
+        return code.count("\n", 0, offset) + 1
+
+    # LD001: unordered containers.
+    unordered_vars: set[str] = set()
+    for idx, line in enumerate(code_lines, start=1):
+        if not UNORDERED_RE.search(line):
+            continue
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_vars.add(m.group("name"))
+        if re.search(r"^\s*#\s*include", line):
+            continue  # the declaration is the enforcement point
+        if not has_tag(tags, idx, "order-independent", lookback=3):
+            findings.append(Finding(
+                rel, idx, "LD001",
+                "std::unordered_{map,set} without an order-independence "
+                "proof — tag the declaration `// lint: order-independent"
+                "(why)` if the use is membership-only, or switch to an "
+                "ordered/indexed structure"))
+    for var in sorted(unordered_vars):
+        iter_re = re.compile(
+            rf"for\s*\([^;)]*:\s*{re.escape(var)}\s*\)|"
+            rf"\b{re.escape(var)}\s*(?:\.|->)\s*(?:begin|end|cbegin|cend)\s*\(")
+        for idx, line in enumerate(code_lines, start=1):
+            if iter_re.search(line):
+                findings.append(Finding(
+                    rel, idx, "LD001",
+                    f"iteration over unordered container '{var}' — bucket "
+                    f"order is unspecified and reaches results; use an "
+                    f"ordered/indexed structure"))
+
+    # LD002: nondeterministic sources in result-bearing directories.
+    if RESULT_BEARING.search(rel):
+        for idx, line in enumerate(code_lines, start=1):
+            for rx, what in NONDET_SOURCES:
+                if rx.search(line):
+                    findings.append(Finding(
+                        rel, idx, "LD002",
+                        f"{what} in a result-bearing directory — all "
+                        f"randomness must flow through util::Rng and all "
+                        f"timing through util/timer.hpp observability"))
+
+    # LD003/LD004: parallel region bodies.
+    for m in PARALLEL_CALL_RE.finditer(code):
+        span = extract_lambda_body(code, m.start())
+        if span is None:
+            continue
+        start, end = span
+        lint_parallel_body(rel, code[start:end], line_of(start), tags, findings)
+
+    return findings
+
+
+def lint_file(path: Path, rel: str) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(rel, 0, "LD000", f"unreadable source file: {exc}")]
+    return lint_text(rel, text)
+
+
+def lint_tree(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for top in LINT_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                findings.extend(lint_file(path, path.relative_to(root).as_posix()))
+    return findings
+
+
+def run_self_test(root: Path) -> int:
+    """Every fixture named ldNNN_*.cpp must trigger exactly its rule;
+    clean_*.cpp must trigger nothing.  A fixture's pretend path (so the
+    directory-scoped LD002 fires) is given by a
+    `// lint-fixture-path: <path>` line; default is core/<name>."""
+    fixtures = root / "scripts" / "lint_fixtures"
+    if not fixtures.is_dir():
+        print(f"self-test: fixture directory missing: {fixtures}", file=sys.stderr)
+        return 2
+    failures = 0
+    cases = sorted(fixtures.glob("*.cpp"))
+    if not cases:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 2
+    for path in cases:
+        text = path.read_text(encoding="utf-8")
+        m = re.search(r"//\s*lint-fixture-path:\s*(\S+)", text)
+        rel = m.group(1) if m else f"core/{path.name}"
+        findings = lint_text(rel, text)
+        rules = {f.rule for f in findings}
+        name = path.name
+        if name.startswith("clean_"):
+            if findings:
+                failures += 1
+                print(f"self-test FAIL {name}: expected clean, got:",
+                      file=sys.stderr)
+                for f in findings:
+                    print(f"  {f}", file=sys.stderr)
+            continue
+        expected = name.split("_", 1)[0].upper()
+        if expected not in rules:
+            failures += 1
+            print(f"self-test FAIL {name}: expected {expected}, got "
+                  f"{sorted(rules) or 'nothing'}", file=sys.stderr)
+    if failures:
+        print(f"self-test: {failures} fixture(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(cases)} fixture(s) OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Determinism linter (DESIGN.md §8): LD001 unordered "
+                    "containers, LD002 nondeterministic sources, LD003 "
+                    "parallel shared writes, LD004 parallel FP accumulation.")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the script's repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule fixtures instead of linting the tree")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if args.self_test:
+        return run_self_test(root)
+
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint_determinism: {len(findings)} violation(s). "
+              f"See DESIGN.md §8 for the rulebook and allowlist tag grammar.",
+              file=sys.stderr)
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,38 @@
+// lint-fixture-path: core/clean_protocol.cpp
+// Clean fixture: every rule's allowed form in one file.  The linter must
+// report nothing here — this pins the heuristics against false
+// positives on the codebase's own idioms.
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+template <class Fn>
+void parallel_for(std::size_t lo, std::size_t hi, std::size_t grain, Fn&& fn);
+
+// LD001 allowed form: membership-only, tagged with a reason.
+bool has_duplicate(const std::vector<int>& values) {
+  // lint: order-independent(membership-only: contains/insert, never iterated)
+  std::unordered_set<int> seen;
+  for (const int v : values) {
+    if (seen.contains(v)) return true;
+    seen.insert(v);
+  }
+  return false;
+}
+
+// LD003/LD004 allowed forms: disjoint subscripted writes, local
+// accumulators, and a tagged exception with its reason.
+void scale_all(std::vector<double>& values, std::vector<double>& out,
+               double factor, double* flag) {
+  out.resize(values.size());
+  parallel_for(0, values.size(), 64, [&](std::size_t lo, std::size_t hi) {
+    double local = 0.0;  // per-worker accumulator: fine
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = values[i] * factor;  // disjoint-index write: fine
+      local += values[i];
+    }
+    if (local != 0.0) {
+      *flag = 1.0;  // lint: par-safe(idempotent flag: every writer stores the same value)
+    }
+  });
+}

@@ -1,0 +1,13 @@
+// lint-fixture-path: core/ld001_iterated_unordered.cpp
+// LD001 fixture: iterating an unordered container reaches results even
+// though the declaration carries a (now false) membership-only tag.
+#include <unordered_set>
+
+double sum_all(const double* values, int n) {
+  // lint: order-independent(claimed membership-only; the loop below lies)
+  std::unordered_set<double> seen;
+  for (int i = 0; i < n; ++i) seen.insert(values[i]);
+  double total = 0.0;
+  for (const double v : seen) total += v;  // bucket-order dependent
+  return total;
+}

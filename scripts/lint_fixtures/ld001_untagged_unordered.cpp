@@ -1,0 +1,9 @@
+// lint-fixture-path: core/ld001_untagged_unordered.cpp
+// LD001 fixture: an unordered container with no order-independence tag.
+#include <unordered_set>
+
+int count_distinct(const int* values, int n) {
+  std::unordered_set<int> seen;
+  for (int i = 0; i < n; ++i) seen.insert(values[i]);
+  return static_cast<int>(seen.size());
+}

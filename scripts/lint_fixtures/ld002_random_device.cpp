@@ -1,0 +1,16 @@
+// lint-fixture-path: core/ld002_random_device.cpp
+// LD002 fixture: nondeterministic sources in a result-bearing directory.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+unsigned roll_seed() {
+  std::random_device rd;  // nondeterministic seed source
+  return rd();
+}
+
+long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int noise() { return std::rand(); }

@@ -1,0 +1,22 @@
+// lint-fixture-path: core/ld003_shared_write.cpp
+// LD003 fixture: a parallel_for body writing captured shared state
+// without synchronization, a subscript, or a par-safe tag.
+#include <cstddef>
+#include <vector>
+
+template <class Fn>
+void parallel_for(std::size_t lo, std::size_t hi, std::size_t grain, Fn&& fn);
+
+void find_last_nonzero(const std::vector<double>& values, std::size_t* out) {
+  std::size_t last = 0;
+  bool found = false;
+  parallel_for(0, values.size(), 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (values[i] != 0.0) {
+        last = i;       // racy write to a captured local
+        found = true;   // ditto
+      }
+    }
+  });
+  *out = found ? last : values.size();
+}

@@ -1,0 +1,19 @@
+// lint-fixture-path: core/ld004_fp_accumulation.cpp
+// LD004 fixture: floating-point reduction onto captured shared state in
+// a parallel region — order-dependent even if made race-free, and
+// outside the SummaryPartial/fixed-chunk protocol.
+#include <cstddef>
+#include <vector>
+
+template <class Fn>
+void parallel_for(std::size_t lo, std::size_t hi, std::size_t grain, Fn&& fn);
+
+double sum(const std::vector<double>& values) {
+  double total = 0.0;
+  parallel_for(0, values.size(), 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      total += values[i];  // shared-order reduction
+    }
+  });
+  return total;
+}

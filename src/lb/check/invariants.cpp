@@ -1,0 +1,502 @@
+#include "lb/check/invariants.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace lb::check {
+
+namespace {
+
+// Slack multiplier on the IEEE worst-case drift bound for continuous
+// conservation.  The bound itself (ε·scale per paired ±f application) is
+// already conservative; the slack absorbs the Σ|ℓ| scale being measured
+// once at run start while loads spread during the run.
+constexpr double kDriftSlack = 64.0;
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+[[noreturn]] void violated(const std::string& what) {
+  throw InvariantViolation(what);
+}
+
+}  // namespace
+
+bool env_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("LB_CHECK");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+// ---------------------------------------------------------------------------
+// Conservation
+// ---------------------------------------------------------------------------
+
+template <class T>
+ConservationBaseline<T> conservation_baseline(const std::vector<T>& load) {
+  ConservationBaseline<T> b;
+  double abs_sum = 0.0;
+  for (const T v : load) {
+    b.total += v;
+    abs_sum += std::fabs(static_cast<double>(v));
+  }
+  b.abs_scale = std::max(1.0, abs_sum);
+  return b;
+}
+
+template <class T>
+void check_conservation(const ConservationBaseline<T>& baseline,
+                        const std::vector<T>& load, std::size_t round,
+                        std::size_t links, const char* where) {
+  T total{};
+  for (const T v : load) total += v;
+  if constexpr (std::is_integral_v<T>) {
+    if (total != baseline.total) {
+      violated(format("conservation violated (%s): round %zu: total %" PRId64
+                      " != run-start total %" PRId64 " (delta %" PRId64
+                      "); discrete load must be preserved to 0 ULP",
+                      where, round, static_cast<std::int64_t>(total),
+                      static_cast<std::int64_t>(baseline.total),
+                      static_cast<std::int64_t>(total - baseline.total)));
+    }
+  } else {
+    const double drift = std::fabs(static_cast<double>(total) -
+                                   static_cast<double>(baseline.total));
+    const double eps = std::numeric_limits<double>::epsilon();
+    const double allowed =
+        kDriftSlack * eps * baseline.abs_scale *
+        (1.0 + static_cast<double>(round) * (static_cast<double>(links) + 1.0));
+    if (!(drift <= allowed)) {  // !(<=) also catches NaN totals
+      violated(format("conservation violated (%s): round %zu: total %.17g "
+                      "drifted %.3g from run-start total %.17g (allowed %.3g "
+                      "for %zu links)",
+                      where, round, static_cast<double>(total), drift,
+                      static_cast<double>(baseline.total), allowed, links));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlowProgram antisymmetry
+// ---------------------------------------------------------------------------
+
+template <class T>
+void check_flow_antisymmetry(const core::FlowProgram<T>& program,
+                             const graph::TopologyFrame& frame,
+                             const std::vector<T>& load, std::size_t round) {
+  if (program.flow == nullptr) {
+    violated(format("flow antisymmetry: round %zu: planned program has no "
+                    "flow function",
+                    round));
+  }
+  const auto& edges = frame.base().edges();
+  const auto check_edge = [&](std::size_t k) {
+    const graph::Edge& e = edges[k];
+    const double lu = static_cast<double>(load[e.u]);
+    const double lv = static_cast<double>(load[e.v]);
+    const double f = program.flow(k, e, lu, lv);
+    const graph::Edge rev{e.v, e.u};
+    const double g = program.flow(k, rev, lv, lu);
+    if (!(g == -f)) {  // NaN on either side also lands here
+      violated(format("flow antisymmetry violated: round %zu edge %zu "
+                      "(%u,%u): flow(u,v)=%.17g but flow(v,u)=%.17g "
+                      "(expected %.17g)",
+                      round, k, e.u, e.v, f, g, -f));
+    }
+  };
+  if (program.support == core::FlowProgram<T>::Support::kMatching) {
+    for (const std::uint32_t k : program.matched) check_edge(k);
+  } else {
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      if (!frame.alive(k)) continue;
+      check_edge(k);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Halo mirror equality
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const shard::HaloLink* find_link(const shard::DomainPlan& plan,
+                                 std::uint32_t peer) {
+  for (const shard::HaloLink& l : plan.links) {
+    if (l.peer == peer) return &l;
+  }
+  return nullptr;
+}
+
+template <class V>
+void check_mirrored_list(const std::vector<V>& send, const std::vector<V>& recv,
+                         std::size_t a, std::size_t b, const char* kind) {
+  if (send.size() != recv.size()) {
+    violated(format("halo mirror violated: domains (%zu,%zu): %s count %zu on "
+                    "the sending side but %zu on the receiving side",
+                    a, b, kind, send.size(), recv.size()));
+  }
+  for (std::size_t i = 0; i < send.size(); ++i) {
+    if (send[i] != recv[i]) {
+      violated(format("halo mirror violated: domains (%zu,%zu): %s entry %zu "
+                      "is %llu on the sending side but %llu on the receiving "
+                      "side",
+                      a, b, kind, i,
+                      static_cast<unsigned long long>(send[i]),
+                      static_cast<unsigned long long>(recv[i])));
+    }
+  }
+}
+
+}  // namespace
+
+void check_halo_mirrors(const std::vector<shard::DomainPlan>& plans) {
+  for (std::size_t a = 0; a < plans.size(); ++a) {
+    for (const shard::HaloLink& l : plans[a].links) {
+      if (l.peer >= plans.size()) {
+        violated(format("halo mirror violated: domain %zu links to "
+                        "nonexistent peer %u",
+                        a, l.peer));
+      }
+      const shard::HaloLink* m = find_link(plans[l.peer], static_cast<std::uint32_t>(a));
+      if (m == nullptr) {
+        violated(format("halo mirror violated: domain %zu links to peer %u "
+                        "but the peer has no mirror link back",
+                        a, l.peer));
+      }
+      check_mirrored_list(l.send_nodes, m->recv_nodes, a, l.peer, "load-node");
+      check_mirrored_list(l.recv_nodes, m->send_nodes, a, l.peer, "load-node");
+      check_mirrored_list(l.send_flow_edges, m->recv_flow_edges, a, l.peer,
+                          "flow-edge");
+      check_mirrored_list(l.recv_flow_edges, m->send_flow_edges, a, l.peer,
+                          "flow-edge");
+    }
+  }
+}
+
+void check_halo_mirrors(const shard::HaloExchange& halo) {
+  check_halo_mirrors(halo.plans());
+}
+
+void check_domain_plan(const graph::Graph& base,
+                       const std::vector<std::uint32_t>& owner, std::size_t d,
+                       const shard::DomainPlan& plan) {
+  const auto& edges = base.edges();
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const graph::NodeId u = plan.nodes[i];
+    if (u >= base.num_nodes() || owner[u] != d) {
+      violated(format("csr: domain %zu plan row %zu: node %u is out of range "
+                      "or not owned by the domain",
+                      d, i, u));
+    }
+    if (i > 0 && plan.nodes[i - 1] >= u) {
+      violated(format("csr: domain %zu plan: nodes not strictly ascending at "
+                      "row %zu",
+                      d, i));
+    }
+  }
+  std::size_t expected_owned = 0;
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (owner[edges[k].u] != d) continue;
+    if (expected_owned >= plan.owned_edges.size() ||
+        plan.owned_edges[expected_owned] != k) {
+      violated(format("csr: domain %zu plan: owned_edges diverges from the "
+                      "ascending owner(e.u)==d sweep at base edge %zu",
+                      d, k));
+    }
+    ++expected_owned;
+  }
+  if (expected_owned != plan.owned_edges.size()) {
+    violated(format("csr: domain %zu plan: %zu owned edges listed but %zu "
+                    "expected",
+                    d, plan.owned_edges.size(), expected_owned));
+  }
+  if (plan.row_ptr.size() != plan.nodes.size() + 1 || plan.row_ptr.front() != 0 ||
+      plan.row_ptr.back() != plan.edge_idx.size() ||
+      plan.sign.size() != plan.edge_idx.size()) {
+    violated(format("csr: domain %zu plan: row_ptr/edge_idx/sign shapes are "
+                    "inconsistent",
+                    d));
+  }
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const graph::NodeId u = plan.nodes[i];
+    if (plan.row_ptr[i] > plan.row_ptr[i + 1]) {
+      violated(format("csr: domain %zu plan: row_ptr not monotone at row %zu",
+                      d, i));
+    }
+    for (std::size_t p = plan.row_ptr[i]; p < plan.row_ptr[i + 1]; ++p) {
+      const std::uint32_t k = plan.edge_idx[p];
+      if (k >= edges.size()) {
+        violated(format("csr: domain %zu plan row %zu: edge id %u out of "
+                        "range",
+                        d, i, k));
+      }
+      if (p > plan.row_ptr[i] && plan.edge_idx[p - 1] >= k) {
+        violated(format("csr: domain %zu plan row %zu (node %u): incident "
+                        "edge ids not strictly ascending at slot %zu",
+                        d, i, u, p));
+      }
+      const graph::Edge& e = edges[k];
+      if (e.u != u && e.v != u) {
+        violated(format("csr: domain %zu plan row %zu: node %u is not an "
+                        "endpoint of edge %u (%u,%u)",
+                        d, i, u, k, e.u, e.v));
+      }
+      const double expected_sign = (e.u == u) ? -1.0 : 1.0;
+      if (plan.sign[p] != expected_sign) {
+        violated(format("csr: domain %zu plan row %zu: orientation sign for "
+                        "edge %u (%u,%u) at node %u is %g, expected %g",
+                        d, i, k, e.u, e.v, u, plan.sign[p], expected_sign));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comm accounting
+// ---------------------------------------------------------------------------
+
+template <class T>
+std::vector<RoundCommExpectation> expected_all_edges_round_comm(
+    const std::vector<shard::DomainPlan>& plans,
+    const graph::TopologyFrame& frame) {
+  std::vector<RoundCommExpectation> expected(plans.size());
+  for (std::size_t d = 0; d < plans.size(); ++d) {
+    RoundCommExpectation& e = expected[d];
+    for (const shard::HaloLink& l : plans[d].links) {
+      // Phase A: one load payload per nonempty recv_nodes link.  Node
+      // halos are a function of the topology alone, mask ignored
+      // (sharded_engine.cpp phase A).
+      if (!l.recv_nodes.empty()) {
+        e.messages += 1;
+        e.bytes += l.recv_nodes.size() * sizeof(T);
+      }
+      // Phase B: one flow payload per link with >= 1 alive incoming cut
+      // edge; dead edges ship nothing.
+      std::size_t alive = 0;
+      for (const std::uint32_t k : l.recv_flow_edges) {
+        if (frame.alive(k)) ++alive;
+      }
+      if (alive > 0) {
+        e.messages += 1;
+        e.bytes += alive * sizeof(double);
+      }
+    }
+  }
+  return expected;
+}
+
+template <class T>
+std::vector<RoundCommExpectation> expected_matching_round_comm(
+    const std::vector<std::uint32_t>& matched,
+    const std::vector<graph::Edge>& edges,
+    const std::vector<std::uint32_t>& owner, std::size_t domains) {
+  std::vector<RoundCommExpectation> expected(domains);
+  // Per-superstep nonempty-channel tracking: a channel that carries j
+  // values in a superstep still counts as ONE message at the barrier.
+  std::vector<std::uint8_t> channel_used(domains * domains, 0);
+  const auto mark = [&](std::size_t from, std::size_t to, std::size_t bytes) {
+    expected[to].bytes += bytes;
+    std::uint8_t& used = channel_used[from * domains + to];
+    if (used == 0) {
+      used = 1;
+      expected[to].messages += 1;
+    }
+  };
+  // Phase A: v-side ships load[e.v] (one T) to owner(e.u) per cut edge.
+  for (const std::uint32_t k : matched) {
+    const graph::Edge& e = edges[k];
+    if (owner[e.u] == owner[e.v]) continue;
+    mark(owner[e.v], owner[e.u], sizeof(T));
+  }
+  std::fill(channel_used.begin(), channel_used.end(), 0);
+  // Phase B: owner(e.u) ships the computed flow (one double) back.
+  for (const std::uint32_t k : matched) {
+    const graph::Edge& e = edges[k];
+    if (owner[e.u] == owner[e.v]) continue;
+    mark(owner[e.u], owner[e.v], sizeof(double));
+  }
+  return expected;
+}
+
+void check_comm_accounting(const std::vector<RoundCommExpectation>& expected,
+                           const std::vector<sim::CommTotals>& before,
+                           const std::vector<sim::CommTotals>& after,
+                           std::size_t round) {
+  for (std::size_t d = 0; d < expected.size(); ++d) {
+    const std::uint64_t messages = after[d].messages - before[d].messages;
+    const std::uint64_t bytes = after[d].boundary_bytes - before[d].boundary_bytes;
+    if (messages != expected[d].messages) {
+      violated(format("comm accounting violated: round %zu domain %zu: "
+                      "received %" PRIu64 " messages, halo plan expects %" PRIu64,
+                      round, d, messages, expected[d].messages));
+    }
+    if (bytes != expected[d].bytes) {
+      violated(format("comm accounting violated: round %zu domain %zu: "
+                      "received %" PRIu64 " boundary bytes, halo plan expects "
+                      "%" PRIu64,
+                      round, d, bytes, expected[d].bytes));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSR / EdgeMask well-formedness
+// ---------------------------------------------------------------------------
+
+void check_csr_slice(const graph::Graph& base,
+                     const std::vector<std::size_t>& row_ptr,
+                     const std::vector<std::uint32_t>& edge_idx,
+                     const std::vector<double>& sign) {
+  const std::size_t n = base.num_nodes();
+  const auto& edges = base.edges();
+  if (row_ptr.size() != n + 1 || row_ptr.front() != 0 ||
+      row_ptr.back() != edge_idx.size() || sign.size() != edge_idx.size() ||
+      edge_idx.size() != 2 * edges.size()) {
+    violated(format("csr: ledger shapes inconsistent: %zu nodes, %zu edges, "
+                    "row_ptr %zu entries, %zu incident slots, %zu signs",
+                    n, edges.size(), row_ptr.size(), edge_idx.size(),
+                    sign.size()));
+  }
+  std::vector<std::uint8_t> seen(edges.size(), 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (row_ptr[u] > row_ptr[u + 1]) {
+      violated(format("csr: ledger row_ptr not monotone at node %zu", u));
+    }
+    for (std::size_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+      const std::uint32_t k = edge_idx[p];
+      if (k >= edges.size()) {
+        violated(format("csr: ledger node %zu: edge id %u out of range", u, k));
+      }
+      if (p > row_ptr[u] && edge_idx[p - 1] >= k) {
+        violated(format("csr: ledger node %zu: incident edge ids not strictly "
+                        "ascending at slot %zu",
+                        u, p));
+      }
+      const graph::Edge& e = edges[k];
+      if (e.u != u && e.v != u) {
+        violated(format("csr: ledger node %zu is not an endpoint of its "
+                        "incident edge %u (%u,%u)",
+                        u, k, e.u, e.v));
+      }
+      const double expected_sign = (e.u == u) ? -1.0 : 1.0;
+      if (sign[p] != expected_sign) {
+        violated(format("csr: ledger node %zu: orientation sign for edge %u "
+                        "(%u,%u) is %g, expected %g",
+                        u, k, e.u, e.v, sign[p], expected_sign));
+      }
+      ++seen[k];
+    }
+  }
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (seen[k] != 2) {
+      violated(format("csr: ledger edge %zu (%u,%u) appears %u times across "
+                      "node rows, expected exactly 2",
+                      k, edges[k].u, edges[k].v, seen[k]));
+    }
+  }
+}
+
+void check_ledger(const core::FlowLedger& ledger, const graph::Graph& base) {
+  if (!ledger.valid_for(base)) {
+    violated(format("csr: ledger checked against a graph it was not built "
+                    "for (ledger %zu nodes / %zu edges, graph %zu / %zu)",
+                    ledger.num_nodes(), ledger.num_edges(), base.num_nodes(),
+                    base.num_edges()));
+  }
+  check_csr_slice(base, ledger.row_ptr(), ledger.edge_indices(), ledger.signs());
+}
+
+void check_mask_arrays(const graph::Graph& base,
+                       const std::vector<std::uint8_t>& alive,
+                       std::size_t claimed_alive_edges,
+                       const std::vector<std::uint32_t>& claimed_degrees,
+                       std::size_t claimed_max, std::size_t claimed_min) {
+  const auto& edges = base.edges();
+  if (alive.size() != edges.size() || claimed_degrees.size() != base.num_nodes()) {
+    violated(format("edge mask inconsistent: %zu alive bits for %zu base "
+                    "edges, %zu degrees for %zu nodes",
+                    alive.size(), edges.size(), claimed_degrees.size(),
+                    base.num_nodes()));
+  }
+  std::size_t alive_edges = 0;
+  std::vector<std::uint32_t> degrees(base.num_nodes(), 0);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (alive[k] == 0) continue;
+    ++alive_edges;
+    ++degrees[edges[k].u];
+    ++degrees[edges[k].v];
+  }
+  if (alive_edges != claimed_alive_edges) {
+    violated(format("edge mask inconsistent: bitmap has %zu alive edges but "
+                    "the mask claims %zu",
+                    alive_edges, claimed_alive_edges));
+  }
+  std::size_t max_deg = 0;
+  std::size_t min_deg = base.num_nodes() == 0 ? 0 : degrees[0];
+  for (std::size_t u = 0; u < degrees.size(); ++u) {
+    if (degrees[u] != claimed_degrees[u]) {
+      violated(format("edge mask inconsistent: node %zu alive-degree is %u "
+                      "by recount but the mask claims %u",
+                      u, degrees[u], claimed_degrees[u]));
+    }
+    max_deg = std::max<std::size_t>(max_deg, degrees[u]);
+    min_deg = std::min<std::size_t>(min_deg, degrees[u]);
+  }
+  if (max_deg != claimed_max || min_deg != claimed_min) {
+    violated(format("edge mask inconsistent: recounted degree range [%zu,%zu] "
+                    "but the mask claims [%zu,%zu]",
+                    min_deg, max_deg, claimed_min, claimed_max));
+  }
+}
+
+void check_mask(const graph::EdgeMask& mask) {
+  const graph::Graph& base = mask.base();
+  std::vector<std::uint8_t> alive(base.num_edges());
+  for (std::size_t k = 0; k < alive.size(); ++k) {
+    alive[k] = mask.alive(k) ? 1 : 0;
+  }
+  std::vector<std::uint32_t> degrees(base.num_nodes());
+  for (std::size_t u = 0; u < degrees.size(); ++u) {
+    degrees[u] =
+        static_cast<std::uint32_t>(mask.alive_degree(static_cast<graph::NodeId>(u)));
+  }
+  check_mask_arrays(base, alive, mask.alive_edges(), degrees,
+                    mask.max_alive_degree(), mask.min_alive_degree());
+}
+
+// ---------------------------------------------------------------------------
+
+#define LB_INSTANTIATE(T)                                                      \
+  template ConservationBaseline<T> conservation_baseline<T>(                   \
+      const std::vector<T>&);                                                  \
+  template void check_conservation<T>(const ConservationBaseline<T>&,          \
+                                      const std::vector<T>&, std::size_t,      \
+                                      std::size_t, const char*);               \
+  template void check_flow_antisymmetry<T>(const core::FlowProgram<T>&,        \
+                                           const graph::TopologyFrame&,        \
+                                           const std::vector<T>&, std::size_t); \
+  template std::vector<RoundCommExpectation> expected_all_edges_round_comm<T>( \
+      const std::vector<shard::DomainPlan>&, const graph::TopologyFrame&);     \
+  template std::vector<RoundCommExpectation> expected_matching_round_comm<T>(  \
+      const std::vector<std::uint32_t>&, const std::vector<graph::Edge>&,      \
+      const std::vector<std::uint32_t>&, std::size_t);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::check

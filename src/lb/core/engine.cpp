@@ -1,5 +1,6 @@
 #include "lb/core/engine.hpp"
 
+#include "lb/check/invariants.hpp"
 #include "lb/core/load.hpp"
 #include "lb/core/metrics.hpp"
 #include "lb/core/round_context.hpp"
@@ -23,6 +24,13 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
   const bool fused = config.metrics == MetricsPath::kFusedParallel;
   util::ThreadPool* pool =
       config.pool != nullptr ? config.pool : &util::ThreadPool::global();
+
+  // Invariant checking (DESIGN.md §8): opt-in via config or LB_CHECK=1.
+  // Everything below under `checking` only *reads* engine state, so the
+  // trajectory is bit-identical with checks on or off.
+  const bool checking = config.check_invariants || check::env_enabled();
+  check::ConservationBaseline<T> baseline;
+  if (checking) baseline = check::conservation_baseline(load);
 
   RunResult result;
 
@@ -69,10 +77,16 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
     const graph::TopologyFrame& frame = seq.frame_at(round);
     // The context's shared flow ledger re-keys itself on the base
     // revision; the balancer hook remains for private per-graph caches.
+    bool epoch_changed = false;
     if (frame.base_revision() != base_epoch || frame.mask_revision() != mask_epoch) {
       balancer.on_topology_changed();
       base_epoch = frame.base_revision();
       mask_epoch = frame.mask_revision();
+      epoch_changed = true;
+      if (checking && frame.mask() != nullptr) {
+        // Mask commit: recount alive bitmap vs the incremental summaries.
+        check::check_mask(*frame.mask());
+      }
     }
 
     RoundContext<T> ctx(frame, rng, pool, arena);
@@ -98,6 +112,16 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
     const double metrics_us = watch.elapsed_seconds() * 1e6;
     result.step_seconds += step_us * 1e-6;
     result.metrics_seconds += metrics_us * 1e-6;
+
+    if (checking) {
+      check::check_conservation(baseline, load, round, stats.links, "engine");
+      // The shared ledger re-keys lazily inside balancers and its CSR
+      // only moves on a base rebuild, so verify it on epoch-change
+      // rounds (round 1 included) rather than every round.
+      if ((epoch_changed || round == 1) && arena.ledger().valid_for(frame.base())) {
+        check::check_ledger(arena.ledger(), frame.base());
+      }
+    }
 
     if (config.record_trace) {
       result.trace.add(RoundRecord{round, summary.potential, summary.discrepancy,

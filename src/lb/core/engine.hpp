@@ -52,6 +52,13 @@ struct EngineConfig {
   /// determinism contract (DESIGN.md §2) guarantees bit-identical
   /// RunResults for any pool size here, LB_THREADS included.
   util::ThreadPool* pool = nullptr;
+  /// Run the lb::check invariant layer (DESIGN.md §8): per-round
+  /// conservation, mask/CSR well-formedness after epoch changes; the
+  /// sharded engine adds halo-mirror equality, flow antisymmetry, and
+  /// comm accounting.  ORed with the LB_CHECK environment variable.
+  /// Violations throw check::InvariantViolation; results are unchanged
+  /// when no violation fires (checks only read engine state).
+  bool check_invariants = false;
 };
 
 /// Communication accounting for one ownership domain of a sharded run

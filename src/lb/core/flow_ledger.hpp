@@ -82,6 +82,13 @@ class FlowLedger {
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return num_edges_; }
 
+  /// Read-only views of the CSR arrays, for the lb::check invariant layer
+  /// (check_ledger recomputes well-formedness from these after each epoch
+  /// rebuild).  Layout documented at the member declarations below.
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& edge_indices() const { return edge_idx_; }
+  const std::vector<double>& signs() const { return sign_; }
+
   /// Apply signed per-edge flows (positive moves load e.u -> e.v) to
   /// `load`, node-parallel on `pool` (nullptr or a single-worker pool
   /// falls back to the sequential edge sweep over `g`).  `g` must be the

@@ -69,6 +69,7 @@ class HaloExchange {
 
   std::size_t domains() const { return plans_.size(); }
   const DomainPlan& plan(std::size_t d) const { return plans_[d]; }
+  const std::vector<DomainPlan>& plans() const { return plans_; }
 
   /// Cut edges crossing any domain boundary (== map.cut_edges()).
   std::size_t cut_edges() const { return cut_edges_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "lb/check/invariants.hpp"
 #include "lb/core/flow_ledger.hpp"
 #include "lb/core/flow_program.hpp"
 #include "lb/core/load.hpp"
@@ -49,11 +50,15 @@ struct Runtime {
     remote_in.resize(domains);
   }
 
-  void ensure(const graph::Graph& base, const ShardConfig& cfg) {
-    if (map.valid_for(base, cfg.domains, cfg.policy)) return;
+  /// Returns true when the tables were rebuilt for a new base epoch, so
+  /// the caller can re-validate its own per-epoch state (the invariant
+  /// layer re-checks halo mirrors and domain plans exactly then).
+  bool ensure(const graph::Graph& base, const ShardConfig& cfg) {
+    if (map.valid_for(base, cfg.domains, cfg.policy)) return false;
     map = OwnershipMap::build(base, cfg.domains, cfg.policy);
     halo = HaloExchange::build(base, map);
     for (std::vector<T>& h : halo_load) h.assign(base.num_nodes(), T{});
+    return true;
   }
 
   OwnershipMap map;
@@ -343,6 +348,18 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
   core::RunArena<T> arena;
   core::FlowProgram<T> program;
 
+  // Invariant checking (DESIGN.md §8): the sharded engine carries the
+  // full catalog — conservation, halo mirrors, domain-plan CSR, flow
+  // antisymmetry, and comm accounting.  Checks only read engine state.
+  const bool checking = config.check_invariants || check::env_enabled();
+  check::ConservationBaseline<T> baseline;
+  if (checking) baseline = check::conservation_baseline(load);
+  const auto snapshot_totals = [&rt, &shard] {
+    std::vector<sim::CommTotals> totals(shard.domains);
+    for (std::size_t d = 0; d < shard.domains; ++d) totals[d] = rt.comm.totals(d);
+    return totals;
+  };
+
   RunResult result;
   result.domains = shard.domains;
 
@@ -397,8 +414,19 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
       balancer.on_topology_changed();
       base_epoch = frame.base_revision();
       mask_epoch = frame.mask_revision();
+      if (checking && frame.mask() != nullptr) {
+        check::check_mask(*frame.mask());
+      }
     }
-    rt.ensure(frame.base(), shard);
+    const bool rebuilt = rt.ensure(frame.base(), shard);
+    if (checking && rebuilt) {
+      // Fresh ownership/halo tables: prove the routing invariants once
+      // per base epoch, before any round executes against them.
+      check::check_halo_mirrors(rt.halo);
+      for (std::size_t d = 0; d < shard.domains; ++d) {
+        check::check_domain_plan(frame.base(), rt.map.owners(), d, rt.halo.plan(d));
+      }
+    }
 
     core::RoundContext<T> ctx(frame, rng, pool, arena);
     if (fused) ctx.request_summary(mode, run_average);
@@ -409,9 +437,26 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
     bool planned = balancer.plan_round(ctx, program);
     if (planned) {
       LB_ASSERT_MSG(program.flow != nullptr, "planned round without a flow function");
-      stats = program.support == core::FlowProgram<T>::Support::kMatching
-                  ? step_matching(ctx, program, load, rt, pool)
-                  : step_all_edges(ctx, program, load, rt, pool);
+      const bool matching = program.support == core::FlowProgram<T>::Support::kMatching;
+      std::vector<sim::CommTotals> before;
+      std::vector<check::RoundCommExpectation> expected;
+      if (checking) {
+        // Round-start loads are what the domains will exchange, so the
+        // antisymmetry probe sees exactly the values the protocol uses.
+        check::check_flow_antisymmetry(program, frame, load, round);
+        before = snapshot_totals();
+        expected = matching
+                       ? check::expected_matching_round_comm<T>(
+                             program.matched, frame.base().edges(),
+                             rt.map.owners(), shard.domains)
+                       : check::expected_all_edges_round_comm<T>(rt.halo.plans(), frame);
+      }
+      stats = matching ? step_matching(ctx, program, load, rt, pool)
+                       : step_all_edges(ctx, program, load, rt, pool);
+      if (checking) {
+        const std::vector<sim::CommTotals> after = snapshot_totals();
+        check::check_comm_accounting(expected, before, after, round);
+      }
       ++result.sharded_rounds;
     } else {
       // Non-distributable round: shared-memory step() inside the sharded
@@ -433,6 +478,10 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
     const double metrics_us = watch.elapsed_seconds() * 1e6;
     result.step_seconds += step_us * 1e-6;
     result.metrics_seconds += metrics_us * 1e-6;
+
+    if (checking) {
+      check::check_conservation(baseline, load, round, stats.links, "shard");
+    }
 
     if (config.record_trace) {
       core::RoundRecord rec{round, summary.potential, summary.discrepancy,

@@ -26,6 +26,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "lb/util/assert.hpp"
+
 namespace lb::sim {
 
 /// Modeled cost of one directed inter-domain link.  Defaults model a
@@ -75,6 +77,10 @@ class CommEngine {
     static_assert(std::is_trivially_copyable_v<V>);
     if (count == 0) return;
     Channel& ch = channel(from, to);
+    // A receiver whose unpack schedule disagrees with the sender's pack
+    // schedule would otherwise read past the payload silently.
+    LB_ASSERT_MSG(ch.cursor + count * sizeof(V) <= ch.inbox.size(),
+                  "comm recv overruns the channel inbox");
     std::memcpy(out, ch.inbox.data() + ch.cursor, count * sizeof(V));
     ch.cursor += count * sizeof(V);
   }

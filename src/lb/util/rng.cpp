@@ -164,7 +164,14 @@ std::int64_t Rng::next_zipf(std::int64_t n, double s) {
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
   LB_ASSERT_MSG(k <= n, "cannot sample more elements than the population");
   // Floyd's algorithm: expected O(k) with a hash set.
-  std::unordered_set<std::size_t> chosen;
+  //
+  // Draw-order-independence proof (the determinism linter's worked
+  // example, DESIGN.md §8): `chosen` is used membership-only — contains()
+  // and insert(), never iterated — so the unordered bucket layout cannot
+  // reach the result.  out[i] is a pure function of the next_below()
+  // draws and the *set* of previously chosen values, and set membership
+  // is independent of iteration order by definition.
+  std::unordered_set<std::size_t> chosen;  // lint: order-independent(membership-only: contains/insert, never iterated)
   std::vector<std::size_t> out;
   out.reserve(k);
   for (std::size_t j = n - k; j < n; ++j) {

@@ -221,6 +221,52 @@ TEST(ThreadPoolRegressionTest, SubmittedTaskExceptionSurfacesInWaitIdle) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+// Stress regression (ISSUE 7): concurrent external callers each driving a
+// parallel_for whose chunks nest a reentrant parallel_for, with a stream of
+// plain submit()s mixed in.  Every synchronization path — batch latches,
+// reentrancy detection, the exception slot, wait_idle — is exercised at
+// once; the TSan preset runs this to certify the pool race-free.
+TEST(ThreadPoolStressTest, ConcurrentNestedCallersUnderContention) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kRepeats = 8;
+  constexpr std::size_t kOuter = 32;
+  constexpr std::size_t kInner = 128;
+  const long long inner_sum = static_cast<long long>(kInner) * (kInner - 1) / 2;
+  std::atomic<int> background{0};
+  std::vector<std::atomic<long long>> results(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &background, &results, c] {
+      for (int r = 0; r < kRepeats; ++r) {
+        pool.submit([&background] { background.fetch_add(1); });
+        std::atomic<long long> total{0};
+        pool.parallel_for(0, kOuter, 4, [&pool, &total](std::size_t lo,
+                                                        std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::atomic<long long> inner{0};
+            pool.parallel_for(0, kInner, 16,
+                              [&inner](std::size_t l, std::size_t h) {
+                                long long local = 0;
+                                for (std::size_t k = l; k < h; ++k)
+                                  local += static_cast<long long>(k);
+                                inner.fetch_add(local);
+                              });
+            total.fetch_add(inner.load());
+          }
+        });
+        results[c].store(total.load());
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(background.load(), kCallers * kRepeats);
+  for (const auto& result : results)
+    EXPECT_EQ(result.load(), static_cast<long long>(kOuter) * inner_sum);
+}
+
 TEST(ThreadPoolRegressionTest, InlineFallbackStillPropagatesExceptions) {
   ThreadPool pool(1);  // single worker -> inline execution path
   EXPECT_THROW(pool.parallel_for(0, 10, 1,
