@@ -105,7 +105,7 @@ void BM_ApplyPhaseOnly(benchmark::State& state) {
                           static_cast<std::int64_t>(g.num_edges()));
   state.SetLabel(use_ledger ? "apply=ledger" : "apply=edge-sweep");
 }
-BENCHMARK(BM_ApplyPhaseOnly)->ArgsProduct({{16384, 65536}, {0, 1}});
+BENCHMARK(BM_ApplyPhaseOnly)->ArgsProduct({{16384, 65536, 1048576}, {0, 1}});
 
 // Fused-metrics ablation (ISSUE 3): one observed engine round — step plus
 // the post-round Φ/discrepancy summary — down the PR-2 path (ledger apply,
@@ -258,7 +258,7 @@ void BM_GraphConstructionTorus(benchmark::State& state) {
     benchmark::DoNotOptimize(torus_of(n));
   }
 }
-BENCHMARK(BM_GraphConstructionTorus)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_GraphConstructionTorus)->Arg(1024)->Arg(65536)->Arg(1048576);
 
 }  // namespace
 

@@ -54,6 +54,17 @@ for name in "${benches[@]}"; do
     "${bin}" --csv \
       --json "${out_dir}/BENCH_shard.json" \
       --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
+  elif [[ ${name} == bench_scale ]]; then
+    # The million-node substrate bench (E17) sweeps n = 2^16..2^21 and
+    # verifies every leg (flat oracle, cache-blocked, pool sizes, the
+    # LB_CHECK leg) for bit-identity, exiting nonzero on divergence or on
+    # a nonzero steady-state allocation rate.  Emits BENCH_scale.json
+    # (µs/round flat vs blocked, bytes/node vs the legacy layout,
+    # allocs/round) plus the ablation_scale_{blocked,flat}.csv per-round
+    # trace pair directly.
+    "${bin}" --csv \
+      --json "${out_dir}/BENCH_scale.json" \
+      --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
   elif [[ ${name} == bench_thm7_dynamic ]]; then
     # The dynamic-topology bench runs every scenario down both substrates
     # (masked frames vs per-round graph rebuilds) in one invocation, so

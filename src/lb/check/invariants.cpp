@@ -358,9 +358,9 @@ void check_comm_accounting(const std::vector<RoundCommExpectation>& expected,
 // ---------------------------------------------------------------------------
 
 void check_csr_slice(const graph::Graph& base,
-                     const std::vector<std::size_t>& row_ptr,
+                     const util::IndexArray& row_ptr,
                      const std::vector<std::uint32_t>& edge_idx,
-                     const std::vector<double>& sign) {
+                     const std::vector<std::int8_t>& sign) {
   const std::size_t n = base.num_nodes();
   const auto& edges = base.edges();
   if (row_ptr.size() != n + 1 || row_ptr.front() != 0 ||
@@ -373,15 +373,17 @@ void check_csr_slice(const graph::Graph& base,
   }
   std::vector<std::uint8_t> seen(edges.size(), 0);
   for (std::size_t u = 0; u < n; ++u) {
-    if (row_ptr[u] > row_ptr[u + 1]) {
+    const auto row_begin = static_cast<std::size_t>(row_ptr[u]);
+    const auto row_end = static_cast<std::size_t>(row_ptr[u + 1]);
+    if (row_begin > row_end) {
       violated(format("csr: ledger row_ptr not monotone at node %zu", u));
     }
-    for (std::size_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+    for (std::size_t p = row_begin; p < row_end; ++p) {
       const std::uint32_t k = edge_idx[p];
       if (k >= edges.size()) {
         violated(format("csr: ledger node %zu: edge id %u out of range", u, k));
       }
-      if (p > row_ptr[u] && edge_idx[p - 1] >= k) {
+      if (p > row_begin && edge_idx[p - 1] >= k) {
         violated(format("csr: ledger node %zu: incident edge ids not strictly "
                         "ascending at slot %zu",
                         u, p));
@@ -392,11 +394,11 @@ void check_csr_slice(const graph::Graph& base,
                         "incident edge %u (%u,%u)",
                         u, k, e.u, e.v));
       }
-      const double expected_sign = (e.u == u) ? -1.0 : 1.0;
+      const int expected_sign = (e.u == u) ? -1 : 1;
       if (sign[p] != expected_sign) {
         violated(format("csr: ledger node %zu: orientation sign for edge %u "
-                        "(%u,%u) is %g, expected %g",
-                        u, k, e.u, e.v, sign[p], expected_sign));
+                        "(%u,%u) is %d, expected %d",
+                        u, k, e.u, e.v, static_cast<int>(sign[p]), expected_sign));
       }
       ++seen[k];
     }

@@ -170,9 +170,9 @@ void check_comm_accounting(const std::vector<RoundCommExpectation>& expected,
 /// when it is the edge's u, and every base edge appearing exactly twice
 /// (once per endpoint).
 void check_csr_slice(const graph::Graph& base,
-                     const std::vector<std::size_t>& row_ptr,
+                     const util::IndexArray& row_ptr,
                      const std::vector<std::uint32_t>& edge_idx,
-                     const std::vector<double>& sign);
+                     const std::vector<std::int8_t>& sign);
 
 /// Verify a live ledger (must be valid_for(base)).
 void check_ledger(const core::FlowLedger& ledger, const graph::Graph& base);

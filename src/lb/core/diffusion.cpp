@@ -128,29 +128,13 @@ StepStats DiffusionBalancer<T>::step(RoundContext<T>& ctx, std::vector<T>& load)
     return li > lj ? w : -w;
   };
 
-  if (pool == nullptr || pool->size() <= 1) {
-    // Single worker: the fused one-pass round (snapshot copy, compute +
-    // apply + stats per edge) — same flows, same per-node update order,
-    // so still bit-identical to the paths below.  Never reads the CSR
-    // view, so none is built.  A requested summary falls to the engine's
-    // standalone reduction, which is chunk-deterministic either way.
-    run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats, flow_fn);
-    return stats;
-  }
-  FlowLedger& ledger = ctx.ledger();
-
-  // Phase 1: compute every flow from the round-start snapshot.  Signed
-  // convention: positive flow moves load from e.u to e.v.
-  compute_edge_flows(g, load, flows, pool, flow_fn);
-
-  // Phase 2: apply all transfers.  Because the amounts were fixed in
-  // phase 1, both apply paths reach the same state as the fully concurrent
-  // exchange (the paper's sequentialization argument); the ledger apply is
-  // additionally node-parallel and bit-identical to the edge sweep.  When
-  // the engine asked for a post-round summary, ride the metrics reduction
-  // inside the same node sweep.
-  accumulate_flow_totals<T>(flows, stats);
-  apply_flows_observed(ctx, ledger, flows, load, pool);
+  // Shared ledger-round dispatch (round_context.hpp): single worker takes
+  // the fused one-pass round — cache-blocked with the summary riding each
+  // block when the engine asked for one — while multi-worker pools fill
+  // flows in parallel and apply through the CSR gather.  Every leg is
+  // bit-identical (same flows from the same snapshot, same per-node
+  // update order, chunk-deterministic summary).
+  run_ledger_round(ctx, g, load, pool, stats, flow_fn);
   return stats;
 }
 

@@ -66,6 +66,14 @@ DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t r
       ++profile.disconnected_rounds;
       continue;
     }
+    if (linalg::spectral_guard_active(frame.num_nodes())) {
+      // Scale guard (satellite of the 2^20 substrate): record the skip —
+      // λ2 = 0 contributes nothing to A_K, like a disconnected round —
+      // instead of silently stalling in an O(n·iters) Lanczos per round.
+      profile.lambda2_per_round.push_back(0.0);
+      ++profile.spectral_skipped_rounds;
+      continue;
+    }
     profile.lambda2_per_round.push_back(linalg::lambda2(frame, dense_cutoff));
   }
   profile.average_ratio =
@@ -106,6 +114,7 @@ DynamicRunResult run_dynamic(Balancer<T>& balancer, graph::GraphSequence& seq,
   seq.reset();
   ReplayCheckSequence checked(seq, out.profile.frame_fingerprints);
   out.run = run(balancer, checked, load, config);
+  out.run.spectral_skipped = out.profile.spectral_skipped_rounds > 0;
 
   if (out.profile.average_ratio > 0.0) {
     if constexpr (std::is_integral_v<T>) {

@@ -30,6 +30,10 @@ struct DynamicSpectralProfile {
   /// TopologyFrame::fingerprint() per round, for replay verification.
   std::vector<std::uint64_t> frame_fingerprints;
   std::size_t disconnected_rounds = 0;
+  /// Rounds whose λ2 was skipped by the linalg::max_spectral_n scale
+  /// guard (recorded as 0.0 in lambda2_per_round); run_dynamic mirrors
+  /// any nonzero count into RunResult::spectral_skipped.
+  std::size_t spectral_skipped_rounds = 0;
   double average_ratio = 0.0;  ///< A_K of Theorem 7
 };
 

@@ -18,8 +18,12 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
   const util::Stopwatch run_watch;
 
   // Run isolation: trajectory state from a previous run (SOS's L^{t-1},
-  // OPS's schedule position, ...) must not leak into this one.
+  // OPS's schedule position, ...) must not leak into this one.  The
+  // arena's blocked-round snapshot cache is tied to a specific load
+  // vector's values, so a new run (possibly reusing a caller-owned
+  // arena) always starts with it invalid.
   balancer.on_run_begin();
+  arena.invalidate_snapshot();
 
   const bool fused = config.metrics == MetricsPath::kFusedParallel;
   util::ThreadPool* pool =
@@ -61,7 +65,8 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
   const auto finish = [&](RunResult& r) {
     if (fused && !config.record_trace) {
       r.final_discrepancy =
-          summarize_deterministic(load, run_average, pool, SummaryMode::kExtremaOnly)
+          summarize_deterministic(load, run_average, pool, SummaryMode::kExtremaOnly,
+                                  arena.summary_parts())
               .discrepancy;
     }
     r.total_seconds = run_watch.elapsed_seconds();
@@ -107,7 +112,8 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
     } else if (ctx.has_summary()) {
       summary = ctx.summary();
     } else {
-      summary = summarize_deterministic(load, run_average, pool, mode);
+      summary = summarize_deterministic(load, run_average, pool, mode,
+                                        arena.summary_parts());
     }
     const double metrics_us = watch.elapsed_seconds() * 1e6;
     result.step_seconds += step_us * 1e-6;

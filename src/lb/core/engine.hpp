@@ -75,6 +75,10 @@ struct DomainCommStats {
 struct RunResult {
   bool reached_target = false;
   bool stalled = false;
+  /// True when any spectral profiling attached to this run (dynamic
+  /// runner lambda2 tracking) was skipped by the linalg::max_spectral_n
+  /// scale guard instead of computed.
+  bool spectral_skipped = false;
   std::size_t rounds = 0;           ///< rounds actually executed
   double initial_potential = 0.0;
   double final_potential = 0.0;

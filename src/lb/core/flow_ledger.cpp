@@ -1,10 +1,53 @@
 #include "lb/core/flow_ledger.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <limits>
 
 #include "lb/util/assert.hpp"
 
 namespace lb::core {
+
+namespace {
+
+std::size_t round_up_to_chunk(unsigned long long width) {
+  const auto w = static_cast<std::size_t>(width);
+  return ((w + kSummaryChunkWidth - 1) / kSummaryChunkWidth) * kSummaryChunkWidth;
+}
+
+// Override state: -1 = no override (env/default applies).
+std::atomic<long long> g_block_width_override{-1};
+
+std::size_t env_block_width() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("LB_BLOCK_NODES")) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(env, &end, 10);
+      if (end != env && parsed >= 0) {
+        return parsed == 0 ? std::size_t{0}
+                           : round_up_to_chunk(static_cast<unsigned long long>(parsed));
+      }
+    }
+    return std::size_t{16384};  // 128 KiB of int64 loads: L2-resident
+  }();
+  return cached;
+}
+
+}  // namespace
+
+std::size_t blocked_round_width() {
+  const long long override_width = g_block_width_override.load(std::memory_order_relaxed);
+  if (override_width >= 0) {
+    return override_width == 0
+               ? std::size_t{0}
+               : round_up_to_chunk(static_cast<unsigned long long>(override_width));
+  }
+  return env_block_width();
+}
+
+void set_blocked_width_override(long long width) {
+  g_block_width_override.store(width < 0 ? -1 : width, std::memory_order_relaxed);
+}
 
 void FlowLedger::rebuild(const graph::Graph& g) {
   LB_ASSERT_MSG(g.num_edges() <= std::numeric_limits<std::uint32_t>::max(),
@@ -14,25 +57,27 @@ void FlowLedger::rebuild(const graph::Graph& g) {
   revision_ = g.revision();
 
   const auto& edges = g.edges();
-  row_ptr_.assign(num_nodes_ + 1, 0);
+  const std::size_t slots = 2 * num_edges_;
+  std::vector<std::size_t> cursor(num_nodes_ + 1, 0);
   for (const graph::Edge& e : edges) {
-    ++row_ptr_[e.u + 1];
-    ++row_ptr_[e.v + 1];
+    ++cursor[e.u + 1];
+    ++cursor[e.v + 1];
   }
-  for (std::size_t i = 1; i <= num_nodes_; ++i) row_ptr_[i] += row_ptr_[i - 1];
+  for (std::size_t i = 1; i <= num_nodes_; ++i) cursor[i] += cursor[i - 1];
+  row_ptr_.assign_copy(cursor, slots);
 
-  edge_idx_.resize(2 * num_edges_);
-  sign_.resize(2 * num_edges_);
-  std::vector<std::size_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
+  edge_idx_.resize(slots);
+  sign_.resize(slots);
+  cursor.pop_back();  // reuse the prefix as the per-row fill cursor
   // Iterating edges in ascending index order appends ascending ids to each
   // row — the order the apply phase relies on for bit-identity with the
   // sequential edge sweep.
   for (std::size_t k = 0; k < edges.size(); ++k) {
     const graph::Edge& e = edges[k];
     edge_idx_[cursor[e.u]] = static_cast<std::uint32_t>(k);
-    sign_[cursor[e.u]++] = -1.0;  // positive flow leaves u
+    sign_[cursor[e.u]++] = -1;  // positive flow leaves u
     edge_idx_[cursor[e.v]] = static_cast<std::uint32_t>(k);
-    sign_[cursor[e.v]++] = 1.0;
+    sign_[cursor[e.v]++] = 1;
   }
 }
 
@@ -69,11 +114,12 @@ void FlowLedger::apply_with_summary(const graph::Graph& g,
                                     const std::vector<double>& flows,
                                     std::vector<T>& load, util::ThreadPool* pool,
                                     double average, SummaryMode mode,
+                                    std::vector<SummaryPartial<T>>& parts,
                                     LoadSummary<T>& out) const {
   LB_ASSERT_MSG(valid_for(g), "apply with a ledger built for another topology");
   LB_ASSERT_MSG(flows.size() == num_edges_, "flow vector does not match ledger");
   LB_ASSERT_MSG(load.size() == num_nodes_, "load vector does not match ledger");
-  out = fused_sweep_with_summary<T>(pool, num_nodes_, average, mode,
+  out = fused_sweep_with_summary<T>(pool, num_nodes_, average, mode, parts,
                                     [&](std::size_t u) {
                                       const T value = gather_node(u, flows, load);
                                       load[u] = value;
@@ -111,9 +157,10 @@ void FlowLedger::apply_with_summary(const graph::TopologyFrame& frame,
                                     const std::vector<double>& flows,
                                     std::vector<T>& load, util::ThreadPool* pool,
                                     double average, SummaryMode mode,
+                                    std::vector<SummaryPartial<T>>& parts,
                                     LoadSummary<T>& out) const {
   if (!frame.masked()) {
-    apply_with_summary(frame.base(), flows, load, pool, average, mode, out);
+    apply_with_summary(frame.base(), flows, load, pool, average, mode, parts, out);
     return;
   }
   LB_ASSERT_MSG(revision_ == frame.base_revision(),
@@ -121,7 +168,7 @@ void FlowLedger::apply_with_summary(const graph::TopologyFrame& frame,
   LB_ASSERT_MSG(flows.size() == num_edges_, "flow vector does not match ledger");
   LB_ASSERT_MSG(load.size() == num_nodes_, "load vector does not match ledger");
   const graph::EdgeMask& mask = *frame.mask();
-  out = fused_sweep_with_summary<T>(pool, num_nodes_, average, mode,
+  out = fused_sweep_with_summary<T>(pool, num_nodes_, average, mode, parts,
                                     [&](std::size_t u) {
                                       const T value =
                                           gather_node_masked(u, mask, flows, load);
@@ -233,10 +280,12 @@ void accumulate_flow_totals(const std::vector<double>& flows, StepStats& stats) 
                                      std::vector<T>&, util::ThreadPool*) const;\
   template void FlowLedger::apply_with_summary<T>(                             \
       const graph::Graph&, const std::vector<double>&, std::vector<T>&,        \
-      util::ThreadPool*, double, SummaryMode, LoadSummary<T>&) const;          \
+      util::ThreadPool*, double, SummaryMode, std::vector<SummaryPartial<T>>&, \
+      LoadSummary<T>&) const;                                                  \
   template void FlowLedger::apply_with_summary<T>(                             \
       const graph::TopologyFrame&, const std::vector<double>&, std::vector<T>&,\
-      util::ThreadPool*, double, SummaryMode, LoadSummary<T>&) const;          \
+      util::ThreadPool*, double, SummaryMode, std::vector<SummaryPartial<T>>&, \
+      LoadSummary<T>&) const;                                                  \
   template void apply_edge_sweep<T>(const graph::Graph&,                       \
                                     const std::vector<double>&,                \
                                     std::vector<T>&);                          \

@@ -25,6 +25,7 @@
 // topology actually changed and is free for static networks.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <type_traits>
@@ -34,9 +35,25 @@
 #include "lb/core/metrics.hpp"
 #include "lb/graph/edge_mask.hpp"
 #include "lb/graph/graph.hpp"
+#include "lb/util/index_array.hpp"
 #include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
+
+/// Node-block width for the cache-blocked fused round (DESIGN.md §9), in
+/// nodes.  Resolution order: set_blocked_width_override() ▸ the
+/// LB_BLOCK_NODES environment variable ▸ a 16384-node default (64–128 KiB
+/// of load vector — L2-resident on everything we target).  Always a
+/// multiple of kSummaryChunkWidth so summary chunks never straddle a
+/// block; 0 disables blocking (the flat fused sweep).  The width NEVER
+/// affects results — every width is bit-identical (the property tests
+/// randomize it) — so this is a pure performance knob.
+std::size_t blocked_round_width();
+
+/// Test/bench hook: width < 0 clears the override (back to env/default),
+/// 0 forces the flat path, > 0 is rounded up to a kSummaryChunkWidth
+/// multiple and used as the block width.
+void set_blocked_width_override(long long width);
 
 /// Which apply implementation a ported balancer uses.  kEdgeSweep is the
 /// seed's sequential edge-list path, kept as the equivalence oracle for
@@ -85,9 +102,15 @@ class FlowLedger {
   /// Read-only views of the CSR arrays, for the lb::check invariant layer
   /// (check_ledger recomputes well-formedness from these after each epoch
   /// rebuild).  Layout documented at the member declarations below.
-  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const util::IndexArray& row_ptr() const { return row_ptr_; }
   const std::vector<std::uint32_t>& edge_indices() const { return edge_idx_; }
-  const std::vector<double>& signs() const { return sign_; }
+  const std::vector<std::int8_t>& signs() const { return sign_; }
+  /// Resident bytes of the ledger's index/sign arrays — the CSR half of
+  /// the bytes/node scale metric.
+  std::size_t memory_bytes() const {
+    return row_ptr_.size_bytes() + edge_idx_.size() * sizeof(std::uint32_t) +
+           sign_.size() * sizeof(std::int8_t);
+  }
 
   /// Apply signed per-edge flows (positive moves load e.u -> e.v) to
   /// `load`, node-parallel on `pool` (nullptr or a single-worker pool
@@ -106,10 +129,13 @@ class FlowLedger {
   /// driven chunk-by-chunk (chunk boundaries a function of n only), so both
   /// the loads and `out` are bit-identical to apply() followed by
   /// summarize_deterministic() at every pool size, including sequential.
+  /// `parts` is the caller's per-chunk partial scratch (RunArena keeps one
+  /// per run) so steady-state rounds allocate nothing.
   template <class T>
   void apply_with_summary(const graph::Graph& g, const std::vector<double>& flows,
                           std::vector<T>& load, util::ThreadPool* pool,
                           double average, SummaryMode mode,
+                          std::vector<SummaryPartial<T>>& parts,
                           LoadSummary<T>& out) const;
 
   /// Masked apply: the CSR stays the base graph's, and each node's row
@@ -129,6 +155,7 @@ class FlowLedger {
   void apply_with_summary(const graph::TopologyFrame& frame,
                           const std::vector<double>& flows, std::vector<T>& load,
                           util::ThreadPool* pool, double average, SummaryMode mode,
+                          std::vector<SummaryPartial<T>>& parts,
                           LoadSummary<T>& out) const;
 
  private:
@@ -143,8 +170,8 @@ class FlowLedger {
                        const std::vector<double>& flows,
                        const std::vector<T>& load) const {
     T value = load[u];
-    const std::size_t row_end = row_ptr_[u + 1];
-    for (std::size_t p = row_ptr_[u]; p < row_end; ++p) {
+    const std::size_t row_end = static_cast<std::size_t>(row_ptr_[u + 1]);
+    for (std::size_t p = static_cast<std::size_t>(row_ptr_[u]); p < row_end; ++p) {
       const std::uint32_t k = edge_idx_[p];
       if (!mask.alive(k)) continue;  // dead slot: flows[k] may be stale
       const double f = flows[k];
@@ -165,15 +192,16 @@ class FlowLedger {
   T gather_node(std::size_t u, const std::vector<double>& flows,
                 const std::vector<T>& load) const {
     T value = load[u];
-    const std::size_t row_end = row_ptr_[u + 1];
-    for (std::size_t p = row_ptr_[u]; p < row_end; ++p) {
+    const std::size_t row_end = static_cast<std::size_t>(row_ptr_[u + 1]);
+    for (std::size_t p = static_cast<std::size_t>(row_ptr_[u]); p < row_end; ++p) {
       const double f = flows[edge_idx_[p]];
       if (f == 0.0) continue;
-      // sign_[p]·f is exactly ±f, and x + (−f) rounds identically to the
-      // edge sweep's x −= |f| (x − |f| ≡ x + (−|f|) in IEEE), so every
-      // per-node update matches the oracle bit for bit.  For integral T
-      // the truncating cast of ±f equals the sweep's ±⌊|f|⌋, and adding
-      // a zero amount is the identity, matching the sweep's skip.
+      // sign_[p]·f is exactly ±f (an int8 ±1 promotes to ±1.0 exactly),
+      // and x + (−f) rounds identically to the edge sweep's x −= |f|
+      // (x − |f| ≡ x + (−|f|) in IEEE), so every per-node update matches
+      // the oracle bit for bit.  For integral T the truncating cast of ±f
+      // equals the sweep's ±⌊|f|⌋, and adding a zero amount is the
+      // identity, matching the sweep's skip.
       if constexpr (std::is_integral_v<T>) {
         value += static_cast<T>(sign_[p] * f);
       } else {
@@ -186,9 +214,9 @@ class FlowLedger {
   std::uint64_t revision_ = 0;
   std::size_t num_nodes_ = 0;
   std::size_t num_edges_ = 0;
-  std::vector<std::size_t> row_ptr_;     // n + 1 entries (CsrMatrix layout)
+  util::IndexArray row_ptr_;             // n + 1 entries (CsrMatrix layout; narrow when 2m < 2^32)
   std::vector<std::uint32_t> edge_idx_;  // 2m incident edge ids, ascending per row
-  std::vector<double> sign_;             // -1 if the row's node is the edge's u
+  std::vector<std::int8_t> sign_;        // -1 if the row's node is the edge's u
 };
 
 /// The seed's sequential edge-list apply, shared by every ported balancer's
@@ -340,6 +368,170 @@ void run_fused_sequential_round_masked(const graph::TopologyFrame& frame,
     stats.transferred += static_cast<double>(amount);
     ++stats.active_edges;
   }
+}
+
+/// Cache-blocked single-worker fused round (DESIGN.md §9).  Keeps the
+/// fused edge sweep's apply-immediately structure (snapshot the loads,
+/// then one ascending pass over the edge list applying each flow as it
+/// is computed) but walks it in node blocks of `block_width` (a
+/// kSummaryChunkWidth multiple): the edge list is sorted by canonical
+/// source u, so block [lo,hi)'s outgoing edges are one contiguous slice
+/// found by a monotone cursor — no index structure, no CSR, no ledger.
+/// After that slice is applied every node in the block is FINAL (any
+/// edge touching w < hi has canonical endpoint u ≤ w, so it lies in this
+/// or an earlier slice), and the block's Φ/extrema summary chunks are
+/// folded right there, while the block is still cache-resident.  Loads,
+/// StepStats (global ascending edge order) and the summary are all
+/// BIT-IDENTICAL to run_fused_sequential_round + a standalone
+/// summarize_deterministic at any block width; the win is that the flat
+/// path re-streams the whole load vector through cache for that trailing
+/// summary sweep, which at n ≥ 2^19 no longer fits.
+///
+/// The same finality argument also fuses the round-start snapshot copy:
+/// once block [lo,hi) is final, `snapshot[lo,hi)` is refreshed to the
+/// block's final loads while they are still cache-resident — later edge
+/// slices only ever read snapshot at indices ≥ hi (canonical u < v), so
+/// the in-place overwrite is invisible to the rest of the round.  The
+/// next blocked round then starts from a snapshot that already equals
+/// its round-start loads and skips the flat O(n) copy entirely.
+/// `snapshot_ready` says whether the caller's scratch holds that copy
+/// (RunArena::snapshot_ready(), invalidated by every other user of the
+/// buffer and by every out-of-round load mutation); when false the round
+/// opens with the full copy, exactly like the flat path.
+template <class T, class FlowFn>
+LoadSummary<T> run_blocked_fused_round(const graph::Graph& g, std::vector<T>& load,
+                                       std::vector<T>& snapshot, bool snapshot_ready,
+                                       double average, SummaryMode mode,
+                                       StepStats& stats, std::size_t block_width,
+                                       FlowFn&& flow_fn) {
+  const std::size_t n = g.num_nodes();
+  LB_ASSERT_MSG(load.size() == n, "load vector does not match graph");
+  LB_ASSERT_MSG(block_width > 0 && block_width % kSummaryChunkWidth == 0,
+                "block width must be a positive summary-chunk multiple");
+  if (!snapshot_ready) {
+    snapshot = load;
+  } else {
+    LB_ASSERT_MSG(snapshot.size() == n, "stale snapshot cache: size mismatch");
+  }
+  const auto& edges = g.edges();
+  SummaryFold<T> fold;
+  std::size_t k = 0;
+  for (std::size_t lo = 0; lo < n; lo += block_width) {
+    const std::size_t hi = std::min(lo + block_width, n);
+    // Resolve the block's edge-slice end up front (edges are sorted by
+    // canonical u) so the hot loop carries a single counter condition,
+    // exactly like the flat sweep's.  The probes touch edges the stream
+    // is about to read anyway.
+    const std::size_t k_end = static_cast<std::size_t>(
+        std::partition_point(
+            edges.begin() + static_cast<std::ptrdiff_t>(k), edges.end(),
+            [hi](const graph::Edge& e) { return e.u < hi; }) -
+        edges.begin());
+    for (; k < k_end; ++k) {
+      const graph::Edge& e = edges[k];
+      const double f = flow_fn(k, e, static_cast<double>(snapshot[e.u]),
+                               static_cast<double>(snapshot[e.v]));
+      if (f == 0.0) continue;
+      const T amount = static_cast<T>(std::fabs(f));
+      if (amount == T{}) continue;
+      if (f > 0.0) {
+        load[e.u] -= amount;
+        load[e.v] += amount;
+      } else {
+        load[e.v] -= amount;
+        load[e.u] += amount;
+      }
+      stats.transferred += static_cast<double>(amount);
+      ++stats.active_edges;
+    }
+    // Cache-resident block epilogue, one pass per chunk: fold the
+    // block's summary and refresh the snapshot for the next round from
+    // the same load read (the flat path pays that copy against cold
+    // memory at its next round start instead).
+    for (std::size_t clo = lo; clo < hi; clo += kSummaryChunkWidth) {
+      const std::size_t chi = std::min(clo + kSummaryChunkWidth, hi);
+      SummaryPartial<T> p;
+      summary_begin(p, load[clo]);
+      for (std::size_t u = clo; u < chi; ++u) {
+        const T v = load[u];
+        summary_accumulate(p, v, average, mode);
+        snapshot[u] = v;
+      }
+      fold.add(p);
+    }
+  }
+  return fold.finish(n, average, mode);
+}
+
+/// Masked blocked round: the identical block walk over the *base* edge
+/// list with dead edges skipped in the fill — alive edges are processed
+/// in ascending base order, which is the materialized subgraph's edge
+/// order, so it is bit-identical to the masked flat path at any block
+/// width.  The summary folds every node (masks kill edges, not nodes),
+/// matching the flat path's full-vector sweep.  The snapshot cache works
+/// unchanged across mask revisions: it caches load *values*, and masks
+/// kill edges, not loads.
+template <class T, class FlowFn>
+LoadSummary<T> run_blocked_fused_round(const graph::TopologyFrame& frame,
+                                       std::vector<T>& load, std::vector<T>& snapshot,
+                                       bool snapshot_ready, double average,
+                                       SummaryMode mode, StepStats& stats,
+                                       std::size_t block_width, FlowFn&& flow_fn) {
+  if (!frame.masked()) {
+    return run_blocked_fused_round<T>(frame.base(), load, snapshot, snapshot_ready,
+                                      average, mode, stats, block_width,
+                                      std::forward<FlowFn>(flow_fn));
+  }
+  const std::size_t n = frame.num_nodes();
+  LB_ASSERT_MSG(load.size() == n, "load vector does not match frame");
+  LB_ASSERT_MSG(block_width > 0 && block_width % kSummaryChunkWidth == 0,
+                "block width must be a positive summary-chunk multiple");
+  if (!snapshot_ready) {
+    snapshot = load;
+  } else {
+    LB_ASSERT_MSG(snapshot.size() == n, "stale snapshot cache: size mismatch");
+  }
+  const auto& edges = frame.base().edges();
+  SummaryFold<T> fold;
+  std::size_t k = 0;
+  for (std::size_t lo = 0; lo < n; lo += block_width) {
+    const std::size_t hi = std::min(lo + block_width, n);
+    const std::size_t k_end = static_cast<std::size_t>(
+        std::partition_point(
+            edges.begin() + static_cast<std::ptrdiff_t>(k), edges.end(),
+            [hi](const graph::Edge& e) { return e.u < hi; }) -
+        edges.begin());
+    for (; k < k_end; ++k) {
+      if (!frame.alive(k)) continue;
+      const graph::Edge& e = edges[k];
+      const double f = flow_fn(k, e, static_cast<double>(snapshot[e.u]),
+                               static_cast<double>(snapshot[e.v]));
+      if (f == 0.0) continue;
+      const T amount = static_cast<T>(std::fabs(f));
+      if (amount == T{}) continue;
+      if (f > 0.0) {
+        load[e.u] -= amount;
+        load[e.v] += amount;
+      } else {
+        load[e.v] -= amount;
+        load[e.u] += amount;
+      }
+      stats.transferred += static_cast<double>(amount);
+      ++stats.active_edges;
+    }
+    for (std::size_t clo = lo; clo < hi; clo += kSummaryChunkWidth) {
+      const std::size_t chi = std::min(clo + kSummaryChunkWidth, hi);
+      SummaryPartial<T> p;
+      summary_begin(p, load[clo]);
+      for (std::size_t u = clo; u < chi; ++u) {
+        const T v = load[u];
+        summary_accumulate(p, v, average, mode);
+        snapshot[u] = v;
+      }
+      fold.add(p);
+    }
+  }
+  return fold.finish(n, average, mode);
 }
 
 }  // namespace lb::core

@@ -43,16 +43,9 @@ StepStats FirstOrderScheme::step(RoundContext<double>& ctx,
   StepStats stats;
   stats.links = g.num_edges();
   if (apply_ == ApplyPath::kLedger) {
-    if (pool == nullptr || pool->size() <= 1) {
-      // The fused path never reads the CSR view; don't build it.
-      run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats,
-                                 flow_fn);
-      return stats;
-    }
-    FlowLedger& ledger = ctx.ledger();
-    compute_edge_flows(g, load, flows, pool, flow_fn);
-    accumulate_flow_totals<double>(flows, stats);
-    apply_flows_observed(ctx, ledger, flows, load, pool);
+    // Shared ledger-round dispatch (round_context.hpp): fused sequential /
+    // cache-blocked / parallel CSR, all bit-identical.
+    run_ledger_round(ctx, g, load, pool, stats, flow_fn);
   } else {
     compute_edge_flows(g, load, flows, pool, flow_fn);
     accumulate_flow_totals<double>(flows, stats);

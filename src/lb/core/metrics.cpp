@@ -53,34 +53,25 @@ template <class T>
 LoadSummary<T> combine_summary_partials(const std::vector<SummaryPartial<T>>& parts,
                                         std::size_t n, double average,
                                         SummaryMode mode) {
-  LoadSummary<T> s;
-  s.average = average;
-  if (n == 0 || parts.empty()) return s;
-  s.min = parts.front().min;
-  s.max = parts.front().max;
-  double potential = 0.0;
   // Chunk-index order: the one combination order, independent of which
   // worker produced which partial.
-  for (const SummaryPartial<T>& p : parts) {
-    s.total += p.total;
-    potential += p.sq_dev;
-    s.min = std::min(s.min, p.min);
-    s.max = std::max(s.max, p.max);
-  }
-  if (mode != SummaryMode::kExtremaOnly) s.potential = potential;
-  if (mode != SummaryMode::kPotentialOnly) {
-    s.discrepancy = static_cast<double>(s.max) - static_cast<double>(s.min);
-  } else {
-    s.min = T{};
-    s.max = T{};
-  }
-  return s;
+  SummaryFold<T> fold;
+  for (const SummaryPartial<T>& p : parts) fold.add(p);
+  return fold.finish(n, average, mode);
 }
 
 template <class T>
 LoadSummary<T> summarize_deterministic(const std::vector<T>& load, double average,
                                        util::ThreadPool* pool, SummaryMode mode) {
   return fused_sweep_with_summary<T>(pool, load.size(), average, mode,
+                                     [&load](std::size_t i) { return load[i]; });
+}
+
+template <class T>
+LoadSummary<T> summarize_deterministic(const std::vector<T>& load, double average,
+                                       util::ThreadPool* pool, SummaryMode mode,
+                                       std::vector<SummaryPartial<T>>& parts) {
+  return fused_sweep_with_summary<T>(pool, load.size(), average, mode, parts,
                                      [&load](std::size_t i) { return load[i]; });
 }
 
@@ -104,6 +95,9 @@ LoadSummary<T> summarize_parallel(const std::vector<T>& load, util::ThreadPool* 
       const std::vector<SummaryPartial<T>>&, std::size_t, double, SummaryMode);\
   template LoadSummary<T> summarize_deterministic<T>(                          \
       const std::vector<T>&, double, util::ThreadPool*, SummaryMode);          \
+  template LoadSummary<T> summarize_deterministic<T>(                          \
+      const std::vector<T>&, double, util::ThreadPool*, SummaryMode,           \
+      std::vector<SummaryPartial<T>>&);                                        \
   template LoadSummary<T> summarize_parallel<T>(const std::vector<T>&,         \
                                                 util::ThreadPool*);
 

@@ -125,9 +125,56 @@ inline void summary_accumulate(SummaryPartial<T>& p, T v, double average,
   }
 }
 
+/// Incremental mirror of combine_summary_partials: feed partials one at a
+/// time (in chunk-index order) and finish() into a LoadSummary.  The fold
+/// performs the exact operation sequence of the vector combine — seed the
+/// extrema from the first partial, then total/Φ/min/max per partial in
+/// order — so a consumer that folds partials as it produces them (the
+/// cache-blocked round, which never materializes the partial vector) stays
+/// bit-identical to one that collects them all and combines at the end.
+template <class T>
+struct SummaryFold {
+  void add(const SummaryPartial<T>& p) {
+    if (!any_) {
+      min_ = p.min;
+      max_ = p.max;
+      any_ = true;
+    }
+    total_ += p.total;
+    potential_ += p.sq_dev;
+    min_ = std::min(min_, p.min);
+    max_ = std::max(max_, p.max);
+  }
+
+  LoadSummary<T> finish(std::size_t n, double average, SummaryMode mode) const {
+    LoadSummary<T> s;
+    s.average = average;
+    if (n == 0 || !any_) return s;
+    s.total = total_;
+    s.min = min_;
+    s.max = max_;
+    if (mode != SummaryMode::kExtremaOnly) s.potential = potential_;
+    if (mode != SummaryMode::kPotentialOnly) {
+      s.discrepancy = static_cast<double>(s.max) - static_cast<double>(s.min);
+    } else {
+      s.min = T{};
+      s.max = T{};
+    }
+    return s;
+  }
+
+ private:
+  bool any_ = false;
+  T total_{};
+  double potential_ = 0.0;
+  T min_{};
+  T max_{};
+};
+
 /// Combine chunk partials in index order into a LoadSummary.  `average`
 /// is echoed into the summary (it is the Φ reference point, not
-/// total/n recomputed).
+/// total/n recomputed).  Implemented as a SummaryFold over the vector, so
+/// the two combination surfaces cannot drift apart.
 template <class T>
 LoadSummary<T> combine_summary_partials(const std::vector<SummaryPartial<T>>& parts,
                                         std::size_t n, double average,
@@ -146,9 +193,10 @@ LoadSummary<T> combine_summary_partials(const std::vector<SummaryPartial<T>>& pa
 template <class T, class ValueFn>
 LoadSummary<T> fused_sweep_with_summary(util::ThreadPool* pool, std::size_t n,
                                         double average, SummaryMode mode,
+                                        std::vector<SummaryPartial<T>>& parts,
                                         ValueFn&& value_fn) {
   if (n == 0) return LoadSummary<T>{};
-  std::vector<SummaryPartial<T>> parts(summary_chunk_count(n));
+  parts.assign(summary_chunk_count(n), SummaryPartial<T>{});
   util::for_fixed_chunks(
       pool, n, kSummaryChunkWidth,
       [&](std::size_t c, std::size_t lo, std::size_t hi) {
@@ -164,6 +212,18 @@ LoadSummary<T> fused_sweep_with_summary(util::ThreadPool* pool, std::size_t n,
   return combine_summary_partials(parts, n, average, mode);
 }
 
+/// Convenience overload with a local partial buffer, for cold callers
+/// (tests, one-shot summaries).  Hot per-round paths pass the RunArena's
+/// scratch vector instead so steady-state rounds allocate nothing.
+template <class T, class ValueFn>
+LoadSummary<T> fused_sweep_with_summary(util::ThreadPool* pool, std::size_t n,
+                                        double average, SummaryMode mode,
+                                        ValueFn&& value_fn) {
+  std::vector<SummaryPartial<T>> parts;
+  return fused_sweep_with_summary<T>(pool, n, average, mode, parts,
+                                     std::forward<ValueFn>(value_fn));
+}
+
 /// Deterministic parallel LoadSummary with Φ measured against `average`.
 /// Bit-identical for every pool size (pool == nullptr runs inline), and
 /// bit-identical to the sequential summarize() when n <= kSummaryChunkWidth
@@ -171,6 +231,13 @@ LoadSummary<T> fused_sweep_with_summary(util::ThreadPool* pool, std::size_t n,
 template <class T>
 LoadSummary<T> summarize_deterministic(const std::vector<T>& load, double average,
                                        util::ThreadPool* pool, SummaryMode mode);
+
+/// Scratch-buffer variant for per-round callers (engine fallback summary,
+/// sharded oracle): identical result, zero steady-state allocations.
+template <class T>
+LoadSummary<T> summarize_deterministic(const std::vector<T>& load, double average,
+                                       util::ThreadPool* pool, SummaryMode mode,
+                                       std::vector<SummaryPartial<T>>& parts);
 
 /// Full deterministic parallel summary: two fixed-chunk passes (totals +
 /// extrema, then Φ against the freshly computed average).  The parallel

@@ -63,6 +63,7 @@ StepStats RandomPartnerBalancer<T>::step(RoundContext<T>& ctx, std::vector<T>& l
   if (ctx.summary_requested()) {
     ctx.publish_summary(fused_sweep_with_summary<T>(
         ctx.pool(), n, ctx.summary_average(), ctx.summary_mode(),
+        ctx.arena().summary_parts(),
         [&](std::size_t i) {
           const T value = load[i] + delta[i];
           load[i] = value;

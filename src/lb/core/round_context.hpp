@@ -48,18 +48,55 @@ class RunArena {
   /// Per-edge signed flow buffer (positive moves load u -> v).
   std::vector<double>& flows() { return flows_; }
   /// Per-node T scratch (round-start snapshots, per-node deltas).
-  std::vector<T>& node_scratch() { return node_scratch_; }
+  /// Handing the buffer out invalidates the blocked round's cross-round
+  /// snapshot cache: any caller of this accessor may clobber it.
+  std::vector<T>& node_scratch() {
+    snapshot_ready_ = false;
+    return node_scratch_;
+  }
   /// Per-node flag scratch (e.g. async activation sets).
   std::vector<std::uint8_t>& node_flags() { return node_flags_; }
+  /// Per-chunk partial buffer for the deterministic summary reductions
+  /// (fused_sweep_with_summary's scratch overload) — kept here so
+  /// steady-state rounds perform zero transient allocations.
+  std::vector<SummaryPartial<T>>& summary_parts() { return summary_parts_; }
   /// The shared CSR incident-edge view; callers go through
   /// RoundContext::ledger(), which ensure()s it against the round's graph.
   FlowLedger& ledger() { return ledger_; }
+
+  /// The blocked fused round's snapshot cache (DESIGN.md §9).  It is the
+  /// same buffer as node_scratch(), but accessed WITHOUT dropping the
+  /// validity flag: when snapshot_ready() is true the buffer holds a
+  /// byte-accurate copy of the run's load vector as the previous blocked
+  /// round left it, so the next blocked round skips its O(n) round-start
+  /// copy.  The contract is invalidation-by-default — every other user
+  /// of the buffer (node_scratch()) and every code path that mutates the
+  /// load vector outside a blocked round (run start, sharded halo
+  /// rounds, the legacy step() shim) clears the flag, and only a
+  /// completed blocked round sets it.
+  std::vector<T>& snapshot_scratch() { return node_scratch_; }
+  bool snapshot_ready() const { return snapshot_ready_; }
+  void set_snapshot_ready(bool ready) { snapshot_ready_ = ready; }
+  /// Call after any load mutation the blocked round did not see.
+  void invalidate_snapshot() { snapshot_ready_ = false; }
+
+  /// Pre-size every per-run buffer for an n-node / m-edge topology so the
+  /// first round allocates nothing either (the allocation audit's
+  /// warm-start hook; bench_scale calls this before its counted region).
+  void reserve_for(std::size_t num_nodes, std::size_t num_edges) {
+    flows_.reserve(num_edges);
+    node_scratch_.reserve(num_nodes);
+    node_flags_.reserve(num_nodes);
+    summary_parts_.reserve(summary_chunk_count(num_nodes));
+  }
 
  private:
   std::vector<double> flows_;
   std::vector<T> node_scratch_;
   std::vector<std::uint8_t> node_flags_;
+  std::vector<SummaryPartial<T>> summary_parts_;
   FlowLedger ledger_;
+  bool snapshot_ready_ = false;
 };
 
 template <class T>
@@ -170,7 +207,8 @@ inline void apply_flows_observed(RoundContext<T>& ctx, FlowLedger& ledger,
   if (ctx.summary_requested()) {
     LoadSummary<T> summary;
     ledger.apply_with_summary(ctx.graph(), flows, load, pool,
-                              ctx.summary_average(), ctx.summary_mode(), summary);
+                              ctx.summary_average(), ctx.summary_mode(),
+                              ctx.arena().summary_parts(), summary);
     ctx.publish_summary(summary);
   } else {
     ledger.apply(ctx.graph(), flows, load, pool);
@@ -187,7 +225,8 @@ inline void apply_flows_observed(RoundContext<T>& ctx, FlowLedger& ledger,
   if (ctx.summary_requested()) {
     LoadSummary<T> summary;
     ledger.apply_with_summary(frame, flows, load, pool, ctx.summary_average(),
-                              ctx.summary_mode(), summary);
+                              ctx.summary_mode(), ctx.arena().summary_parts(),
+                              summary);
     ctx.publish_summary(summary);
   } else {
     ledger.apply(frame, flows, load, pool);
@@ -207,15 +246,65 @@ inline void run_masked_ledger_round(RoundContext<T>& ctx,
                                     std::vector<T>& load, util::ThreadPool* pool,
                                     StepStats& stats, FlowFn&& flow_fn) {
   if (pool == nullptr || pool->size() <= 1) {
+    const std::size_t width = blocked_round_width();
+    if (width != 0 && ctx.summary_requested()) {
+      // Cache-blocked fused round (DESIGN.md §9): apply + summary per
+      // L2-sized node block, bit-identical to the flat path below at
+      // every block width.  Engaged only when the engine wants a summary —
+      // without one the flat masked sweep already makes a single pass.
+      // Deliberately does NOT touch ctx.frame_ledger(): the sweep needs
+      // no CSR, so the ledger build is skipped entirely on this path.
+      RunArena<T>& arena = ctx.arena();
+      const bool ready = arena.snapshot_ready();
+      arena.set_snapshot_ready(false);  // never leave a stale claim mid-round
+      ctx.publish_summary(run_blocked_fused_round<T>(
+          frame, load, arena.snapshot_scratch(), ready, ctx.summary_average(),
+          ctx.summary_mode(), stats, width, flow_fn));
+      arena.set_snapshot_ready(true);
+      return;
+    }
     run_fused_sequential_round_masked(frame, load, ctx.arena().node_scratch(),
                                       stats, flow_fn);
     return;
   }
   FlowLedger& ledger = ctx.frame_ledger();  // CSR keyed on the base graph
+  ctx.arena().invalidate_snapshot();  // parallel apply mutates load directly
   std::vector<double>& flows = ctx.arena().flows();
   compute_edge_flows_masked(frame, load, flows, pool, flow_fn);
   accumulate_flow_totals_masked<T>(frame, flows, stats);
   apply_flows_observed(ctx, ledger, frame, flows, load, pool);
+}
+
+/// Unmasked counterpart of run_masked_ledger_round, shared by the ported
+/// balancers' kLedger paths (diffusion, FOS): one copy of the
+/// single-worker / blocked / parallel dispatch so the bit-identity
+/// contract cannot drift between balancers.  `g` must be ctx.graph().
+template <class T, class FlowFn>
+inline void run_ledger_round(RoundContext<T>& ctx, const graph::Graph& g,
+                             std::vector<T>& load, util::ThreadPool* pool,
+                             StepStats& stats, FlowFn&& flow_fn) {
+  if (pool == nullptr || pool->size() <= 1) {
+    const std::size_t width = blocked_round_width();
+    if (width != 0 && ctx.summary_requested()) {
+      RunArena<T>& arena = ctx.arena();
+      const bool ready = arena.snapshot_ready();
+      arena.set_snapshot_ready(false);  // never leave a stale claim mid-round
+      ctx.publish_summary(run_blocked_fused_round<T>(
+          g, load, arena.snapshot_scratch(), ready, ctx.summary_average(),
+          ctx.summary_mode(), stats, width, flow_fn));
+      arena.set_snapshot_ready(true);
+      return;
+    }
+    run_fused_sequential_round(g, load, ctx.arena().node_scratch(), stats,
+                               flow_fn);
+    return;
+  }
+  FlowLedger& ledger = ctx.ledger();
+  ctx.arena().invalidate_snapshot();  // parallel apply mutates load directly
+  std::vector<double>& flows = ctx.arena().flows();
+  compute_edge_flows(g, load, flows, pool, flow_fn);
+  accumulate_flow_totals<T>(flows, stats);
+  apply_flows_observed(ctx, ledger, flows, load, pool);
 }
 
 }  // namespace lb::core

@@ -99,6 +99,7 @@ StepStats SecondOrderScheme::step(RoundContext<double>& ctx,
   if (ctx.summary_requested()) {
     ctx.publish_summary(fused_sweep_with_summary<double>(
         pool, n, ctx.summary_average(), ctx.summary_mode(),
+        ctx.arena().summary_parts(),
         [&](std::size_t u) {
           const double next = b * scratch_[u] + (1.0 - b) * prev_[u];
           prev_[u] = load[u];

@@ -23,6 +23,7 @@ std::string sized_name(const char* family, std::size_t n) {
 
 Graph make_path(std::size_t n) {
   GraphBuilder b(n, sized_name("path", n));
+  b.reserve_edges(n > 0 ? n - 1 : 0);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
   }
@@ -32,6 +33,7 @@ Graph make_path(std::size_t n) {
 Graph make_cycle(std::size_t n) {
   LB_ASSERT_MSG(n >= 3, "cycle needs at least 3 nodes");
   GraphBuilder b(n, sized_name("cycle", n));
+  b.reserve_edges(n);
   for (std::size_t i = 0; i < n; ++i) {
     b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
@@ -41,6 +43,7 @@ Graph make_cycle(std::size_t n) {
 Graph make_complete(std::size_t n) {
   LB_ASSERT_MSG(n >= 2, "complete graph needs at least 2 nodes");
   GraphBuilder b(n, sized_name("complete", n));
+  b.reserve_edges(n * (n - 1) / 2);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j)
       b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
@@ -50,6 +53,7 @@ Graph make_complete(std::size_t n) {
 Graph make_star(std::size_t n) {
   LB_ASSERT_MSG(n >= 2, "star needs at least 2 nodes");
   GraphBuilder b(n, sized_name("star", n));
+  b.reserve_edges(n - 1);
   for (std::size_t i = 1; i < n; ++i) b.add_edge(0, static_cast<NodeId>(i));
   return b.build();
 }
@@ -57,6 +61,7 @@ Graph make_star(std::size_t n) {
 Graph make_wheel(std::size_t n) {
   LB_ASSERT_MSG(n >= 4, "wheel needs at least 4 nodes");
   GraphBuilder b(n, sized_name("wheel", n));
+  b.reserve_edges(2 * (n - 1));
   const std::size_t rim = n - 1;  // nodes 1..n-1 form the cycle, 0 is the hub
   for (std::size_t i = 0; i < rim; ++i) {
     b.add_edge(static_cast<NodeId>(1 + i), static_cast<NodeId>(1 + (i + 1) % rim));
@@ -68,6 +73,7 @@ Graph make_wheel(std::size_t n) {
 Graph make_binary_tree(std::size_t n) {
   LB_ASSERT_MSG(n >= 1, "tree needs at least one node");
   GraphBuilder b(n, sized_name("tree", n));
+  b.reserve_edges(n - 1);
   for (std::size_t i = 1; i < n; ++i) {
     b.add_edge(static_cast<NodeId>((i - 1) / 2), static_cast<NodeId>(i));
   }
@@ -79,6 +85,7 @@ Graph make_grid2d(std::size_t a, std::size_t b) {
   std::ostringstream name;
   name << "grid2d(" << a << "x" << b << ")";
   GraphBuilder builder(a * b, name.str());
+  builder.reserve_edges(a * (b - 1) + (a - 1) * b);
   auto id = [b](std::size_t r, std::size_t c) {
     return static_cast<NodeId>(r * b + c);
   };
@@ -91,39 +98,56 @@ Graph make_grid2d(std::size_t a, std::size_t b) {
   return builder.build();
 }
 
+// The big regular families build through GraphBuilder::build_stream: each
+// node emits its canonical upper neighbours (v > u) in closed form and in
+// ascending order, so the whole CSR assembles in two streaming passes with
+// no intermediate edge vector and no sorting anywhere.
+
 Graph make_torus2d(std::size_t a, std::size_t b) {
   LB_ASSERT_MSG(a >= 3 && b >= 3, "torus sides must be >= 3 (simple graph)");
   std::ostringstream name;
   name << "torus2d(" << a << "x" << b << ")";
-  GraphBuilder builder(a * b, name.str());
-  auto id = [b](std::size_t r, std::size_t c) {
-    return static_cast<NodeId>(r * b + c);
-  };
-  for (std::size_t r = 0; r < a; ++r) {
-    for (std::size_t c = 0; c < b; ++c) {
-      builder.add_edge(id(r, c), id(r, (c + 1) % b));
-      builder.add_edge(id(r, c), id((r + 1) % a, c));
+  // Upper neighbours of u = (r, c), in ascending id order (a, b >= 3
+  // makes the four offsets 1 < b-1 < b < (a-1)b strictly ordered):
+  // right (c+1 < b), wrap-right owned by the row head (c == 0), down
+  // (r+1 < a), wrap-down owned by the column head (r == 0).
+  auto emit = [a, b](auto&& sink) {
+    for (std::size_t r = 0; r < a; ++r) {
+      for (std::size_t c = 0; c < b; ++c) {
+        const std::size_t u = r * b + c;
+        const auto uid = static_cast<NodeId>(u);
+        if (c + 1 < b) sink(uid, static_cast<NodeId>(u + 1));
+        if (c == 0) sink(uid, static_cast<NodeId>(u + b - 1));
+        if (r + 1 < a) sink(uid, static_cast<NodeId>(u + b));
+        if (r == 0) sink(uid, static_cast<NodeId>(u + (a - 1) * b));
+      }
     }
-  }
-  return builder.build();
+  };
+  return GraphBuilder::build_stream(a * b, name.str(), emit);
 }
 
 Graph make_torus3d(std::size_t a, std::size_t b, std::size_t c) {
   LB_ASSERT_MSG(a >= 3 && b >= 3 && c >= 3, "torus sides must be >= 3");
   std::ostringstream name;
   name << "torus3d(" << a << "x" << b << "x" << c << ")";
-  GraphBuilder builder(a * b * c, name.str());
-  auto id = [b, c](std::size_t x, std::size_t y, std::size_t z) {
-    return static_cast<NodeId>((x * b + y) * c + z);
+  // Same closed-form upper-neighbour emission as the 2d torus, one axis
+  // pair at a time; sides >= 3 order the six offsets
+  // 1 < c-1 < c < (b-1)c < bc < (a-1)bc strictly.
+  auto emit = [a, b, c](auto&& sink) {
+    for (std::size_t x = 0; x < a; ++x)
+      for (std::size_t y = 0; y < b; ++y)
+        for (std::size_t z = 0; z < c; ++z) {
+          const std::size_t u = (x * b + y) * c + z;
+          const auto uid = static_cast<NodeId>(u);
+          if (z + 1 < c) sink(uid, static_cast<NodeId>(u + 1));
+          if (z == 0) sink(uid, static_cast<NodeId>(u + c - 1));
+          if (y + 1 < b) sink(uid, static_cast<NodeId>(u + c));
+          if (y == 0) sink(uid, static_cast<NodeId>(u + (b - 1) * c));
+          if (x + 1 < a) sink(uid, static_cast<NodeId>(u + b * c));
+          if (x == 0) sink(uid, static_cast<NodeId>(u + (a - 1) * b * c));
+        }
   };
-  for (std::size_t x = 0; x < a; ++x)
-    for (std::size_t y = 0; y < b; ++y)
-      for (std::size_t z = 0; z < c; ++z) {
-        builder.add_edge(id(x, y, z), id((x + 1) % a, y, z));
-        builder.add_edge(id(x, y, z), id(x, (y + 1) % b, z));
-        builder.add_edge(id(x, y, z), id(x, y, (z + 1) % c));
-      }
-  return builder.build();
+  return GraphBuilder::build_stream(a * b * c, name.str(), emit);
 }
 
 Graph make_hypercube(std::size_t dimensions) {
@@ -131,14 +155,17 @@ Graph make_hypercube(std::size_t dimensions) {
   const std::size_t n = std::size_t{1} << dimensions;
   std::ostringstream name;
   name << "hypercube(d=" << dimensions << ",n=" << n << ")";
-  GraphBuilder b(n, name.str());
-  for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t bit = 0; bit < dimensions; ++bit) {
-      const std::size_t v = u ^ (std::size_t{1} << bit);
-      if (u < v) b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  // Upper neighbours of u are u | (1 << bit) over u's zero bits, ascending
+  // in bit — already ascending in id.
+  auto emit = [n, dimensions](auto&& sink) {
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t bit = 0; bit < dimensions; ++bit) {
+        const std::size_t v = u | (std::size_t{1} << bit);
+        if (v != u) sink(static_cast<NodeId>(u), static_cast<NodeId>(v));
+      }
     }
-  }
-  return b.build();
+  };
+  return GraphBuilder::build_stream(n, name.str(), emit);
 }
 
 Graph make_de_bruijn(std::size_t dimensions) {
@@ -147,6 +174,7 @@ Graph make_de_bruijn(std::size_t dimensions) {
   std::ostringstream name;
   name << "debruijn(d=" << dimensions << ",n=" << n << ")";
   GraphBuilder b(n, name.str());
+  b.reserve_edges(2 * n);  // upper bound; self-loops and duplicates drop out
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t bit = 0; bit <= 1; ++bit) {
       const std::size_t v = ((u << 1) | bit) & (n - 1);
@@ -275,6 +303,7 @@ Graph make_barbell(std::size_t m) {
   std::ostringstream name;
   name << "barbell(m=" << m << ")";
   GraphBuilder b(2 * m, name.str());
+  b.reserve_edges(m * (m - 1) + 1);
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = i + 1; j < m; ++j) {
       b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
@@ -289,6 +318,7 @@ Graph make_lollipop(std::size_t m, std::size_t p) {
   std::ostringstream name;
   name << "lollipop(m=" << m << ",p=" << p << ")";
   GraphBuilder b(m + p, name.str());
+  b.reserve_edges(m * (m - 1) / 2 + p);
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = i + 1; j < m; ++j)
       b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
@@ -316,6 +346,7 @@ Graph make_chordal_ring(std::size_t n, const std::vector<std::size_t>& skips) {
   for (std::size_t s : skips) name << ",+" << s;
   name << ")";
   GraphBuilder b(n, name.str());
+  b.reserve_edges(n * (1 + skips.size()));
   for (std::size_t i = 0; i < n; ++i) {
     b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
@@ -335,6 +366,7 @@ Graph make_cube_connected_cycles(std::size_t dimensions) {
   std::ostringstream name;
   name << "ccc(d=" << dimensions << ",n=" << n << ")";
   GraphBuilder b(n, name.str());
+  b.reserve_edges(n + n / 2);  // d*2^d ring edges + d*2^(d-1) cube edges
   auto id = [dimensions](std::size_t corner, std::size_t pos) {
     return static_cast<NodeId>(corner * dimensions + pos);
   };

@@ -5,6 +5,12 @@
 // GraphBuilder or the generators) and never mutated; dynamic networks are
 // modelled as *sequences* of these immutable graphs (graph/dynamic.hpp),
 // exactly as in the Elsässer et al. model the paper adopts in Section 5.
+//
+// Memory layout (DESIGN.md §9): the CSR offsets live in a width-adaptive
+// util::IndexArray — uint32 whenever the incident-slot count 2m fits,
+// uint64 past the 2^32 boundary — and adjacency/edge storage is uint32
+// NodeIds throughout, so a million-node torus costs ~28 bytes/node of
+// topology instead of the seed's size_t-heavy layout.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,9 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "lb/util/assert.hpp"
+#include "lb/util/index_array.hpp"
 
 namespace lb::graph {
 
@@ -25,6 +34,11 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
   friend auto operator<=>(const Edge&, const Edge&) = default;
 };
+
+namespace detail {
+/// Process-unique nonzero topology-epoch ids (see Graph::revision()).
+std::uint64_t next_graph_revision();
+}  // namespace detail
 
 class Graph {
  public:
@@ -64,12 +78,22 @@ class Graph {
   /// Index of canonical edge (u,v) in edges(), or num_edges() if absent.
   std::size_t edge_index(NodeId u, NodeId v) const;
 
+  /// Resident bytes of the topology arrays (offsets + adjacency + edge
+  /// list) — the numerator of the bytes/node scale metric.
+  std::size_t memory_bytes() const {
+    return offsets_.size_bytes() + adjacency_.size() * sizeof(NodeId) +
+           edges_.size() * sizeof(Edge);
+  }
+
  private:
   friend class GraphBuilder;
 
-  std::vector<std::size_t> offsets_;  // CSR offsets, n+1 entries
-  std::vector<NodeId> adjacency_;     // concatenated sorted neighbour lists
-  std::vector<Edge> edges_;           // canonical edge list
+  /// Degree extrema from the finished offsets array (shared build tail).
+  void finalize_degree_stats();
+
+  util::IndexArray offsets_;       // CSR offsets, n+1 entries (narrow when 2m < 2^32)
+  std::vector<NodeId> adjacency_;  // concatenated sorted neighbour lists
+  std::vector<Edge> edges_;        // canonical edge list
   std::size_t max_degree_ = 0;
   std::size_t min_degree_ = 0;
   std::uint64_t revision_ = 0;
@@ -85,10 +109,84 @@ class GraphBuilder {
   /// coalesced at build time (the paper's model has simple graphs).
   GraphBuilder& add_edge(NodeId u, NodeId v);
 
+  /// Pre-size the edge accumulator; generators that know their edge count
+  /// call this so add_edge never reallocates mid-build.
+  GraphBuilder& reserve_edges(std::size_t edge_count) {
+    edges_.reserve(edge_count);
+    return *this;
+  }
+
   std::size_t num_nodes() const { return n_; }
 
-  /// Build the immutable graph.  May be called once.
+  /// Build the immutable graph.  May be called once.  Edges are put in
+  /// canonical order by a two-pass counting sort (stable by v, then by u)
+  /// — O(m + n) instead of the comparison sort — and the cursor placement
+  /// of the sorted edge list emits each adjacency row already sorted, so
+  /// no per-row sort runs at all.
   Graph build();
+
+  /// Streaming build: construct a Graph directly from an edge *stream*
+  /// without accumulating an intermediate edge vector.  `emit` is invoked
+  /// exactly twice with a sink callable and must produce the identical
+  /// stream both times (count pass, then place pass).  The stream
+  /// contract: sink(u, v) with u < v < num_nodes, u non-decreasing across
+  /// calls, v strictly ascending within each u group, no duplicates —
+  /// i.e. the canonical lexicographic edge order, which the structured
+  /// generators (torus2d/3d, hypercube) can emit closed-form.  Both the
+  /// edge list and every adjacency row then land sorted with no sort and
+  /// no temporary beyond two n+1 cursor arrays.
+  template <class EmitFn>
+  static Graph build_stream(std::size_t num_nodes, std::string name, EmitFn&& emit) {
+    LB_ASSERT_MSG(num_nodes >= 1, "graph needs at least one node");
+    Graph g;
+    g.revision_ = detail::next_graph_revision();
+    g.name_ = std::move(name);
+
+    // Pass 1: count canonical edges per u and CSR degree per endpoint.
+    std::vector<std::size_t> edge_cursor(num_nodes + 1, 0);
+    std::vector<std::size_t> adj_cursor(num_nodes + 1, 0);
+#ifndef NDEBUG
+    NodeId prev_u = 0;
+    NodeId prev_v = 0;
+    bool first_emission = true;
+#endif
+    emit([&](NodeId u, NodeId v) {
+      LB_DEBUG_ASSERT(u < v && v < num_nodes);
+#ifndef NDEBUG
+      LB_ASSERT_MSG(first_emission || u > prev_u || (u == prev_u && v > prev_v),
+                    "build_stream emission must be lexicographic");
+      first_emission = false;
+      prev_u = u;
+      prev_v = v;
+#endif
+      ++edge_cursor[u + 1];
+      ++adj_cursor[u + 1];
+      ++adj_cursor[v + 1];
+    });
+    for (std::size_t i = 1; i <= num_nodes; ++i) {
+      edge_cursor[i] += edge_cursor[i - 1];
+      adj_cursor[i] += adj_cursor[i - 1];
+    }
+    const std::size_t m = edge_cursor[num_nodes];
+    g.offsets_.assign_copy(adj_cursor, 2 * m);
+    g.edges_.resize(m);
+    g.adjacency_.resize(2 * m);
+
+    // Pass 2: place.  The sorted emission makes edges_ land in canonical
+    // order directly, and each adjacency row receives its lower neighbours
+    // (x, w) in ascending x before its upper neighbours (w, y) in
+    // ascending y with every x < w < y — sorted rows, no sort.
+    std::size_t placed = 0;
+    emit([&](NodeId u, NodeId v) {
+      g.edges_[edge_cursor[u]++] = Edge{u, v};
+      g.adjacency_[adj_cursor[u]++] = v;
+      g.adjacency_[adj_cursor[v]++] = u;
+      ++placed;
+    });
+    LB_ASSERT_MSG(placed == m, "build_stream passes emitted different streams");
+    g.finalize_degree_stats();
+    return g;
+  }
 
  private:
   std::size_t n_;

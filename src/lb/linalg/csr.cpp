@@ -25,7 +25,8 @@ CsrMatrix CsrMatrix::from_triplets(std::size_t n, std::vector<std::size_t> rows,
 
   CsrMatrix m;
   m.n_ = n;
-  m.col_idx_.reserve(rows.size());
+  std::vector<std::size_t> col_of_entry;
+  col_of_entry.reserve(rows.size());
   m.values_.reserve(rows.size());
   std::vector<std::size_t> row_of_entry;
   row_of_entry.reserve(rows.size());
@@ -38,7 +39,7 @@ CsrMatrix CsrMatrix::from_triplets(std::size_t n, std::vector<std::size_t> rows,
     if (have_prev && r == prev_r && c == prev_c) {
       m.values_.back() += values[idx];
     } else {
-      m.col_idx_.push_back(c);
+      col_of_entry.push_back(c);
       m.values_.push_back(values[idx]);
       row_of_entry.push_back(r);
       prev_r = r;
@@ -47,22 +48,33 @@ CsrMatrix CsrMatrix::from_triplets(std::size_t n, std::vector<std::size_t> rows,
     }
   }
 
-  m.row_ptr_.assign(n + 1, 0);
-  for (std::size_t r : row_of_entry) ++m.row_ptr_[r + 1];
-  for (std::size_t r = 1; r <= n; ++r) m.row_ptr_[r] += m.row_ptr_[r - 1];
+  // Index storage narrows to uint32 when the ranges allow (column ids are
+  // < n, row offsets are <= nnz).
+  m.col_idx_.assign_copy(col_of_entry, n == 0 ? 0 : n - 1);
+  std::vector<std::size_t> row_ptr(n + 1, 0);
+  for (std::size_t r : row_of_entry) ++row_ptr[r + 1];
+  for (std::size_t r = 1; r <= n; ++r) row_ptr[r] += row_ptr[r - 1];
+  m.row_ptr_.assign_copy(row_ptr, m.values_.size());
   return m;
 }
 
 void CsrMatrix::multiply(const Vector& x, Vector& y) const {
   LB_ASSERT_MSG(x.size() == n_, "spmv shape mismatch");
   y.assign(n_, 0.0);
-  for (std::size_t r = 0; r < n_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
-    }
-    y[r] = acc;
-  }
+  // Typed-pointer dispatch: one width branch per multiply, none per
+  // element, so the narrow path streams uint32 indices at full rate.
+  row_ptr_.visit([&](const auto* rp) {
+    col_idx_.visit([&](const auto* ci) {
+      for (std::size_t r = 0; r < n_; ++r) {
+        double acc = 0.0;
+        const auto row_end = static_cast<std::size_t>(rp[r + 1]);
+        for (std::size_t k = static_cast<std::size_t>(rp[r]); k < row_end; ++k) {
+          acc += values_[k] * x[ci[k]];
+        }
+        y[r] = acc;
+      }
+    });
+  });
 }
 
 Vector CsrMatrix::multiply(const Vector& x) const {
@@ -74,23 +86,29 @@ Vector CsrMatrix::multiply(const Vector& x) const {
 void CsrMatrix::multiply_parallel(const Vector& x, Vector& y) const {
   LB_ASSERT_MSG(x.size() == n_, "spmv shape mismatch");
   y.assign(n_, 0.0);
-  util::ThreadPool::global().parallel_for(
-      0, n_, 4096, [this, &x, &y](std::size_t lo, std::size_t hi) {
-        for (std::size_t r = lo; r < hi; ++r) {
-          double acc = 0.0;
-          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-            acc += values_[k] * x[col_idx_[k]];
-          }
-          y[r] = acc;
-        }
-      });
+  row_ptr_.visit([&](const auto* rp) {
+    col_idx_.visit([&](const auto* ci) {
+      util::ThreadPool::global().parallel_for(
+          0, n_, 4096, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r) {
+              double acc = 0.0;
+              const auto row_end = static_cast<std::size_t>(rp[r + 1]);
+              for (std::size_t k = static_cast<std::size_t>(rp[r]); k < row_end;
+                   ++k) {
+                acc += values_[k] * x[ci[k]];
+              }
+              y[r] = acc;
+            }
+          });
+    });
+  });
 }
 
 DenseMatrix CsrMatrix::to_dense() const {
   DenseMatrix d(n_, n_, 0.0);
   for (std::size_t r = 0; r < n_; ++r) {
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      d(r, col_idx_[k]) += values_[k];
+    for (std::size_t k = row_begin(r); k < row_end(r); ++k) {
+      d(r, col_index(k)) += values_[k];
     }
   }
   return d;

@@ -2,13 +2,16 @@
 //
 // Used for the matrix-free first/second-order diffusion schemes and for
 // Lanczos on large graph Laplacians, where a dense n x n matrix would be
-// wasteful (the graphs in the scaling benches reach n = 65536).
+// wasteful (the graphs in the scaling benches reach n = 2^21).  Indices
+// live in width-adaptive util::IndexArray storage (DESIGN.md §9): uint32
+// whenever nnz and n fit, so the spmv streams half the index bytes.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "lb/linalg/dense.hpp"
+#include "lb/util/index_array.hpp"
 
 namespace lb::linalg {
 
@@ -37,15 +40,28 @@ class CsrMatrix {
   DenseMatrix to_dense() const;
 
   /// Row access for inspection.
-  std::size_t row_begin(std::size_t r) const { return row_ptr_[r]; }
-  std::size_t row_end(std::size_t r) const { return row_ptr_[r + 1]; }
-  std::size_t col_index(std::size_t k) const { return col_idx_[k]; }
+  std::size_t row_begin(std::size_t r) const {
+    return static_cast<std::size_t>(row_ptr_[r]);
+  }
+  std::size_t row_end(std::size_t r) const {
+    return static_cast<std::size_t>(row_ptr_[r + 1]);
+  }
+  std::size_t col_index(std::size_t k) const {
+    return static_cast<std::size_t>(col_idx_[k]);
+  }
   double value(std::size_t k) const { return values_[k]; }
+
+  /// Resident bytes of the index + value arrays (the bytes/node metric's
+  /// linalg contribution).
+  std::size_t memory_bytes() const {
+    return row_ptr_.size_bytes() + col_idx_.size_bytes() +
+           values_.size() * sizeof(double);
+  }
 
  private:
   std::size_t n_ = 0;
-  std::vector<std::size_t> row_ptr_;  // n_ + 1 entries
-  std::vector<std::size_t> col_idx_;
+  util::IndexArray row_ptr_;  // n_ + 1 entries (narrow when nnz < 2^32)
+  util::IndexArray col_idx_;  // column ids (narrow when n <= 2^32)
   std::vector<double> values_;
 };
 

@@ -17,6 +17,32 @@
 
 namespace lb::linalg {
 
+// --- Scale guard -----------------------------------------------------------
+//
+// Lanczos λ2 is O(n·iters) with several n-length work vectors; at the
+// bench_scale sizes (n = 2^20+) a single profile call costs more than the
+// whole balancing run, so spectral profiling is gated on a node-count
+// ceiling.  Guarded quantities *degrade deterministically* — λ2/λmax/γ
+// return 0.0 (γ = 0 keeps SOS's auto-β finite: optimal_beta(0) = 1, an
+// FOS step) — and the callers that profile (dynamic runner, campaign)
+// record the skip in RunResult::spectral_skipped instead of silently
+// stalling.  The guard lives here, at the linalg entry points, so every
+// caller (cold or cached) sees the same values and bit-identity across
+// call paths is preserved.
+
+/// Current ceiling: graphs with more nodes than this skip spectral
+/// computations.  Resolution: set_max_spectral_n() override ▸ the
+/// LB_MAX_SPECTRAL_N environment variable ▸ 131072 (2^17, where Lanczos
+/// still runs in tens of milliseconds).  0 means unlimited.
+std::size_t max_spectral_n();
+
+/// Test/bench hook: ceiling < 0 clears the override (env/default applies
+/// again), otherwise sets the ceiling (0 = unlimited).
+void set_max_spectral_n(long long ceiling);
+
+/// True when the guard suppresses spectral computation for an n-node graph.
+bool spectral_guard_active(std::size_t num_nodes);
+
 /// Laplacian L = D − A as a sparse matrix.
 CsrMatrix laplacian_csr(const graph::Graph& g);
 

@@ -1,5 +1,6 @@
 #include "lb/shard/sharded_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -58,6 +59,19 @@ struct Runtime {
     map = OwnershipMap::build(base, cfg.domains, cfg.policy);
     halo = HaloExchange::build(base, map);
     for (std::vector<T>& h : halo_load) h.assign(base.num_nodes(), T{});
+    // Allocation audit (DESIGN.md §9): size the pack/unpack scratch to the
+    // largest link payload now, so the per-round clear()/push_back cycles
+    // never grow a buffer mid-run.
+    for (std::size_t d = 0; d < halo_load.size(); ++d) {
+      std::size_t max_nodes = 0, max_flows = 0;
+      for (const HaloLink& l : halo.plan(d).links) {
+        max_nodes = std::max({max_nodes, l.send_nodes.size(), l.recv_nodes.size()});
+        max_flows =
+            std::max({max_flows, l.send_flow_edges.size(), l.recv_flow_edges.size()});
+      }
+      node_buf[d].reserve(max_nodes);
+      flow_buf[d].reserve(max_flows);
+    }
     return true;
   }
 
@@ -398,7 +412,9 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
   const auto finish = [&](RunResult& r) {
     if (fused && !config.record_trace) {
       r.final_discrepancy =
-          core::summarize_deterministic(load, run_average, pool, SummaryMode::kExtremaOnly)
+          core::summarize_deterministic(load, run_average, pool,
+                                        SummaryMode::kExtremaOnly,
+                                        arena.summary_parts())
               .discrepancy;
     }
     fill_comm(r);
@@ -453,6 +469,10 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
       }
       stats = matching ? step_matching(ctx, program, load, rt, pool)
                        : step_all_edges(ctx, program, load, rt, pool);
+      // The sharded kernels mutate `load` without going through the
+      // blocked round, so a later shared-memory step() in this loop must
+      // not trust the arena's snapshot cache.
+      arena.invalidate_snapshot();
       if (checking) {
         const std::vector<sim::CommTotals> after = snapshot_totals();
         check::check_comm_accounting(expected, before, after, round);
@@ -473,7 +493,8 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
     } else if (ctx.has_summary()) {
       summary = ctx.summary();
     } else {
-      summary = core::summarize_deterministic(load, run_average, pool, mode);
+      summary = core::summarize_deterministic(load, run_average, pool, mode,
+                                              arena.summary_parts());
     }
     const double metrics_us = watch.elapsed_seconds() * 1e6;
     result.step_seconds += step_us * 1e-6;

@@ -195,8 +195,9 @@ TEST(MetricsParallelTest, FusedLedgerApplyMatchesStandaloneReduction) {
     ThreadPool pool(threads);
     std::vector<double> load = start;
     LoadSummary<double> summary;
+    std::vector<lb::core::SummaryPartial<double>> parts;
     ledger.apply_with_summary(g, flows, load, &pool, avg, SummaryMode::kFull,
-                              summary);
+                              parts, summary);
     EXPECT_TRUE(vectors_bits_equal(oracle_load, load)) << "pool " << threads;
     EXPECT_TRUE(summaries_bits_equal(oracle_summary, summary))
         << "pool " << threads;

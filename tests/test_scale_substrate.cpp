@@ -1,0 +1,401 @@
+// Property tests for the million-node substrate (DESIGN.md §9): the
+// cache-blocked fused round must be bit-identical to the flat (unblocked)
+// oracle at every block width, pool size, mask state, and shard count;
+// the width-adaptive index storage must produce identical graphs and runs
+// in narrow (uint32) and forced-wide (uint64) modes; the streaming
+// generator builds must equal their add_edge counterparts exactly; and
+// the linalg scale guard must degrade deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dynamic_runner.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/flow_ledger.hpp"
+#include "lb/core/fos.hpp"
+#include "lb/core/sos.hpp"
+#include "lb/graph/dynamic.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/linalg/spectral.hpp"
+#include "lb/shard/sharded_engine.hpp"
+#include "lb/util/index_array.hpp"
+#include "lb/util/rng.hpp"
+#include "lb/util/thread_pool.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::core::EngineConfig;
+using lb::core::RunResult;
+using lb::graph::Graph;
+using lb::util::IndexArray;
+
+/// Restores the process-wide block-width override on scope exit so a
+/// failing assertion cannot leak a nonstandard width into other tests.
+struct BlockWidthGuard {
+  explicit BlockWidthGuard(long long width) {
+    lb::core::set_blocked_width_override(width);
+  }
+  ~BlockWidthGuard() { lb::core::set_blocked_width_override(-1); }
+};
+
+struct WideIndexGuard {
+  WideIndexGuard() { lb::util::set_force_wide_indices(true); }
+  ~WideIndexGuard() { lb::util::set_force_wide_indices(false); }
+};
+
+struct SpectralCeilingGuard {
+  explicit SpectralCeilingGuard(long long ceiling) {
+    lb::linalg::set_max_spectral_n(ceiling);
+  }
+  ~SpectralCeilingGuard() { lb::linalg::set_max_spectral_n(-1); }
+};
+
+/// Bitwise comparison of every deterministic RunResult field (wall-clock
+/// fields excluded by design — see DESIGN.md §4).
+void expect_identical(const RunResult& oracle, const RunResult& other,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(oracle.reached_target, other.reached_target);
+  EXPECT_EQ(oracle.stalled, other.stalled);
+  EXPECT_EQ(oracle.rounds, other.rounds);
+  EXPECT_EQ(oracle.initial_potential, other.initial_potential);
+  EXPECT_EQ(oracle.final_potential, other.final_potential);
+  EXPECT_EQ(oracle.final_discrepancy, other.final_discrepancy);
+  ASSERT_EQ(oracle.trace.size(), other.trace.size());
+  for (std::size_t i = 0; i < oracle.trace.size(); ++i) {
+    EXPECT_EQ(oracle.trace[i].potential, other.trace[i].potential) << i;
+    EXPECT_EQ(oracle.trace[i].discrepancy, other.trace[i].discrepancy) << i;
+    EXPECT_EQ(oracle.trace[i].transferred, other.trace[i].transferred) << i;
+    EXPECT_EQ(oracle.trace[i].active_edges, other.trace[i].active_edges) << i;
+  }
+}
+
+template <class T>
+struct Case {
+  std::string name;
+  std::function<std::unique_ptr<lb::core::Balancer<T>>()> make;
+};
+
+/// Run one (balancer, sequence, load) cell with blocking disabled, then
+/// replay it across every width in `widths` × pools {1, 2, hw} and — when
+/// `shards` is nonempty — through the sharded engine, asserting bitwise
+/// equality of results and final loads throughout.
+template <class T>
+void sweep_widths(const std::vector<Case<T>>& cases,
+                  const std::function<std::unique_ptr<lb::graph::GraphSequence>()>& seq,
+                  const std::vector<T>& load0, const std::vector<long long>& widths,
+                  const std::vector<std::size_t>& shards, const std::string& seq_label) {
+  EngineConfig cfg;
+  cfg.max_rounds = 40;
+  cfg.target_potential = 0.0;
+  cfg.record_trace = true;
+  for (const Case<T>& c : cases) {
+    // Flat oracle: blocking disabled, sequential single-worker run.
+    RunResult oracle;
+    std::vector<T> oracle_load = load0;
+    {
+      BlockWidthGuard flat(0);
+      lb::util::ThreadPool pool(1);
+      cfg.pool = &pool;
+      auto alg = c.make();
+      auto s = seq();
+      oracle = lb::core::run(*alg, *s, oracle_load, cfg);
+    }
+    for (const long long width : widths) {
+      BlockWidthGuard blocked(width);
+      for (const std::size_t threads :
+           {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+        lb::util::ThreadPool pool(threads);
+        cfg.pool = &pool;
+        auto alg = c.make();
+        auto s = seq();
+        std::vector<T> load = load0;
+        const RunResult run = lb::core::run(*alg, *s, load, cfg);
+        const std::string label = seq_label + "/" + c.name + "/w" +
+                                  std::to_string(width) + "/pool" +
+                                  std::to_string(pool.size());
+        expect_identical(oracle, run, label);
+        SCOPED_TRACE(label);
+        ASSERT_EQ(load.size(), oracle_load.size());
+        for (std::size_t i = 0; i < load.size(); ++i) {
+          EXPECT_EQ(load[i], oracle_load[i]) << "node " << i;
+        }
+      }
+      for (const std::size_t k : shards) {
+        lb::util::ThreadPool pool(2);
+        cfg.pool = &pool;
+        lb::shard::ShardConfig shard;
+        shard.domains = k;
+        auto alg = c.make();
+        auto s = seq();
+        std::vector<T> load = load0;
+        const RunResult run = lb::shard::run(*alg, *s, load, cfg, shard);
+        expect_identical(oracle, run, seq_label + "/" + c.name + "/w" +
+                                          std::to_string(width) + "/shardK" +
+                                          std::to_string(k));
+      }
+    }
+  }
+}
+
+std::vector<long long> randomized_widths(std::uint64_t seed, std::size_t count) {
+  // set_blocked_width_override rounds odd values up to the next multiple
+  // of kSummaryChunkWidth, so raw random widths exercise that path too.
+  lb::util::Rng rng(seed);
+  std::vector<long long> widths = {1024, 4096};
+  for (std::size_t i = 0; i < count; ++i) {
+    widths.push_back(static_cast<long long>(rng.next_below(40000) + 1));
+  }
+  return widths;
+}
+
+// --------------------------------------------------- blocked ≡ unblocked
+
+TEST(BlockedRoundTest, ContinuousStaticMatchesFlatOracle) {
+  const Graph g = lb::graph::make_torus2d(12, 11);
+  lb::util::Rng wrng(21);
+  const auto load0 = lb::workload::bimodal<double>(g.num_nodes(), 13200.0, wrng);
+  std::vector<Case<double>> cases = {
+      {"diffusion-cont", [] { return lb::core::make_diffusion_continuous(); }},
+      {"sos", [] { return lb::core::make_sos(); }},
+  };
+  sweep_widths<double>(
+      cases, [&] { return lb::graph::make_static_sequence(g); }, load0,
+      randomized_widths(31, 3), {1, 4}, "static");
+}
+
+TEST(BlockedRoundTest, DiscreteStaticMatchesFlatOracle) {
+  const Graph g = lb::graph::make_hypercube(7);
+  lb::util::Rng wrng(23);
+  const auto load0 =
+      lb::workload::uniform_random<std::int64_t>(g.num_nodes(), 12800, wrng);
+  std::vector<Case<std::int64_t>> cases = {
+      {"diffusion-disc", [] { return lb::core::make_diffusion_discrete(); }},
+  };
+  sweep_widths<std::int64_t>(
+      cases, [&] { return lb::graph::make_static_sequence(g); }, load0,
+      randomized_widths(37, 3), {1, 4}, "static");
+}
+
+TEST(BlockedRoundTest, MaskedDynamicMatchesFlatOracle) {
+  const Graph g = lb::graph::make_torus2d(10, 10);
+  const auto load0 = lb::workload::two_spikes<double>(g.num_nodes(), 10000.0);
+  std::vector<Case<double>> cases = {
+      {"diffusion-cont", [] { return lb::core::make_diffusion_continuous(); }},
+      {"fos", [] { return lb::core::make_fos_continuous(); }},
+  };
+  sweep_widths<double>(
+      cases, [&] { return lb::graph::make_bernoulli_sequence(g, 0.8, 77); },
+      load0, randomized_widths(41, 2), {4}, "bernoulli");
+}
+
+TEST(BlockedRoundTest, WidthPolicyRoundsUpToChunkMultiples) {
+  {
+    BlockWidthGuard guard(0);
+    EXPECT_EQ(lb::core::blocked_round_width(), 0u);  // 0 disables blocking
+  }
+  {
+    BlockWidthGuard guard(1);
+    EXPECT_EQ(lb::core::blocked_round_width(), 1024u);
+  }
+  {
+    BlockWidthGuard guard(5000);
+    EXPECT_EQ(lb::core::blocked_round_width(), 5120u);  // next 1024 multiple
+  }
+  {
+    BlockWidthGuard guard(16384);
+    EXPECT_EQ(lb::core::blocked_round_width(), 16384u);
+  }
+}
+
+// ------------------------------------------------- index-width adaptivity
+
+TEST(IndexArrayTest, NarrowWideBoundary) {
+  EXPECT_TRUE(IndexArray::fits_narrow(IndexArray::kNarrowMax));
+  EXPECT_FALSE(IndexArray::fits_narrow(IndexArray::kNarrowMax + 1));
+
+  IndexArray narrow;
+  narrow.reset(4, IndexArray::kNarrowMax);
+  EXPECT_EQ(narrow.size_bytes(), 4 * sizeof(std::uint32_t));
+  narrow.set(2, IndexArray::kNarrowMax);
+  EXPECT_EQ(narrow[2], IndexArray::kNarrowMax);
+
+  // One past the uint32 ceiling: storage must widen and round-trip a
+  // value that cannot be represented in 32 bits.  (The synthetic stand-in
+  // for a 2m >= 2^32 graph, which no test-sized topology can reach.)
+  IndexArray wide;
+  wide.reset(4, IndexArray::kNarrowMax + 1);
+  EXPECT_EQ(wide.size_bytes(), 4 * sizeof(std::uint64_t));
+  wide.set(3, IndexArray::kNarrowMax + 1);
+  EXPECT_EQ(wide[3], IndexArray::kNarrowMax + 1);
+}
+
+TEST(IndexArrayTest, ForcedWideMatchesNarrowContents) {
+  std::vector<std::size_t> values = {0, 5, 17, 123456, 999};
+  IndexArray narrow;
+  narrow.assign_copy(values, 999999);
+  EXPECT_EQ(narrow.size_bytes(), values.size() * sizeof(std::uint32_t));
+
+  WideIndexGuard force_wide;
+  IndexArray wide;
+  wide.assign_copy(values, 999999);
+  EXPECT_EQ(wide.size_bytes(), values.size() * sizeof(std::uint64_t));
+  EXPECT_EQ(narrow.to_u64(), wide.to_u64());
+}
+
+TEST(IndexArrayTest, WideGraphStorageIsBitIdenticalToNarrow) {
+  const Graph narrow_g = lb::graph::make_torus2d(8, 8);
+  lb::util::Rng wrng(29);
+  const auto load0 = lb::workload::bimodal<double>(64, 6400.0, wrng);
+
+  EngineConfig cfg;
+  cfg.max_rounds = 30;
+  cfg.target_potential = 0.0;
+  cfg.record_trace = true;
+  lb::util::ThreadPool pool(1);
+  cfg.pool = &pool;
+
+  auto run_once = [&](const Graph& g) {
+    auto alg = lb::core::make_diffusion_continuous();
+    auto seq = lb::graph::make_static_view(g);
+    std::vector<double> load = load0;
+    return lb::core::run(*alg, *seq, load, cfg);
+  };
+  const RunResult narrow_run = run_once(narrow_g);
+
+  WideIndexGuard force_wide;
+  const Graph wide_g = lb::graph::make_torus2d(8, 8);
+  EXPECT_GT(wide_g.memory_bytes(), narrow_g.memory_bytes());
+  ASSERT_EQ(wide_g.num_edges(), narrow_g.num_edges());
+  for (std::size_t u = 0; u < wide_g.num_nodes(); ++u) {
+    const auto a = narrow_g.neighbors(static_cast<lb::graph::NodeId>(u));
+    const auto b = wide_g.neighbors(static_cast<lb::graph::NodeId>(u));
+    ASSERT_EQ(a.size(), b.size()) << u;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  expect_identical(narrow_run, run_once(wide_g), "wide-index run");
+}
+
+// ------------------------------------------------- streaming generators
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t k = 0; k < a.num_edges(); ++k) {
+    EXPECT_EQ(a.edges()[k].u, b.edges()[k].u) << "edge " << k;
+    EXPECT_EQ(a.edges()[k].v, b.edges()[k].v) << "edge " << k;
+  }
+  for (std::size_t u = 0; u < a.num_nodes(); ++u) {
+    const auto an = a.neighbors(static_cast<lb::graph::NodeId>(u));
+    const auto bn = b.neighbors(static_cast<lb::graph::NodeId>(u));
+    ASSERT_EQ(an.size(), bn.size()) << "node " << u;
+    for (std::size_t i = 0; i < an.size(); ++i) {
+      EXPECT_EQ(an[i], bn[i]) << "node " << u << " slot " << i;
+    }
+  }
+}
+
+TEST(StreamingBuildTest, Torus2dMatchesAddEdgePath) {
+  const std::size_t a = 6, b = 7;
+  lb::graph::GraphBuilder builder(a * b, "oracle");
+  for (std::size_t r = 0; r < a; ++r) {
+    for (std::size_t c = 0; c < b; ++c) {
+      const auto u = static_cast<lb::graph::NodeId>(r * b + c);
+      const auto right = static_cast<lb::graph::NodeId>(r * b + (c + 1) % b);
+      const auto down = static_cast<lb::graph::NodeId>(((r + 1) % a) * b + c);
+      builder.add_edge(u, right);
+      builder.add_edge(u, down);
+    }
+  }
+  expect_same_graph(builder.build(), lb::graph::make_torus2d(a, b));
+}
+
+TEST(StreamingBuildTest, Torus3dMatchesAddEdgePath) {
+  const std::size_t a = 3, b = 4, c = 5;
+  lb::graph::GraphBuilder builder(a * b * c, "oracle");
+  auto id = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return static_cast<lb::graph::NodeId>((x * b + y) * c + z);
+  };
+  for (std::size_t x = 0; x < a; ++x)
+    for (std::size_t y = 0; y < b; ++y)
+      for (std::size_t z = 0; z < c; ++z) {
+        builder.add_edge(id(x, y, z), id((x + 1) % a, y, z));
+        builder.add_edge(id(x, y, z), id(x, (y + 1) % b, z));
+        builder.add_edge(id(x, y, z), id(x, y, (z + 1) % c));
+      }
+  expect_same_graph(builder.build(), lb::graph::make_torus3d(a, b, c));
+}
+
+TEST(StreamingBuildTest, HypercubeMatchesAddEdgePath) {
+  const std::size_t d = 6;
+  const std::size_t n = std::size_t{1} << d;
+  lb::graph::GraphBuilder builder(n, "oracle");
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      const std::size_t v = u ^ (std::size_t{1} << bit);
+      if (u < v) {
+        builder.add_edge(static_cast<lb::graph::NodeId>(u),
+                         static_cast<lb::graph::NodeId>(v));
+      }
+    }
+  }
+  expect_same_graph(builder.build(), lb::graph::make_hypercube(d));
+}
+
+// ------------------------------------------------------- spectral guard
+
+TEST(SpectralGuardTest, GuardedQuantitiesDegradeDeterministically) {
+  const Graph g = lb::graph::make_torus2d(8, 8);  // n = 64
+  SpectralCeilingGuard ceiling(16);               // 64 > 16: guard active
+  EXPECT_EQ(lb::linalg::max_spectral_n(), 16u);
+  EXPECT_TRUE(lb::linalg::spectral_guard_active(g.num_nodes()));
+  EXPECT_FALSE(lb::linalg::spectral_guard_active(16));
+
+  EXPECT_EQ(lb::linalg::lambda2(g), 0.0);
+  EXPECT_EQ(lb::linalg::lambda_max(g), 0.0);
+  EXPECT_EQ(lb::linalg::diffusion_gamma(g), 0.0);
+  const lb::linalg::SpectralSummary s = lb::linalg::spectral_summary(g);
+  EXPECT_EQ(s.lambda2, 0.0);
+  EXPECT_EQ(s.lambda_max, 0.0);
+  EXPECT_EQ(s.n, g.num_nodes());
+}
+
+TEST(SpectralGuardTest, ProfileRecordsSkipsAndRunReportsThem) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  const std::size_t rounds = 5;
+
+  SpectralCeilingGuard ceiling(16);
+  auto seq = lb::graph::make_static_sequence(g);
+  const lb::core::DynamicSpectralProfile profile =
+      lb::core::profile_sequence(*seq, rounds);
+  EXPECT_EQ(profile.spectral_skipped_rounds, rounds);
+  ASSERT_EQ(profile.lambda2_per_round.size(), rounds);
+  for (const double l2 : profile.lambda2_per_round) EXPECT_EQ(l2, 0.0);
+
+  auto balancer = lb::core::make_diffusion_continuous();
+  auto run_seq = lb::graph::make_static_sequence(g);
+  std::vector<double> load = lb::workload::two_spikes<double>(64, 6400.0);
+  const lb::core::DynamicRunResult out =
+      lb::core::run_dynamic(*balancer, *run_seq, std::move(load), rounds, 0.01);
+  EXPECT_TRUE(out.run.spectral_skipped);
+  EXPECT_EQ(out.profile.spectral_skipped_rounds, rounds);
+}
+
+TEST(SpectralGuardTest, UnguardedRunsDoNotReportSkips) {
+  const Graph g = lb::graph::make_torus2d(4, 4);  // n = 16, below any ceiling
+  auto balancer = lb::core::make_diffusion_continuous();
+  auto seq = lb::graph::make_static_sequence(g);
+  std::vector<double> load = lb::workload::two_spikes<double>(16, 1600.0);
+  const lb::core::DynamicRunResult out =
+      lb::core::run_dynamic(*balancer, *seq, std::move(load), 4, 0.01);
+  EXPECT_FALSE(out.run.spectral_skipped);
+  EXPECT_EQ(out.profile.spectral_skipped_rounds, 0u);
+}
+
+}  // namespace
