@@ -1,0 +1,87 @@
+// lint-fixture-path: linalg/clean_spectral_cache.cpp
+// Clean fixture: the cached-Fiedler reuse idiom behind the SpectralCache
+// (DESIGN.md §10).  The delta-bound probe accumulates a Rayleigh-quotient
+// correction over the cached anchor vector, the anchor refresh re-centers
+// and renormalizes that vector in place, and the warm-start seed copies it
+// into solver options — all sequential, none of it a parallel region.
+// LD003/LD004 must not fire on the `rq +=` / `delta += ` accumulations,
+// the `v -= mean` in-place recentering, or the anchor member stores; and
+// the std::map-keyed anchor lookup must not trip LD001 (ordered container
+// by design — iteration order is the determinism contract).  This pins
+// the heuristics against false positives on the cache's hottest paths.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+struct Edge {
+  std::size_t u;
+  std::size_t v;
+};
+
+// Distilled anchor: the per-base cached Fiedler vector plus the scalars
+// the delta bounds are built from.
+struct Anchor {
+  std::uint64_t fingerprint = 0;
+  double lambda2 = 0.0;
+  double rayleigh = 0.0;
+  std::vector<double> fiedler;
+};
+
+// Distilled Tier-2 probe: Rayleigh quotient of the *cached* vector on the
+// *new* frame = anchor.rayleigh plus per-edge corrections for the edge
+// delta.  Sequential accumulation in declaration order — deterministic.
+double probe_upper(const Anchor& anchor, const std::vector<Edge>& added,
+                   const std::vector<Edge>& removed) {
+  double delta = 0.0;
+  for (const Edge& e : added) {
+    const double d = anchor.fiedler[e.u] - anchor.fiedler[e.v];
+    delta += d * d;
+  }
+  for (const Edge& e : removed) {
+    const double d = anchor.fiedler[e.u] - anchor.fiedler[e.v];
+    delta -= d * d;
+  }
+  return anchor.rayleigh + delta;
+}
+
+// Distilled anchor refresh: recenter against the constant eigenvector,
+// renormalize in place, recompute the Rayleigh scalar, then move the
+// vector into the ordered per-base map.
+void refresh_anchor(std::map<std::uint64_t, Anchor>& anchors,
+                    std::uint64_t base_revision, std::uint64_t fingerprint,
+                    double lambda2, const std::vector<Edge>& edges,
+                    std::vector<double> fiedler) {
+  double mean = 0.0;
+  for (const double v : fiedler) mean += v;
+  mean /= static_cast<double>(fiedler.size());
+  double norm2 = 0.0;
+  for (double& v : fiedler) {
+    v -= mean;
+    norm2 += v * v;
+  }
+  const double norm = std::sqrt(norm2);
+  if (norm <= 1e-12) return;  // degenerate; keep the old anchor
+  for (double& v : fiedler) v /= norm;
+  double rq = 0.0;
+  for (const Edge& e : edges) {
+    const double d = fiedler[e.u] - fiedler[e.v];
+    rq += d * d;
+  }
+  Anchor& a = anchors[base_revision];
+  a.fingerprint = fingerprint;
+  a.lambda2 = lambda2;
+  a.rayleigh = rq;
+  a.fiedler = std::move(fiedler);
+}
+
+// Distilled Tier-3 seed: the warm start hands the solver a copy of the
+// cached vector; the cold path leaves the seed empty.  Reads only.
+std::vector<double> warm_seed(const std::map<std::uint64_t, Anchor>& anchors,
+                              std::uint64_t base_revision, std::size_t n) {
+  const auto it = anchors.find(base_revision);
+  if (it == anchors.end() || it->second.fiedler.size() != n) return {};
+  return it->second.fiedler;
+}

@@ -65,6 +65,17 @@ for name in "${benches[@]}"; do
     "${bin}" --csv \
       --json "${out_dir}/BENCH_scale.json" \
       --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
+  elif [[ ${name} == bench_spectral ]]; then
+    # The three-tier spectral-cache ablation profiles the same frame
+    # streams cold (per-frame eigensolves) and warm (exact hits /
+    # delta-bound skips / warm-started Lanczos), verifies Tier-1 hit
+    # bit-identity and warm-vs-cold trajectory bit-identity at pools
+    # {1,2,hw} (nonzero exit on divergence), and emits
+    # BENCH_spectral.json plus the ablation_spectral_{warm,cold}.csv
+    # pair directly.
+    "${bin}" --csv \
+      --json "${out_dir}/BENCH_spectral.json" \
+      --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
   elif [[ ${name} == bench_thm7_dynamic ]]; then
     # The dynamic-topology bench runs every scenario down both substrates
     # (masked frames vs per-round graph rebuilds) in one invocation, so

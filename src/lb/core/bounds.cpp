@@ -56,6 +56,34 @@ double dynamic_average_ratio(const std::vector<double>& lambda2_per_round,
   return acc / static_cast<double>(lambda2_per_round.size());
 }
 
+double dynamic_average_ratio(const std::vector<double>& lambda2_per_round,
+                             const std::vector<std::size_t>& delta_per_round,
+                             const std::vector<RoundSpectralStatus>& status_per_round) {
+  LB_ASSERT_MSG(lambda2_per_round.size() == delta_per_round.size() &&
+                    lambda2_per_round.size() == status_per_round.size(),
+                "per-round arrays must align");
+  LB_ASSERT_MSG(!lambda2_per_round.empty(), "need at least one round");
+  double acc = 0.0;
+  for (std::size_t k = 0; k < lambda2_per_round.size(); ++k) {
+    switch (status_per_round[k]) {
+      case RoundSpectralStatus::kComputed:
+      case RoundSpectralStatus::kCacheHit:
+      case RoundSpectralStatus::kBoundSkipped:
+        if (delta_per_round[k] == 0) continue;  // edgeless round contributes 0
+        acc += lambda2_per_round[k] / static_cast<double>(delta_per_round[k]);
+        break;
+      case RoundSpectralStatus::kGuardSkipped:
+      case RoundSpectralStatus::kDisconnected:
+        // Explicitly no contribution — and the recorded value must agree,
+        // so a round mislabeled as skipped cannot silently drop a real λ2.
+        LB_ASSERT_MSG(lambda2_per_round[k] == 0.0,
+                      "skipped/disconnected round carries a nonzero lambda2");
+        break;
+    }
+  }
+  return acc / static_cast<double>(lambda2_per_round.size());
+}
+
 double theorem7_rounds(double average_ratio, double epsilon) {
   LB_ASSERT_MSG(average_ratio > 0.0, "average spectral ratio must be positive");
   LB_ASSERT_MSG(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");

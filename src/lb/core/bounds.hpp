@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "lb/graph/graph.hpp"
@@ -39,10 +40,33 @@ double theorem6_rounds(double lambda2, std::size_t max_degree, std::size_t n,
 
 // ---- §5 dynamic networks ----
 
+/// How a profiled round's λ2 entry was produced.  The old contract
+/// recorded a bare 0.0 for both disconnected frames and guard-skipped
+/// rounds, leaving them indistinguishable downstream; the status makes
+/// the provenance explicit so consumers (dynamic_average_ratio, the
+/// spectral bench's solve/skip accounting) can act on it.
+enum class RoundSpectralStatus : std::uint8_t {
+  kComputed,      ///< fresh solve (dense or Lanczos, cold or warm-started)
+  kCacheHit,      ///< Tier-1 exact cache hit — bit-identical to the solve
+  kBoundSkipped,  ///< Tier-2 bracket pinned λ2 to the cached value (within tol)
+  kGuardSkipped,  ///< scale guard suppressed the solve; λ2 recorded as 0.0
+  kDisconnected,  ///< frame disconnected; λ2 = 0 by definition
+};
+
 /// A_K = (1/K)·Σ_k λ2(G_k)/δ(G_k) — the average spectral ratio of the
 /// first K rounds (Theorem 7).
 double dynamic_average_ratio(const std::vector<double>& lambda2_per_round,
                              const std::vector<std::size_t>& delta_per_round);
+
+/// Status-aware overload: computed/cached/bound-skipped rounds contribute
+/// λ2/δ, disconnected and guard-skipped rounds contribute exactly 0 (the
+/// theorem grants such rounds no drop) — by explicit status rather than
+/// by trusting a 0.0 sentinel.  Asserts the skip statuses actually carry
+/// λ2 = 0, so a mislabeled round fails loudly.  Numerically identical to
+/// the sentinel-based overload on well-formed inputs.
+double dynamic_average_ratio(const std::vector<double>& lambda2_per_round,
+                             const std::vector<std::size_t>& delta_per_round,
+                             const std::vector<RoundSpectralStatus>& status_per_round);
 
 /// Theorem 7: K = ln(1/ε)/A_K rounds (up to the paper's hidden constant 4;
 /// we report the exact 4·ln(1/ε)/A_K matching the Theorem-4 constant).

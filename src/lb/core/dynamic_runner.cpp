@@ -45,12 +45,24 @@ class ReplayCheckSequence final : public graph::GraphSequence {
 }  // namespace
 
 DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
-                                        std::size_t dense_cutoff) {
+                                        const SpectralProfileOptions& options) {
   DynamicSpectralProfile profile;
   profile.lambda2_per_round.reserve(rounds);
   profile.delta_per_round.reserve(rounds);
   profile.edges_per_round.reserve(rounds);
   profile.frame_fingerprints.reserve(rounds);
+  profile.status_per_round.reserve(rounds);
+
+  // Pass-local cache when the caller didn't supply one: repeated frames
+  // within this pass (periodic sequences, static stretches) still hit.
+  linalg::SpectralCache local_cache;
+  linalg::SpectralCache* cache = options.cache != nullptr ? options.cache : &local_cache;
+
+  linalg::SpectralQuery query;
+  query.dense_cutoff = options.dense_cutoff;
+  query.warm_start = options.warm;
+  query.bound_skip_tol = options.warm ? options.bound_skip_tol : 0.0;
+
   for (std::size_t k = 1; k <= rounds; ++k) {
     // Frames, not graphs: masked rounds are profiled off the base +
     // alive mask (degrees from the mask, union-find connectivity,
@@ -63,37 +75,103 @@ DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t r
       // λ2 = 0 for disconnected rounds: they contribute nothing to A_K,
       // matching the theorem (such rounds cannot guarantee any drop).
       profile.lambda2_per_round.push_back(0.0);
+      profile.status_per_round.push_back(bounds::RoundSpectralStatus::kDisconnected);
       ++profile.disconnected_rounds;
       continue;
     }
-    if (linalg::spectral_guard_active(frame.num_nodes())) {
-      // Scale guard (satellite of the 2^20 substrate): record the skip —
-      // λ2 = 0 contributes nothing to A_K, like a disconnected round —
-      // instead of silently stalling in an O(n·iters) Lanczos per round.
-      profile.lambda2_per_round.push_back(0.0);
-      ++profile.spectral_skipped_rounds;
+    if (!options.warm) {
+      // Cold oracle: the pre-cache behaviour, bit-for-bit.  Guard checks
+      // and solves go through the same linalg entry points the old
+      // profiler called; only the bookkeeping (statuses) is new.
+      const linalg::SpectralGuard guard =
+          linalg::spectral_guard(frame.num_nodes(), options.dense_cutoff);
+      if (guard != linalg::SpectralGuard::kNone) {
+        profile.lambda2_per_round.push_back(0.0);
+        profile.status_per_round.push_back(bounds::RoundSpectralStatus::kGuardSkipped);
+        if (profile.spectral_skipped_rounds == 0) profile.guard_fired = guard;
+        ++profile.spectral_skipped_rounds;
+        continue;
+      }
+      profile.lambda2_per_round.push_back(
+          linalg::lambda2(frame, options.dense_cutoff));
+      profile.status_per_round.push_back(bounds::RoundSpectralStatus::kComputed);
+      ++profile.solved_rounds;
       continue;
     }
-    profile.lambda2_per_round.push_back(linalg::lambda2(frame, dense_cutoff));
+    const linalg::Lambda2Answer answer = cache->lambda2(frame, query);
+    profile.lambda2_per_round.push_back(answer.value);
+    switch (answer.tier) {
+      case linalg::SpectralTier::kGuardSkip:
+        profile.status_per_round.push_back(bounds::RoundSpectralStatus::kGuardSkipped);
+        if (profile.spectral_skipped_rounds == 0) profile.guard_fired = answer.guard;
+        ++profile.spectral_skipped_rounds;
+        break;
+      case linalg::SpectralTier::kExactHit:
+        profile.status_per_round.push_back(bounds::RoundSpectralStatus::kCacheHit);
+        ++profile.cache_hit_rounds;
+        break;
+      case linalg::SpectralTier::kBoundSkip:
+        profile.status_per_round.push_back(bounds::RoundSpectralStatus::kBoundSkipped);
+        ++profile.bound_skipped_rounds;
+        break;
+      case linalg::SpectralTier::kSolvedWarm:
+        profile.status_per_round.push_back(bounds::RoundSpectralStatus::kComputed);
+        ++profile.solved_rounds;
+        ++profile.warm_solved_rounds;
+        break;
+      case linalg::SpectralTier::kSolvedDense:
+      case linalg::SpectralTier::kSolvedCold:
+        profile.status_per_round.push_back(bounds::RoundSpectralStatus::kComputed);
+        ++profile.solved_rounds;
+        break;
+    }
   }
-  profile.average_ratio =
-      bounds::dynamic_average_ratio(profile.lambda2_per_round, profile.delta_per_round);
+  profile.average_ratio = bounds::dynamic_average_ratio(
+      profile.lambda2_per_round, profile.delta_per_round, profile.status_per_round);
   return profile;
+}
+
+DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
+                                        std::size_t dense_cutoff) {
+  SpectralProfileOptions options;
+  options.dense_cutoff = dense_cutoff;
+  return profile_sequence(seq, rounds, options);
 }
 
 template <class T>
 DynamicRunResult run_dynamic(Balancer<T>& balancer, graph::GraphSequence& seq,
                              std::vector<T> load, std::size_t rounds, double epsilon,
                              std::size_t dense_cutoff,
-                             const EngineConfig* base_config) {
+                             const EngineConfig* base_config,
+                             const SpectralProfileOptions* profile_options) {
+  SpectralProfileOptions popts;
+  if (profile_options != nullptr) {
+    popts = *profile_options;
+  } else {
+    popts.dense_cutoff = dense_cutoff;
+  }
+  // Run-local cache when the caller didn't supply one: the run's SOS/OPS
+  // spectral lookups (Tier-1 exact, hence bit-identical) share it with
+  // the profiling pass below.
+  linalg::SpectralCache run_cache;
+  if (popts.cache == nullptr) popts.cache = &run_cache;
+
   DynamicRunResult out;
-  out.profile = profile_sequence(seq, rounds, dense_cutoff);
+  out.profile = profile_sequence(seq, rounds, popts);
 
   EngineConfig config;
   if (base_config != nullptr) {
     config = *base_config;
   } else {
     config.record_trace = true;
+  }
+  // Let the engine's schedule-feeding spectral paths (SOS auto-β, OPS
+  // binding) reuse the profile's cache — Tier-1 only over there, so the
+  // trajectory is bit-identical to a cold run.  A base_config that
+  // already carries a cache wins, and a warm=false oracle leg runs the
+  // engine cache-free, exactly like the pre-cache pipeline.
+  if (config.spectral_cache == nullptr && popts.warm) {
+    config.spectral_cache = popts.cache;
   }
   util::ThreadPool* pool =
       config.pool != nullptr ? config.pool : &util::ThreadPool::global();
@@ -115,6 +193,7 @@ DynamicRunResult run_dynamic(Balancer<T>& balancer, graph::GraphSequence& seq,
   ReplayCheckSequence checked(seq, out.profile.frame_fingerprints);
   out.run = run(balancer, checked, load, config);
   out.run.spectral_skipped = out.profile.spectral_skipped_rounds > 0;
+  out.run.spectral_guard = out.profile.guard_fired;
 
   if (out.profile.average_ratio > 0.0) {
     if constexpr (std::is_integral_v<T>) {
@@ -140,13 +219,14 @@ DynamicRunResult run_dynamic(
   // required (or possible to get wrong).
   auto seq = make_sequence();
   return run_dynamic(balancer, *seq, std::move(load), rounds, epsilon, dense_cutoff,
-                     nullptr);
+                     nullptr, nullptr);
 }
 
 #define LB_INSTANTIATE(T)                                                    \
   template DynamicRunResult run_dynamic<T>(                                  \
       Balancer<T>&, graph::GraphSequence&, std::vector<T>, std::size_t,      \
-      double, std::size_t, const EngineConfig*);                             \
+      double, std::size_t, const EngineConfig*,                              \
+      const SpectralProfileOptions*);                                        \
   template DynamicRunResult run_dynamic<T>(                                  \
       Balancer<T>&,                                                          \
       const std::function<std::unique_ptr<graph::GraphSequence>()>&,         \

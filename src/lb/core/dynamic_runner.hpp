@@ -18,8 +18,10 @@
 #include <memory>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/bounds.hpp"
 #include "lb/core/engine.hpp"
 #include "lb/graph/dynamic.hpp"
+#include "lb/linalg/spectral_cache.hpp"
 
 namespace lb::core {
 
@@ -29,18 +31,55 @@ struct DynamicSpectralProfile {
   std::vector<std::size_t> edges_per_round;
   /// TopologyFrame::fingerprint() per round, for replay verification.
   std::vector<std::uint64_t> frame_fingerprints;
+  /// Provenance of each lambda2_per_round entry — resolves the old
+  /// ambiguous 0.0 sentinel (disconnected vs guard-skipped) and records
+  /// which cache tier served warm rounds.
+  std::vector<bounds::RoundSpectralStatus> status_per_round;
   std::size_t disconnected_rounds = 0;
-  /// Rounds whose λ2 was skipped by the linalg::max_spectral_n scale
-  /// guard (recorded as 0.0 in lambda2_per_round); run_dynamic mirrors
-  /// any nonzero count into RunResult::spectral_skipped.
+  /// Rounds whose λ2 was skipped by a linalg scale guard (recorded as
+  /// 0.0 in lambda2_per_round); run_dynamic mirrors any nonzero count
+  /// into RunResult::spectral_skipped.
   std::size_t spectral_skipped_rounds = 0;
+  /// Which guard fired on the first skipped round (kNone if none did).
+  linalg::SpectralGuard guard_fired = linalg::SpectralGuard::kNone;
+  // Cache-tier accounting (all zero on a cold profile).
+  std::size_t solved_rounds = 0;         ///< fresh solves (dense/cold/warm)
+  std::size_t warm_solved_rounds = 0;    ///< of which warm-started Lanczos
+  std::size_t cache_hit_rounds = 0;      ///< Tier-1 exact hits
+  std::size_t bound_skipped_rounds = 0;  ///< Tier-2 bracket skips
   double average_ratio = 0.0;  ///< A_K of Theorem 7
+};
+
+/// Tier policy for a profiling pass (DESIGN.md §10).
+struct SpectralProfileOptions {
+  std::size_t dense_cutoff = 512;
+  /// Cache serving tiers 1–3.  nullptr + warm: the profiler uses a pass-
+  /// local cache (repeated frames within the pass still hit).  A caller-
+  /// owned cache additionally carries entries across passes/sequences.
+  linalg::SpectralCache* cache = nullptr;
+  /// false = the cold oracle: every connected round pays a fresh cold
+  /// solve (the pre-cache behaviour, and the bench ablation baseline).
+  bool warm = true;
+  /// Tier-2 relative tolerance.  The profile's λ2 entries feed only the
+  /// A_K average and the Theorem 7/8 bound *reporting* — never the
+  /// engine trajectory — so a bounded relative error is acceptable
+  /// there; kDefaultBoundSkipTol documents the policy.  0 disables.
+  double bound_skip_tol = kDefaultBoundSkipTol;
+
+  /// Default Tier-2 tolerance for profile-grade λ2: 1e-3 relative moves
+  /// A_K (and the theorem-bound estimates derived from it) by at most
+  /// 0.1% — far below the constant-factor slack in the bounds themselves.
+  static constexpr double kDefaultBoundSkipTol = 1e-3;
 };
 
 /// Replay the first `rounds` frames of a sequence and record λ2 and δ of
 /// each (plus a structure fingerprint).  The sequence is consumed
 /// (stateful sequences advance): reset() it — or let run_dynamic do so —
 /// before reusing it for the balancing run.
+DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
+                                        const SpectralProfileOptions& options);
+
+/// Back-compat wrapper: warm defaults (pass-local cache) at this cutoff.
 DynamicSpectralProfile profile_sequence(graph::GraphSequence& seq, std::size_t rounds,
                                         std::size_t dense_cutoff = 512);
 
@@ -55,11 +94,20 @@ struct DynamicRunResult {
 /// reset(), then run the balancer over the replayed stream.  Every round
 /// of the run asserts its frame fingerprint against the profile's — the
 /// two passes provably saw identical topologies.
+///
+/// `profile_options` (when non-null) sets the profiling-pass tier policy;
+/// its dense_cutoff overrides the `dense_cutoff` argument.  When it
+/// carries a cache and base_config does not already set one, the run's
+/// EngineConfig::spectral_cache is pointed at it too, so SOS auto-β /
+/// OPS schedule binding reuse the profile's Tier-1 entries (exact, hence
+/// bit-identical trajectories).  RunResult::spectral_guard reports the
+/// profile's guard_fired.
 template <class T>
 DynamicRunResult run_dynamic(Balancer<T>& balancer, graph::GraphSequence& seq,
                              std::vector<T> load, std::size_t rounds, double epsilon,
                              std::size_t dense_cutoff = 512,
-                             const EngineConfig* base_config = nullptr);
+                             const EngineConfig* base_config = nullptr,
+                             const SpectralProfileOptions* profile_options = nullptr);
 
 /// Factory convenience (the pre-reset() API): builds the sequence once
 /// and delegates to the single-sequence overload — the factory is no

@@ -95,6 +95,7 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
     }
 
     RoundContext<T> ctx(frame, rng, pool, arena);
+    ctx.set_spectral_cache(config.spectral_cache);
     if (fused) ctx.request_summary(mode, run_average);
 
     util::Stopwatch watch;

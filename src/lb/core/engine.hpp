@@ -15,6 +15,11 @@ namespace lb::util {
 class ThreadPool;
 }
 
+namespace lb::linalg {
+class SpectralCache;
+enum class SpectralGuard : std::uint8_t;
+}
+
 namespace lb::core {
 
 template <class T>
@@ -59,6 +64,14 @@ struct EngineConfig {
   /// Violations throw check::InvariantViolation; results are unchanged
   /// when no violation fires (checks only read engine state).
   bool check_invariants = false;
+  /// Shared spectral cache (DESIGN.md §10), exposed to balancers through
+  /// RoundContext::spectral_cache().  Consumers that bind schedules to
+  /// spectral quantities (SOS auto-β, OPS) use its Tier-1 exact paths,
+  /// which return bit-identical values to a cold compute — so a run with
+  /// a cache is bit-identical to one without, just cheaper on repeats.
+  /// nullptr (the default) keeps every balancer on its cold path; the
+  /// campaign runner's kCold oracle relies on that.
+  linalg::SpectralCache* spectral_cache = nullptr;
 };
 
 /// Communication accounting for one ownership domain of a sharded run
@@ -76,9 +89,13 @@ struct RunResult {
   bool reached_target = false;
   bool stalled = false;
   /// True when any spectral profiling attached to this run (dynamic
-  /// runner lambda2 tracking) was skipped by the linalg::max_spectral_n
-  /// scale guard instead of computed.
+  /// runner lambda2 tracking) was skipped by a linalg scale guard
+  /// instead of computed.
   bool spectral_skipped = false;
+  /// Which guard fired when spectral_skipped is set: the dense-path
+  /// ceiling (max_spectral_n) or the Lanczos ceiling
+  /// (max_lanczos_spectral_n).  kNone (0) when nothing was skipped.
+  linalg::SpectralGuard spectral_guard{};
   std::size_t rounds = 0;           ///< rounds actually executed
   double initial_potential = 0.0;
   double final_potential = 0.0;

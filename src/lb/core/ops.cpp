@@ -4,6 +4,7 @@
 
 #include "lb/core/round_context.hpp"
 #include "lb/linalg/spectral.hpp"
+#include "lb/linalg/spectral_cache.hpp"
 #include "lb/util/assert.hpp"
 
 namespace lb::core {
@@ -27,7 +28,13 @@ StepStats OptimalPolynomialScheme::step(RoundContext<double>& ctx,
     // which silently accepted a different graph of identical shape.
     LB_ASSERT_MSG(position_ == 0, "OPS graph changed mid-run");
     schedule_.clear();
-    const linalg::Vector spectrum = linalg::laplacian_spectrum(g);
+    // Schedule binding: through the run's spectral cache when present
+    // (Tier-1 exact — a miss computes the identical cold spectrum, so
+    // the schedule is bit-identical either way), cold otherwise.
+    linalg::SpectralCache* cache = ctx.spectral_cache();
+    const linalg::Vector spectrum = cache != nullptr
+                                        ? cache->spectrum(g)
+                                        : linalg::laplacian_spectrum(g);
     std::vector<double> distinct;
     for (double lambda : spectrum) {
       if (lambda <= tol_) continue;  // skip the kernel (and numerical zeros)

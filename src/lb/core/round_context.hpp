@@ -29,6 +29,10 @@
 #include "lb/util/rng.hpp"
 #include "lb/util/thread_pool.hpp"
 
+namespace lb::linalg {
+class SpectralCache;
+}
+
 namespace lb::core {
 
 /// Per-run reusable state shared by every round: scratch buffers sized
@@ -139,6 +143,14 @@ class RoundContext {
 
   RunArena<T>& arena() { return *arena_; }
 
+  /// Shared spectral cache (EngineConfig::spectral_cache; DESIGN.md §10),
+  /// or nullptr when the run is cold.  Balancers that bind schedules to
+  /// spectral quantities (SOS auto-β, OPS) route their lookups through it
+  /// when present; its schedule-feeding paths (summary/spectrum) are
+  /// Tier-1 exact, so the trajectory is bit-identical either way.
+  linalg::SpectralCache* spectral_cache() const { return spectral_cache_; }
+  void set_spectral_cache(linalg::SpectralCache* cache) { spectral_cache_ = cache; }
+
   /// The shared flow ledger, rebuilt iff its epoch differs from the
   /// round's graph.  Returns a view valid for graph() — on masked rounds
   /// this materializes; mask-aware balancers use frame_ledger().
@@ -188,6 +200,7 @@ class RoundContext {
   util::Rng* rng_;
   util::ThreadPool* pool_;
   RunArena<T>* arena_;
+  linalg::SpectralCache* spectral_cache_ = nullptr;
 
   bool summary_requested_ = false;
   SummaryMode summary_mode_ = SummaryMode::kFull;

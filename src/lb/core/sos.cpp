@@ -5,10 +5,27 @@
 #include "lb/core/flow_program.hpp"
 #include "lb/core/round_context.hpp"
 #include "lb/linalg/spectral.hpp"
+#include "lb/linalg/spectral_cache.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 
 namespace lb::core {
+
+namespace {
+
+/// γ for the auto-β derivation: through the run's spectral cache when
+/// the engine carries one (Tier-1 exact — summary() computes through the
+/// identical lambda2/lambda_max path on a miss, so the value is
+/// bit-identical to the cold call and the trajectory cannot move), cold
+/// otherwise.
+double round_gamma(RoundContext<double>& ctx) {
+  const graph::Graph& g = ctx.graph();
+  linalg::SpectralCache* cache = ctx.spectral_cache();
+  if (cache != nullptr) return cache->summary(g).gamma;
+  return linalg::diffusion_gamma(g);
+}
+
+}  // namespace
 
 SecondOrderScheme::SecondOrderScheme(std::optional<double> beta, bool parallel,
                                      ApplyPath apply)
@@ -32,7 +49,7 @@ StepStats SecondOrderScheme::step(RoundContext<double>& ctx,
     // γ needs the full spectral machinery; on a masked round this
     // materializes the (cached) round-1 view once — identical to what
     // the rebuild path computes.  Dynamic runs normally pass β explicitly.
-    beta_ = optimal_beta(linalg::diffusion_gamma(ctx.graph()));
+    beta_ = optimal_beta(round_gamma(ctx));
   }
   const double alpha = 1.0 / (static_cast<double>(frame.max_degree()) + 1.0);
   util::ThreadPool* pool = parallel_ ? ctx.pool() : nullptr;
@@ -130,7 +147,7 @@ bool SecondOrderScheme::plan_round(RoundContext<double>& ctx,
   if (!beta_) {
     // Same round-1 spectral derivation as step(); on masked rounds this
     // materializes the cached view, identical to the stepped run.
-    beta_ = optimal_beta(linalg::diffusion_gamma(ctx.graph()));
+    beta_ = optimal_beta(round_gamma(ctx));
   }
   const double alpha = 1.0 / (static_cast<double>(frame.max_degree()) + 1.0);
   program.links = frame.num_edges();

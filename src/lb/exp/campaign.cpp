@@ -18,6 +18,7 @@
 #include "lb/graph/dynamic.hpp"
 #include "lb/graph/generators.hpp"
 #include "lb/linalg/spectral.hpp"
+#include "lb/linalg/spectral_cache.hpp"
 #include "lb/shard/sharded_engine.hpp"
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
@@ -116,7 +117,7 @@ class ArtifactCache {
  public:
   void reset(std::size_t num_graphs) {
     graphs_.assign(num_graphs, std::nullopt);
-    spectral_.assign(num_graphs, std::nullopt);
+    spectral_ = std::vector<linalg::SpectralCache>(num_graphs);
   }
 
   const graph::Graph& base(const ExperimentPlan& plan, std::size_t gi) {
@@ -124,23 +125,31 @@ class ArtifactCache {
     return *graphs_[gi];
   }
 
-  const linalg::SpectralSummary& spectral(const ExperimentPlan& plan,
-                                          std::size_t gi) {
-    if (!spectral_[gi]) spectral_[gi] = linalg::spectral_summary(base(plan, gi));
-    return *spectral_[gi];
+  /// The base's SpectralCache — summary()/spectrum() are Tier-1 exact
+  /// (misses compute through the identical cold linalg functions), so
+  /// every cell on the base shares one set of spectral artifacts and the
+  /// trajectories still match the fresh oracle bit for bit.  Masked
+  /// cells of the same base additionally share per-frame λ2 entries.
+  linalg::SpectralCache& cache_for(std::size_t gi) { return spectral_[gi]; }
+
+  linalg::SpectralSummary spectral(const ExperimentPlan& plan, std::size_t gi) {
+    return spectral_[gi].summary(base(plan, gi));
   }
 
   std::vector<double> lambda2s() const {
     std::vector<double> out(spectral_.size(), 0.0);
     for (std::size_t i = 0; i < spectral_.size(); ++i) {
-      if (spectral_[i]) out[i] = spectral_[i]->lambda2;
+      if (!graphs_[i]) continue;
+      if (auto s = spectral_[i].cached_summary(graphs_[i]->revision())) {
+        out[i] = s->lambda2;
+      }
     }
     return out;
   }
 
  private:
   std::vector<std::optional<graph::Graph>> graphs_;
-  std::vector<std::optional<linalg::SpectralSummary>> spectral_;
+  std::vector<linalg::SpectralCache> spectral_;
 };
 
 /// The cell body shared by every path (cached shard, cold shard, fresh
@@ -148,7 +157,8 @@ class ArtifactCache {
 template <class T>
 CellResult run_cell_impl(const ExperimentPlan& plan, const Cell& cell,
                          const graph::Graph& base, core::Balancer<T>& balancer,
-                         core::RunArena<T>& arena, util::ThreadPool* pool) {
+                         core::RunArena<T>& arena, util::ThreadPool* pool,
+                         linalg::SpectralCache* spectral_cache) {
   const util::Stopwatch setup_watch;
   CellResult result;
   result.cell = cell;
@@ -164,6 +174,11 @@ CellResult run_cell_impl(const ExperimentPlan& plan, const Cell& cell,
   core::EngineConfig config = plan.engine;
   config.pool = pool;
   config.seed = engine_seed(plan, cell);
+  // kCached passes the base's cache (Tier-1 exact on the schedule paths,
+  // so the trajectory matches the nullptr cold oracle bit for bit); the
+  // fresh/cold paths pass nullptr.  Safe under sharded execution too:
+  // plan_round/step run on the round-loop thread only.
+  config.spectral_cache = spectral_cache;
   // The stopping rule is relative: Φ <= ε · Φ(L⁰), with Φ(L⁰) from the
   // sequential summarize so every execution path derives the same target.
   config.target_potential = plan.epsilon * core::summarize(load).potential;
@@ -197,7 +212,8 @@ CellResult run_cell_fresh_typed(const ExperimentPlan& plan, const Cell& cell,
   auto balancer = make_balancer<T>(plan.balancers[cell.balancer],
                                    base.num_nodes(), std::nullopt);
   core::RunArena<T> arena;
-  CellResult result = run_cell_impl(plan, cell, base, *balancer, arena, pool);
+  CellResult result = run_cell_impl(plan, cell, base, *balancer, arena, pool,
+                                    /*spectral_cache=*/nullptr);
   result.setup_seconds += graph_seconds;
   return result;
 }
@@ -259,7 +275,8 @@ CellResult run_cell_cached(const ExperimentPlan& plan, const Cell& cell,
     it = instances.emplace(key, make_balancer<T>(spec, base.num_nodes(), sos_beta))
              .first;
   }
-  return run_cell_impl(plan, cell, base, *it->second, shard.arena<T>(), pool);
+  return run_cell_impl(plan, cell, base, *it->second, shard.arena<T>(), pool,
+                       &cache.cache_for(cell.graph));
 }
 
 }  // namespace

@@ -35,17 +35,28 @@ LanczosResult lanczos_extreme(const std::function<void(const Vector&, Vector&)>&
     for (const Vector& d : deflate) remove_component(x, d);
   };
 
-  util::Rng rng(opts.seed);
   Vector q(n);
-  for (double& v : q) v = rng.next_double() - 0.5;
-  project(q);
-  if (normalize(q) <= 1e-14) {
-    // Random start collided with the deflated space; use a basis sweep.
-    for (std::size_t i = 0; i < n; ++i) {
-      q.assign(n, 0.0);
-      q[i] = 1.0;
-      project(q);
-      if (normalize(q) > 1e-14) break;
+  bool seeded = false;
+  if (opts.initial.size() == n) {
+    // Warm start: caller-supplied direction (typically the previous
+    // topology's Ritz vector).  Falls through to the cold start if the
+    // projection leaves nothing usable.
+    q = opts.initial;
+    project(q);
+    seeded = normalize(q) > 1e-10;
+  }
+  if (!seeded) {
+    util::Rng rng(opts.seed);
+    for (double& v : q) v = rng.next_double() - 0.5;
+    project(q);
+    if (normalize(q) <= 1e-14) {
+      // Random start collided with the deflated space; use a basis sweep.
+      for (std::size_t i = 0; i < n; ++i) {
+        q.assign(n, 0.0);
+        q[i] = 1.0;
+        project(q);
+        if (normalize(q) > 1e-14) break;
+      }
     }
   }
 

@@ -23,11 +23,21 @@ struct LanczosOptions {
   /// Directions to project out of the Krylov space (e.g. the Laplacian
   /// kernel vector).  Need not be normalized.
   std::vector<Vector> deflate;
+  /// Warm start: when non-empty (and sized n) this vector seeds the
+  /// Krylov space instead of the rng-filled start — callers pass the
+  /// previous topology's Ritz/Fiedler vector so near-identical operators
+  /// converge in a fraction of the iterations.  It is projected against
+  /// `deflate` and normalized; if that leaves (numerically) nothing, the
+  /// cold random start is used, so a degenerate warm vector can never
+  /// change which eigenpair is found.  Empty keeps the cold path
+  /// byte-identical to the pre-warm-start behaviour.
+  Vector initial;
 };
 
 struct LanczosResult {
   double eigenvalue = 0.0;
-  Vector eigenvector;       ///< empty unless requested converged
+  Vector eigenvector;       ///< the extreme Ritz vector (unit norm); retained
+                            ///< so callers can cache it as the next warm start
   std::size_t iterations = 0;
   bool converged = false;
 };

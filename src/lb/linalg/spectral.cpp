@@ -122,16 +122,26 @@ namespace {
 
 // Override state: -1 = no override (env/default applies).
 std::atomic<long long> g_max_spectral_override{-1};
+std::atomic<long long> g_max_lanczos_override{-1};
+
+std::size_t env_ceiling(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && parsed >= 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
 
 std::size_t env_max_spectral_n() {
-  static const std::size_t cached = [] {
-    if (const char* env = std::getenv("LB_MAX_SPECTRAL_N")) {
-      char* end = nullptr;
-      const long long parsed = std::strtoll(env, &end, 10);
-      if (end != env && parsed >= 0) return static_cast<std::size_t>(parsed);
-    }
-    return std::size_t{131072};  // 2^17
-  }();
+  static const std::size_t cached =
+      env_ceiling("LB_MAX_SPECTRAL_N", std::size_t{131072});  // 2^17
+  return cached;
+}
+
+std::size_t env_max_lanczos_spectral_n() {
+  static const std::size_t cached =
+      env_ceiling("LB_MAX_LANCZOS_SPECTRAL_N", std::size_t{2097152});  // 2^21
   return cached;
 }
 
@@ -143,14 +153,39 @@ std::size_t max_spectral_n() {
   return env_max_spectral_n();
 }
 
+std::size_t max_lanczos_spectral_n() {
+  const long long ceiling = g_max_lanczos_override.load(std::memory_order_relaxed);
+  if (ceiling >= 0) return static_cast<std::size_t>(ceiling);
+  return env_max_lanczos_spectral_n();
+}
+
 void set_max_spectral_n(long long ceiling) {
-  g_max_spectral_override.store(ceiling < 0 ? -1 : ceiling,
-                                std::memory_order_relaxed);
+  // Historical hard-ceiling hook: sets both paths' ceilings so existing
+  // callers (scale tests/benches) keep their "no spectral work above n"
+  // semantics.  set_max_lanczos_spectral_n() can re-split afterwards.
+  const long long stored = ceiling < 0 ? -1 : ceiling;
+  g_max_spectral_override.store(stored, std::memory_order_relaxed);
+  g_max_lanczos_override.store(stored, std::memory_order_relaxed);
+}
+
+void set_max_lanczos_spectral_n(long long ceiling) {
+  g_max_lanczos_override.store(ceiling < 0 ? -1 : ceiling,
+                               std::memory_order_relaxed);
+}
+
+SpectralGuard spectral_guard(std::size_t num_nodes, std::size_t dense_cutoff) {
+  if (num_nodes <= dense_cutoff) {
+    const std::size_t ceiling = max_spectral_n();
+    return ceiling != 0 && num_nodes > ceiling ? SpectralGuard::kDense
+                                               : SpectralGuard::kNone;
+  }
+  const std::size_t ceiling = max_lanczos_spectral_n();
+  return ceiling != 0 && num_nodes > ceiling ? SpectralGuard::kLanczos
+                                             : SpectralGuard::kNone;
 }
 
 bool spectral_guard_active(std::size_t num_nodes) {
-  const std::size_t ceiling = max_spectral_n();
-  return ceiling != 0 && num_nodes > ceiling;
+  return spectral_guard(num_nodes) != SpectralGuard::kNone;
 }
 
 double lambda2(const graph::Graph& g, std::size_t dense_cutoff) {
@@ -160,7 +195,9 @@ double lambda2(const graph::Graph& g, std::size_t dense_cutoff) {
 double lambda2(const graph::TopologyFrame& frame, std::size_t dense_cutoff) {
   const std::size_t n = frame.num_nodes();
   LB_ASSERT_MSG(n >= 2, "lambda2 needs at least two nodes");
-  if (spectral_guard_active(n)) return 0.0;  // deterministic degraded value
+  if (spectral_guard(n, dense_cutoff) != SpectralGuard::kNone) {
+    return 0.0;  // deterministic degraded value
+  }
   if (n <= dense_cutoff) {
     const DenseMatrix l = laplacian_dense(frame);
     TridiagOptions opts;
@@ -183,7 +220,9 @@ double lambda2(const graph::TopologyFrame& frame, std::size_t dense_cutoff) {
 double lambda_max(const graph::Graph& g, std::size_t dense_cutoff) {
   const std::size_t n = g.num_nodes();
   LB_ASSERT_MSG(n >= 2, "lambda_max needs at least two nodes");
-  if (spectral_guard_active(n)) return 0.0;  // deterministic degraded value
+  if (spectral_guard(n, dense_cutoff) != SpectralGuard::kNone) {
+    return 0.0;  // deterministic degraded value
+  }
   if (n <= dense_cutoff) {
     const Vector spec = dense_spectrum(g, false, nullptr);
     return spec.back();
@@ -200,7 +239,7 @@ double diffusion_gamma(const graph::Graph& g, std::size_t dense_cutoff) {
   // Guarded directly — NOT composed from the guarded λ2/λmax, whose 0.0
   // degradations would compose to γ = 1 here and trip the optimal_beta
   // domain assert.  γ = 0 degrades SOS's auto-β to 1 (a plain FOS step).
-  if (spectral_guard_active(g.num_nodes())) return 0.0;
+  if (spectral_guard(g.num_nodes(), dense_cutoff) != SpectralGuard::kNone) return 0.0;
   // With uniform alpha = 1/(δ+1), M = I − L/(δ+1) exactly, so the
   // spectrum of M is {1 − λ_i/(δ+1)} and γ follows from λ2 and λ_max.
   const double dp1 = static_cast<double>(g.max_degree()) + 1.0;
@@ -213,7 +252,7 @@ SpectralSummary spectral_summary(const graph::Graph& g, std::size_t dense_cutoff
   SpectralSummary s;
   s.n = g.num_nodes();
   s.max_degree = g.max_degree();
-  if (spectral_guard_active(s.n)) {
+  if (spectral_guard(s.n, dense_cutoff) != SpectralGuard::kNone) {
     // Degraded summary: zero eigenvalues, γ = 0, unit gap — the same
     // values the guarded scalar entry points return.
     s.eigen_gap = 1.0;

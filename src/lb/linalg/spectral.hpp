@@ -19,28 +19,59 @@ namespace lb::linalg {
 
 // --- Scale guard -----------------------------------------------------------
 //
-// Lanczos λ2 is O(n·iters) with several n-length work vectors; at the
-// bench_scale sizes (n = 2^20+) a single profile call costs more than the
-// whole balancing run, so spectral profiling is gated on a node-count
-// ceiling.  Guarded quantities *degrade deterministically* — λ2/λmax/γ
+// Spectral work is gated on node-count ceilings so profiling a 2^20+
+// substrate cannot silently dominate the balancing run it is attached
+// to.  Guarded quantities *degrade deterministically* — λ2/λmax/γ
 // return 0.0 (γ = 0 keeps SOS's auto-β finite: optimal_beta(0) = 1, an
 // FOS step) — and the callers that profile (dynamic runner, campaign)
 // record the skip in RunResult::spectral_skipped instead of silently
 // stalling.  The guard lives here, at the linalg entry points, so every
 // caller (cold or cached) sees the same values and bit-identity across
 // call paths is preserved.
+//
+// There are TWO ceilings because the two solver paths have different
+// cost models: the dense QL path is O(n²) memory and O(n³) time, while
+// Lanczos is O(n·iters) with a handful of n-length work vectors — the
+// historical single 131072 ceiling was sized for the dense path and
+// over-blocked the Lanczos one.  Which ceiling applies to a query is
+// decided by the same n <= dense_cutoff dispatch the solvers use, so a
+// guard verdict always matches the path that would have run.
 
-/// Current ceiling: graphs with more nodes than this skip spectral
-/// computations.  Resolution: set_max_spectral_n() override ▸ the
-/// LB_MAX_SPECTRAL_N environment variable ▸ 131072 (2^17, where Lanczos
-/// still runs in tens of milliseconds).  0 means unlimited.
+/// Dense-eigensolve ceiling: queries that would take the dense QL path
+/// (n <= dense_cutoff) are skipped when n exceeds this.  Resolution:
+/// set_max_spectral_n() override ▸ the LB_MAX_SPECTRAL_N environment
+/// variable ▸ 131072 (2^17).  0 means unlimited.
 std::size_t max_spectral_n();
 
-/// Test/bench hook: ceiling < 0 clears the override (env/default applies
-/// again), otherwise sets the ceiling (0 = unlimited).
+/// Lanczos ceiling: queries that would take the sparse Lanczos path
+/// (n > dense_cutoff) are skipped when n exceeds this.  Resolution:
+/// set_max_lanczos_spectral_n()/set_max_spectral_n() override ▸ the
+/// LB_MAX_LANCZOS_SPECTRAL_N environment variable ▸ 2097152 (2^21, the
+/// bench_scale substrate top — warm-started Lanczos keeps per-frame cost
+/// affordable well past the old dense-sized 2^17 guard).  0 = unlimited.
+std::size_t max_lanczos_spectral_n();
+
+/// Test/bench hook: ceiling < 0 clears the overrides (env/default applies
+/// again), otherwise sets BOTH ceilings (0 = unlimited) — the historical
+/// "hard ceiling for every spectral path" semantics the scale tests pin.
+/// Use set_max_lanczos_spectral_n() afterwards to split them.
 void set_max_spectral_n(long long ceiling);
 
-/// True when the guard suppresses spectral computation for an n-node graph.
+/// Test/bench hook for the Lanczos ceiling alone; < 0 clears the override.
+void set_max_lanczos_spectral_n(long long ceiling);
+
+/// Which guard suppressed (or would suppress) a spectral query.
+enum class SpectralGuard : std::uint8_t {
+  kNone = 0,  ///< no guard fired; the query computes
+  kDense,     ///< dense-path query over max_spectral_n()
+  kLanczos,   ///< Lanczos-path query over max_lanczos_spectral_n()
+};
+
+/// Guard verdict for an n-node query that would dispatch on dense_cutoff.
+SpectralGuard spectral_guard(std::size_t num_nodes, std::size_t dense_cutoff = 512);
+
+/// True when the guard suppresses spectral computation for an n-node graph
+/// (at the default dense_cutoff dispatch).
 bool spectral_guard_active(std::size_t num_nodes);
 
 /// Laplacian L = D − A as a sparse matrix.

@@ -445,6 +445,7 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
     }
 
     core::RoundContext<T> ctx(frame, rng, pool, arena);
+    ctx.set_spectral_cache(config.spectral_cache);
     if (fused) ctx.request_summary(mode, run_average);
 
     util::Stopwatch watch;
