@@ -1,0 +1,277 @@
+// E18: open-system traffic — settling time and peak-load quantiles under
+// the four stream families, with substrate independence enforced.
+//
+// For each stream family × balancer × n leg the shared-memory pool-1
+// engine is the oracle; the same open-system instance then reruns on a
+// 2-thread pool, the hardware pool, and the sharded engine at K ∈ {2, 4},
+// and the bench *verifies* bit-identity (rounds, per-round Φ/traffic
+// trace, applied arrival/departure totals, final load vector) before
+// reporting a single number.  Any divergence makes the process exit
+// nonzero, so the bench doubles as the open-system determinism gate for
+// CI (--quick keeps that gate cheap).  Reported columns are the
+// steady-state reducer's headline quantities — burst settling rounds,
+// peak-load quantiles (p50/p99/max of the per-round max load), the share
+// of rounds above ε — plus measured wall µs/round on the oracle leg.
+#include "bench_common.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/shard/sharded_engine.hpp"
+#include "lb/util/thread_pool.hpp"
+#include "lb/util/timer.hpp"
+#include "lb/workload/initial.hpp"
+#include "lb/workload/stream.hpp"
+
+namespace {
+
+using lb::core::EngineConfig;
+using lb::core::RunResult;
+using lb::workload::StreamKind;
+using lb::workload::StreamSpec;
+
+struct Leg {
+  std::string stream;
+  std::string balancer;
+  std::size_t n = 0;
+  RunResult run;            ///< the pool-1 oracle run
+  double wall_seconds = 0;  ///< oracle wall time
+  std::size_t divergence = 0;  ///< mismatched fields across all substrates
+};
+
+/// Bitwise comparison of the deterministic open-system result surface.
+/// Returns the number of mismatched fields (0 = identical).
+std::size_t count_divergence(const RunResult& oracle, const RunResult& leg,
+                             const std::vector<double>& oracle_load,
+                             const std::vector<double>& leg_load) {
+  std::size_t bad = 0;
+  if (oracle.rounds != leg.rounds) ++bad;
+  if (oracle.final_potential != leg.final_potential) ++bad;
+  if (oracle.final_discrepancy != leg.final_discrepancy) ++bad;
+  if (oracle.stream_arrivals != leg.stream_arrivals) ++bad;
+  if (oracle.stream_departures != leg.stream_departures) ++bad;
+  if (oracle.steady.settling_rounds != leg.steady.settling_rounds) ++bad;
+  if (oracle.steady.peak_max != leg.steady.peak_max) ++bad;
+  const auto& a = oracle.trace.records();
+  const auto& b = leg.trace.records();
+  if (a.size() != b.size()) {
+    ++bad;
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].potential != b[i].potential ||
+          a[i].transferred != b[i].transferred ||
+          a[i].arrivals != b[i].arrivals ||
+          a[i].departures != b[i].departures) {
+        ++bad;
+        break;
+      }
+    }
+  }
+  if (oracle_load != leg_load) ++bad;
+  return bad;
+}
+
+StreamSpec spec_for(const std::string& name, double quantum) {
+  StreamSpec spec;
+  spec.kind = lb::workload::parse_stream_kind(name);
+  spec.arrival_rate = 8.0;
+  spec.departure_rate = 8.0;
+  spec.quantum = quantum;
+  spec.burst_prob = 0.1;
+  spec.period = 32;
+  return spec;
+}
+
+struct BalancerCase {
+  std::string name;
+  std::unique_ptr<lb::core::Balancer<double>> (*make)();
+};
+
+void write_json(const std::string& path, std::size_t rounds,
+                const std::vector<Leg>& legs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"stream\", \"rounds\": %zu,\n"
+                  "  \"legs\": [\n", rounds);
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const Leg& l = legs[i];
+    const double per_round =
+        l.run.rounds > 0 ? static_cast<double>(l.run.rounds) : 1.0;
+    const auto& s = l.run.steady;
+    std::fprintf(
+        f,
+        "    {\"stream\": \"%s\", \"balancer\": \"%s\", \"n\": %zu, "
+        "\"us_per_round\": %.3f, \"settling_rounds\": %zu, \"settled\": %s, "
+        "\"burst_round\": %zu, \"peak_p50\": %.6g, \"peak_p90\": %.6g, "
+        "\"peak_p99\": %.6g, \"peak_max\": %.6g, "
+        "\"fraction_above_epsilon\": %.4f, \"net_load\": %.6g}%s\n",
+        l.stream.c_str(), l.balancer.c_str(), l.n,
+        l.wall_seconds * 1e6 / per_round, s.settling_rounds,
+        s.settled ? "true" : "false", s.burst_round, s.peak_p50, s.peak_p90,
+        s.peak_p99, s.peak_max, s.fraction_above_epsilon,
+        l.run.stream_arrivals - l.run.stream_departures,
+        i + 1 < legs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lb::util::Options opts(
+      "E18: open-system traffic — settling time and peak-load quantiles "
+      "per stream family, with pool/shard bit-identity enforced");
+  opts.add_int("rounds", 200, "rounds per leg")
+      .add_int("seed", 42, "engine/stream RNG seed")
+      .add_flag("quick", "CI smoke: 1024 nodes, 60 rounds")
+      .add_flag("csv", "emit CSV instead of a table")
+      .add_string("json", "", "write machine-readable summary JSON here");
+  opts.parse(argc, argv);
+
+  const bool quick = opts.get_flag("quick");
+  const std::size_t rounds =
+      quick ? 60 : static_cast<std::size_t>(opts.get_int("rounds"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  const bool csv = opts.get_flag("csv");
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{1024}
+            : std::vector<std::size_t>{4096, 16384};
+
+  if (!csv) {
+    lb::bench::banner(
+        "E18: open-system traffic streams",
+        "per-round arrivals/departures land before flows are planned; the "
+        "trajectory is bit-identical across pools and shard counts, and the "
+        "steady-state reducer measures how fast each balancer absorbs it",
+        seed);
+  }
+
+  const std::vector<BalancerCase> balancers{
+      {"diffusion", [] { return lb::core::make_diffusion_continuous(); }},
+      {"dimexch",
+       [] {
+         return lb::core::make_dimension_exchange_continuous(
+             lb::core::MatchingStrategy::kGhoshMuthukrishnan);
+       }},
+  };
+
+  std::vector<Leg> legs;
+  std::size_t divergent = 0;
+  for (const std::size_t n : sizes) {
+    lb::util::Rng grng(seed);
+    const lb::graph::Graph g = lb::graph::make_named("torus2d", n, grng);
+    const auto load0 = lb::workload::uniform_random<double>(
+        g.num_nodes(), 100.0 * static_cast<double>(g.num_nodes()), grng);
+    for (const std::string& family :
+         {std::string("poisson"), std::string("bursty"), std::string("diurnal"),
+          std::string("hotspot")}) {
+      const StreamSpec spec = spec_for(family, 50.0);
+      for (const BalancerCase& bc : balancers) {
+        EngineConfig cfg;
+        cfg.max_rounds = rounds;
+        cfg.target_potential = 0.0;
+        cfg.record_trace = true;
+        cfg.seed = seed;
+
+        Leg leg;
+        leg.stream = family;
+        leg.balancer = bc.name;
+        leg.n = g.num_nodes();
+
+        // Pool-1 oracle.
+        lb::util::ThreadPool pool1(1);
+        cfg.pool = &pool1;
+        auto oracle_stream =
+            lb::workload::make_stream<double>(spec, g.num_nodes(), seed);
+        cfg.stream = oracle_stream.get();
+        auto oracle_alg = bc.make();
+        std::vector<double> oracle_load = load0;
+        const lb::util::Stopwatch watch;
+        leg.run = lb::core::run_static(*oracle_alg, g, oracle_load, cfg);
+        leg.wall_seconds = watch.elapsed_seconds();
+
+        // Substrate legs: pools {2, hw} shared-memory, then the sharded
+        // engine at K ∈ {2, 4} on the hardware pool.
+        for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+          lb::util::ThreadPool pool(threads);
+          EngineConfig leg_cfg = cfg;
+          leg_cfg.pool = &pool;
+          auto stream =
+              lb::workload::make_stream<double>(spec, g.num_nodes(), seed);
+          leg_cfg.stream = stream.get();
+          auto alg = bc.make();
+          std::vector<double> load = load0;
+          const RunResult r = lb::core::run_static(*alg, g, load, leg_cfg);
+          leg.divergence += count_divergence(leg.run, r, oracle_load, load);
+        }
+        for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+          lb::shard::ShardConfig shard;
+          shard.domains = k;
+          EngineConfig leg_cfg = cfg;
+          leg_cfg.pool = nullptr;  // hardware pool
+          auto stream =
+              lb::workload::make_stream<double>(spec, g.num_nodes(), seed);
+          leg_cfg.stream = stream.get();
+          auto alg = bc.make();
+          std::vector<double> load = load0;
+          const RunResult r = lb::shard::run_static(*alg, g, load, leg_cfg, shard);
+          leg.divergence += count_divergence(leg.run, r, oracle_load, load);
+        }
+        if (leg.divergence != 0) {
+          std::fprintf(stderr,
+                       "DIVERGENCE: %s/%s/n=%zu differs across substrates "
+                       "(%zu mismatched fields)\n",
+                       family.c_str(), bc.name.c_str(), g.num_nodes(),
+                       leg.divergence);
+          divergent += leg.divergence;
+        }
+        legs.push_back(std::move(leg));
+      }
+    }
+  }
+
+  lb::util::Table table({"stream", "balancer", "n", "us/round", "settle_rounds",
+                         "settled", "burst_round", "peak_p50", "peak_p99",
+                         "peak_max", "frac>eps", "identical"});
+  for (const Leg& l : legs) {
+    const double per_round =
+        l.run.rounds > 0 ? static_cast<double>(l.run.rounds) : 1.0;
+    table.row()
+        .add(l.stream)
+        .add(l.balancer)
+        .add(static_cast<std::int64_t>(l.n))
+        .add(l.wall_seconds * 1e6 / per_round, 3)
+        .add(static_cast<std::int64_t>(l.run.steady.settling_rounds))
+        .add(l.run.steady.settled ? 1 : 0)
+        .add(static_cast<std::int64_t>(l.run.steady.burst_round))
+        .add(l.run.steady.peak_p50, 3)
+        .add(l.run.steady.peak_p99, 3)
+        .add(l.run.steady.peak_max, 3)
+        .add(l.run.steady.fraction_above_epsilon, 4)
+        .add(l.divergence == 0 ? 1 : 0);
+  }
+  lb::bench::emit(table,
+                  "open-system settling/peak metrics (bit-identity enforced)",
+                  csv);
+
+  if (!opts.get_string("json").empty()) {
+    write_json(opts.get_string("json"), rounds, legs);
+  }
+
+  if (divergent != 0) {
+    std::fprintf(stderr, "bench_stream: FAILED — open-system runs diverged "
+                         "across pools or shard counts\n");
+    return 1;
+  }
+  return 0;
+}

@@ -76,6 +76,14 @@ for name in "${benches[@]}"; do
     "${bin}" --csv \
       --json "${out_dir}/BENCH_spectral.json" \
       --ablation-dir "${out_dir}" > "${out_dir}/${name}.csv"
+  elif [[ ${name} == bench_stream ]]; then
+    # The open-system traffic bench (E18) sweeps the four stream families
+    # × balancer × n, verifies every leg for bit-identity across pools
+    # {1,2,hw} and shard counts K ∈ {2,4} (nonzero exit on divergence),
+    # and emits BENCH_stream.json (settling rounds, peak-load quantiles,
+    # fraction of rounds above ε per leg) directly.
+    "${bin}" --csv \
+      --json "${out_dir}/BENCH_stream.json" > "${out_dir}/${name}.csv"
   elif [[ ${name} == bench_thm7_dynamic ]]; then
     # The dynamic-topology bench runs every scenario down both substrates
     # (masked frames vs per-round graph rebuilds) in one invocation, so

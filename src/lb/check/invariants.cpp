@@ -60,33 +60,51 @@ ConservationBaseline<T> conservation_baseline(const std::vector<T>& load) {
 template <class T>
 void check_conservation(const ConservationBaseline<T>& baseline,
                         const std::vector<T>& load, std::size_t round,
-                        std::size_t links, const char* where) {
+                        std::size_t links, const char* where, T net_stream) {
+  // Ledgered reference: what the books say the total must be now.
+  const T expected = baseline.total + net_stream;
   T total{};
   for (const T v : load) total += v;
   if constexpr (std::is_integral_v<T>) {
-    if (total != baseline.total) {
+    if (total != expected) {
       violated(format("conservation violated (%s): round %zu: total %" PRId64
-                      " != run-start total %" PRId64 " (delta %" PRId64
+                      " != ledgered total %" PRId64 " (run-start %" PRId64
+                      " + net stream %" PRId64 "; delta %" PRId64
                       "); discrete load must be preserved to 0 ULP",
                       where, round, static_cast<std::int64_t>(total),
+                      static_cast<std::int64_t>(expected),
                       static_cast<std::int64_t>(baseline.total),
-                      static_cast<std::int64_t>(total - baseline.total)));
+                      static_cast<std::int64_t>(net_stream),
+                      static_cast<std::int64_t>(total - expected)));
     }
   } else {
-    const double drift = std::fabs(static_cast<double>(total) -
-                                   static_cast<double>(baseline.total));
+    const double drift =
+        std::fabs(static_cast<double>(total) - static_cast<double>(expected));
     const double eps = std::numeric_limits<double>::epsilon();
+    // The stream widens the natural error scale: the load that flowed
+    // through the system contributes rounding error of its own order.
+    const double scale =
+        baseline.abs_scale + std::fabs(static_cast<double>(net_stream));
     const double allowed =
-        kDriftSlack * eps * baseline.abs_scale *
+        kDriftSlack * eps * scale *
         (1.0 + static_cast<double>(round) * (static_cast<double>(links) + 1.0));
     if (!(drift <= allowed)) {  // !(<=) also catches NaN totals
       violated(format("conservation violated (%s): round %zu: total %.17g "
-                      "drifted %.3g from run-start total %.17g (allowed %.3g "
-                      "for %zu links)",
+                      "drifted %.3g from ledgered total %.17g (run-start "
+                      "%.17g + net stream %.17g; allowed %.3g for %zu links)",
                       where, round, static_cast<double>(total), drift,
-                      static_cast<double>(baseline.total), allowed, links));
+                      static_cast<double>(expected),
+                      static_cast<double>(baseline.total),
+                      static_cast<double>(net_stream), allowed, links));
     }
   }
+}
+
+template <class T>
+void check_conservation(const ConservationBaseline<T>& baseline,
+                        const std::vector<T>& load, std::size_t round,
+                        std::size_t links, const char* where) {
+  check_conservation(baseline, load, round, links, where, T{});
 }
 
 // ---------------------------------------------------------------------------
@@ -488,6 +506,9 @@ void check_mask(const graph::EdgeMask& mask) {
   template void check_conservation<T>(const ConservationBaseline<T>&,          \
                                       const std::vector<T>&, std::size_t,      \
                                       std::size_t, const char*);               \
+  template void check_conservation<T>(const ConservationBaseline<T>&,          \
+                                      const std::vector<T>&, std::size_t,      \
+                                      std::size_t, const char*, T);            \
   template void check_flow_antisymmetry<T>(const core::FlowProgram<T>&,        \
                                            const graph::TopologyFrame&,        \
                                            const std::vector<T>&, std::size_t); \

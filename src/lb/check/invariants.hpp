@@ -82,6 +82,19 @@ void check_conservation(const ConservationBaseline<T>& baseline,
                         const std::vector<T>& load, std::size_t round,
                         std::size_t links, const char* where);
 
+/// Ledgered conservation for open-system runs (DESIGN.md §11): the
+/// balancer still conserves, but the stream moved the books, so the
+/// invariant is post_total == pre_total + arrivals − departures.
+/// `net_stream` is the cumulative APPLIED net (Σ arrivals − Σ applied
+/// departures, from workload::tally_stream_delta) since the baseline was
+/// taken.  Discrete stays 0 ULP; continuous widens the scale by |net| so
+/// the drift bound tracks the load actually flowing through the system.
+/// The closed-system check above is exactly this with net_stream == 0.
+template <class T>
+void check_conservation(const ConservationBaseline<T>& baseline,
+                        const std::vector<T>& load, std::size_t round,
+                        std::size_t links, const char* where, T net_stream);
+
 // ---------------------------------------------------------------------------
 // FlowProgram antisymmetry
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 #include "lb/util/timer.hpp"
+#include "lb/workload/stream.hpp"
 
 namespace lb::core {
 
@@ -25,6 +26,18 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
   balancer.on_run_begin();
   arena.invalidate_snapshot();
 
+  // Open-system traffic (DESIGN.md §11): the stream rides the config
+  // type-erased; re-type it here and replay it from round 1.  Every
+  // stream-touching branch below is guarded on `stream != nullptr`, so a
+  // closed-system run executes the exact pre-stream code path.
+  workload::Stream<T>* stream = nullptr;
+  if (config.stream != nullptr) {
+    stream = dynamic_cast<workload::Stream<T>*>(config.stream);
+    LB_ASSERT_MSG(stream != nullptr,
+                  "EngineConfig::stream scalar type does not match the run");
+    stream->reset();
+  }
+
   const bool fused = config.metrics == MetricsPath::kFusedParallel;
   util::ThreadPool* pool =
       config.pool != nullptr ? config.pool : &util::ThreadPool::global();
@@ -37,18 +50,27 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
   if (checking) baseline = check::conservation_baseline(load);
 
   RunResult result;
+  result.open_system = stream != nullptr;
 
-  // Run-start summary.  The fused path measures every later Φ against
-  // this average: total load is invariant under every balancer (exactly
-  // for Tokens, up to float drift for Real), and the paper's Φ is stated
-  // against that fixed ℓ̄.  For n <= kSummaryChunkWidth the parallel
-  // summary is bit-identical to the sequential one.
+  // Run-start summary.  The fused path measures every later Φ against a
+  // running average: with no stream the total is invariant under every
+  // balancer (exactly for Tokens, up to float drift for Real), the
+  // paper's Φ is stated against that fixed ℓ̄, and `run_average` never
+  // moves; with a stream attached it is re-derived from the applied
+  // ledger whenever the total changes.  For n <= kSummaryChunkWidth the
+  // parallel summary is bit-identical to the sequential one.
   const LoadSummary<T> initial =
       fused ? summarize_parallel(load, pool) : summarize(load);
-  const double run_average = initial.average;
+  double run_average = initial.average;
+  // Open-system ledger: the running total behind the Φ baseline and the
+  // cumulative applied net for the ledgered conservation check.  Both
+  // come from the central sequential tally (stream.hpp), so every
+  // substrate derives the same values.
+  T running_total = initial.total;
+  T net_stream{};
   result.initial_potential = initial.potential;
 
-  if (result.initial_potential <= config.target_potential) {
+  if (stream == nullptr && result.initial_potential <= config.target_potential) {
     result.reached_target = true;
     result.final_potential = result.initial_potential;
     result.final_discrepancy = initial.discrepancy;
@@ -56,19 +78,27 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
     return result;
   }
 
-  if (config.record_trace) result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
+  if (config.record_trace) {
+    result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
+    result.trace.set_open_system(stream != nullptr);
+  }
   // Without a trace only Φ matters per round; min/max are computed once
-  // at run end for the terminal discrepancy.
-  const SummaryMode mode =
-      config.record_trace ? SummaryMode::kFull : SummaryMode::kPotentialOnly;
+  // at run end for the terminal discrepancy.  An attached stream forces
+  // the full summary: the steady-state reducer needs per-round extrema.
+  const SummaryMode mode = (config.record_trace || stream != nullptr)
+                               ? SummaryMode::kFull
+                               : SummaryMode::kPotentialOnly;
+
+  metrics::SteadyState steady;
 
   const auto finish = [&](RunResult& r) {
-    if (fused && !config.record_trace) {
+    if (fused && !config.record_trace && stream == nullptr) {
       r.final_discrepancy =
           summarize_deterministic(load, run_average, pool, SummaryMode::kExtremaOnly,
                                   arena.summary_parts())
               .discrepancy;
     }
+    if (stream != nullptr) r.steady = steady.finalize();
     r.total_seconds = run_watch.elapsed_seconds();
   };
 
@@ -91,6 +121,32 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
       if (checking && frame.mask() != nullptr) {
         // Mask commit: recount alive bitmap vs the incremental summaries.
         check::check_mask(*frame.mask());
+      }
+    }
+
+    // The stream delta lands at a fixed point in the round: after the
+    // frame/epoch bookkeeping, before the balancer plans any flow — the
+    // balancer always reacts to traffic that is already on the nodes.
+    workload::AppliedStream<T> applied{};
+    bool delta_applied = false;
+    if (stream != nullptr) {
+      const workload::StreamDelta<T>& delta = stream->delta_at(round);
+      if (!delta.empty()) {
+        applied = workload::tally_stream_delta(delta, load);
+        workload::apply_stream_delta(delta, load);
+        arena.invalidate_snapshot();  // blocked-round load cache is stale
+        delta_applied = true;
+        const T net = applied.net();
+        if (net != T{}) {
+          // Re-derive the Φ/K baseline only when the total actually
+          // moved, so empty-net rounds keep the closed-system bytes.
+          running_total += net;
+          run_average = static_cast<double>(running_total) /
+                        static_cast<double>(load.size());
+        }
+        net_stream += net;
+        result.stream_arrivals += static_cast<double>(applied.arrivals);
+        result.stream_departures += static_cast<double>(applied.departures);
       }
     }
 
@@ -121,7 +177,8 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
     result.metrics_seconds += metrics_us * 1e-6;
 
     if (checking) {
-      check::check_conservation(baseline, load, round, stats.links, "engine");
+      check::check_conservation(baseline, load, round, stats.links, "engine",
+                                net_stream);
       // The shared ledger re-keys lazily inside balancers and its CSR
       // only moves on a base rebuild, so verify it on epoch-change
       // rounds (round 1 included) rather than every round.
@@ -130,12 +187,25 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
       }
     }
 
+    if (stream != nullptr) {
+      steady.observe(round, summary.potential, summary.discrepancy,
+                     static_cast<double>(summary.max),
+                     static_cast<double>(applied.arrivals),
+                     static_cast<double>(applied.departures));
+    }
+
     if (config.record_trace) {
-      result.trace.add(RoundRecord{round, summary.potential, summary.discrepancy,
-                                   stats.transferred, stats.active_edges, step_us,
-                                   metrics_us});
+      RoundRecord rec{round, summary.potential, summary.discrepancy,
+                      stats.transferred, stats.active_edges, step_us,
+                      metrics_us};
+      if (stream != nullptr) {
+        rec.arrivals = static_cast<double>(applied.arrivals);
+        rec.departures = static_cast<double>(applied.departures);
+        rec.net_load = static_cast<double>(net_stream);
+      }
+      result.trace.add(rec);
       result.final_discrepancy = summary.discrepancy;
-    } else if (!fused) {
+    } else if (!fused || stream != nullptr) {
       result.final_discrepancy = summary.discrepancy;
     }
     result.final_potential = summary.potential;
@@ -145,7 +215,10 @@ RunResult run(Balancer<T>& balancer, graph::GraphSequence& seq, std::vector<T>& 
       finish(result);
       return result;
     }
-    if (stats.transferred == 0.0) {
+    // A round where traffic landed is never idle, even if the balancer
+    // chose not to move anything — the stall exit is for settled closed
+    // systems and drained streams, not for live churn.
+    if (stats.transferred == 0.0 && !delta_applied) {
       ++consecutive_idle;
       if (config.stall_rounds > 0 && consecutive_idle >= config.stall_rounds) {
         result.stalled = true;

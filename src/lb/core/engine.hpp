@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "lb/core/algorithm.hpp"
+#include "lb/core/steady_state.hpp"
 #include "lb/core/trace.hpp"
 #include "lb/graph/dynamic.hpp"
 
@@ -18,6 +19,10 @@ class ThreadPool;
 namespace lb::linalg {
 class SpectralCache;
 enum class SpectralGuard : std::uint8_t;
+}
+
+namespace lb::workload {
+class StreamBase;
 }
 
 namespace lb::core {
@@ -31,8 +36,12 @@ enum class MetricsPath : std::uint8_t {
   /// fused into the balancer's apply sweep whenever the balancer supports
   /// it (RoundContext fused-summary protocol) and computed standalone —
   /// still parallel and chunk-deterministic — otherwise.  Φ is measured
-  /// against the run-start average (total load is invariant; exact for
-  /// Tokens).  Bit-identical results at every pool size.
+  /// against a *running* average: the run-start ℓ̄ while the total is
+  /// invariant (every closed-system round; exact for Tokens), re-derived
+  /// from the stream ledger whenever open-system traffic changes the
+  /// total (DESIGN.md §11).  With no stream attached this reduces to the
+  /// historical fixed run-start baseline bit for bit.  Bit-identical
+  /// results at every pool size.
   kFusedParallel,
   /// The pre-RoundContext oracle: a strictly sequential summarize(load)
   /// after every step(), with the average recomputed each round.  Kept for
@@ -72,6 +81,16 @@ struct EngineConfig {
   /// nullptr (the default) keeps every balancer on its cold path; the
   /// campaign runner's kCold oracle relies on that.
   linalg::SpectralCache* spectral_cache = nullptr;
+  /// Open-system traffic (DESIGN.md §11): a workload::Stream<T> whose
+  /// per-round arrival/departure delta the engine applies at the top of
+  /// every round, before the balancer plans flows.  Must be (or wrap) a
+  /// Stream<T> matching the run's scalar type — the engine asserts on a
+  /// mismatch.  nullptr (the default) is the closed system: the run
+  /// executes the exact pre-stream code path, bit for bit.  The engine
+  /// reset()s the stream at run start; pure per-round derivation
+  /// (stream.hpp) makes the same stream object safely reusable across
+  /// runs and bit-identical across pools and shard counts.
+  workload::StreamBase* stream = nullptr;
 };
 
 /// Communication accounting for one ownership domain of a sharded run
@@ -108,6 +127,13 @@ struct RunResult {
                                     ///< (others fell back to step())
   DomainCommStats comm;             ///< totals across all domains
   std::vector<DomainCommStats> domain_comm;  ///< per-domain breakdown
+  // Open-system observability (lb/workload/stream.hpp): applied stream
+  // totals and the steady-state reduction.  All default/invalid for
+  // closed-system runs (open_system == false).
+  bool open_system = false;          ///< a stream was attached to the run
+  double stream_arrivals = 0.0;      ///< Σ applied arrivals over the run
+  double stream_departures = 0.0;    ///< Σ applied departures (clamped)
+  metrics::SteadyStateReport steady; ///< valid only when open_system
   // Wall-clock observability (seconds; excluded from determinism claims).
   double total_seconds = 0.0;       ///< whole run, setup included
   double step_seconds = 0.0;        ///< Σ Balancer::step() time

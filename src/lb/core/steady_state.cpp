@@ -1,0 +1,72 @@
+#include "lb/core/steady_state.hpp"
+
+#include "lb/util/assert.hpp"
+#include "lb/util/stats.hpp"
+
+namespace lb::core::metrics {
+
+void SteadyState::observe(std::size_t round, double potential,
+                          double discrepancy, double max_load, double arrivals,
+                          double departures) {
+  if (potentials_.empty()) {
+    first_round_ = round;
+  } else {
+    LB_ASSERT_MSG(round == first_round_ + potentials_.size(),
+                  "SteadyState rounds must be observed in order");
+  }
+  potentials_.push_back(potential);
+  max_loads_.push_back(max_load);
+  arrivals_.push_back(arrivals);
+  if (discrepancy > config_.epsilon) ++rounds_above_epsilon_;
+  total_arrivals_ += arrivals;
+  total_departures_ += departures;
+}
+
+SteadyStateReport SteadyState::finalize() const {
+  SteadyStateReport r;
+  if (potentials_.empty()) return r;
+  r.valid = true;
+  r.rounds = potentials_.size();
+
+  r.peak_p50 = util::quantile(max_loads_, 0.50);
+  r.peak_p90 = util::quantile(max_loads_, 0.90);
+  r.peak_p99 = util::quantile(max_loads_, 0.99);
+  double peak = max_loads_[0];
+  for (const double m : max_loads_) peak = m > peak ? m : peak;
+  r.peak_max = peak;
+
+  // Largest single-round burst; first occurrence wins ties so the
+  // settling window is the longest available.
+  std::size_t burst = 0;
+  for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+    if (arrivals_[i] > arrivals_[burst]) burst = i;
+  }
+  if (arrivals_[burst] > 0.0) {
+    r.burst_round = first_round_ + burst;
+    r.burst_arrivals = arrivals_[burst];
+    // Pre-burst Φ: the potential after the round preceding the burst.
+    // A burst in the very first observed round settles against the
+    // post-burst Φ itself (no earlier observation exists).
+    r.pre_burst_potential = burst > 0 ? potentials_[burst - 1] : potentials_[burst];
+    const double target = config_.settle_ratio * r.pre_burst_potential;
+    for (std::size_t i = burst; i < potentials_.size(); ++i) {
+      if (potentials_[i] <= target) {
+        r.settling_rounds = i - burst;
+        r.settled = true;
+        break;
+      }
+    }
+    if (!r.settled) r.settling_rounds = potentials_.size() - burst;  // censored
+  }
+
+  r.rounds_above_epsilon = rounds_above_epsilon_;
+  r.fraction_above_epsilon =
+      static_cast<double>(rounds_above_epsilon_) / static_cast<double>(r.rounds);
+  r.total_arrivals = total_arrivals_;
+  r.total_departures = total_departures_;
+  r.mean_net_per_round =
+      (total_arrivals_ - total_departures_) / static_cast<double>(r.rounds);
+  return r;
+}
+
+}  // namespace lb::core::metrics

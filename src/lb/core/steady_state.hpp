@@ -1,0 +1,83 @@
+// Steady-state metrics for open-system runs (DESIGN.md §11).
+//
+// A closed-system run is judged by convergence (rounds-to-ε, drop
+// rates — ConvergenceReport in metrics.hpp).  An open-system run never
+// converges: traffic keeps arriving, so the interesting questions are
+// stationary ones — how high does the peak load ride, how long does the
+// system take to re-settle after its worst burst, and what fraction of
+// rounds is it out of balance by more than ε.  SteadyState is an online
+// reducer over the per-round summaries the engine already computes (the
+// fixed-chunk deterministic reduction of DESIGN.md §4), so attaching it
+// changes no trajectory bytes; its inputs are deterministic, hence so is
+// every report field.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lb::core::metrics {
+
+/// Everything finalize() derives from an observed run.  All load-valued
+/// fields are doubles even for Tokens runs — the reducer sits on the
+/// observability side of the engine, like Φ and K.
+struct SteadyStateReport {
+  bool valid = false;        ///< any rounds observed
+  std::size_t rounds = 0;
+  // Peak-load trajectory: quantiles of the per-round max load.
+  double peak_p50 = 0.0;
+  double peak_p90 = 0.0;
+  double peak_p99 = 0.0;
+  double peak_max = 0.0;
+  // Burst settling: the round with the largest single-round applied
+  // arrivals, and how long Φ took afterwards to return to within
+  // settle_ratio of its pre-burst value.
+  std::size_t burst_round = 0;       ///< 0 when no arrivals ever landed
+  double burst_arrivals = 0.0;       ///< applied arrivals in that round
+  double pre_burst_potential = 0.0;  ///< Φ after the round before the burst
+  std::size_t settling_rounds = 0;   ///< rounds after the burst to re-settle
+  bool settled = false;              ///< false = censored at run end
+  // Sustained-churn imbalance: rounds with discrepancy K > ε.
+  std::size_t rounds_above_epsilon = 0;
+  double fraction_above_epsilon = 0.0;
+  // Ledger totals (applied, i.e. post-clamping).
+  double total_arrivals = 0.0;
+  double total_departures = 0.0;
+  double mean_net_per_round = 0.0;
+};
+
+/// Online reducer: observe() once per round in round order, finalize()
+/// at run end.  Keeps O(rounds) state (three doubles per round) — the
+/// same asymptotics as the trace it usually rides next to.
+class SteadyState {
+ public:
+  struct Config {
+    /// Settled when Φ <= settle_ratio × pre-burst Φ.
+    double settle_ratio = 2.0;
+    /// Discrepancy threshold for time-above-ε: "out of balance by more
+    /// than one load quantum" under the default.
+    double epsilon = 1.0;
+  };
+
+  SteadyState() = default;
+  explicit SteadyState(const Config& config) : config_(config) {}
+
+  /// Record one round.  `arrivals`/`departures` are the round's APPLIED
+  /// stream totals (workload::AppliedStream), `potential`/`discrepancy`/
+  /// `max_load` the post-round summary.
+  void observe(std::size_t round, double potential, double discrepancy,
+               double max_load, double arrivals, double departures);
+
+  SteadyStateReport finalize() const;
+
+ private:
+  Config config_;
+  std::vector<double> potentials_;
+  std::vector<double> max_loads_;
+  std::vector<double> arrivals_;
+  std::size_t first_round_ = 0;
+  std::size_t rounds_above_epsilon_ = 0;
+  double total_arrivals_ = 0.0;
+  double total_departures_ = 0.0;
+};
+
+}  // namespace lb::core::metrics

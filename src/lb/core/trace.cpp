@@ -21,12 +21,18 @@ std::size_t Trace::first_round_at_or_below(double target_potential) const {
 std::string Trace::to_csv() const {
   std::ostringstream os;
   os << "round,potential,discrepancy,transferred,active_edges,step_us,metrics_us,"
-        "messages,boundary_bytes,halo_wait_us\n";
+        "messages,boundary_bytes,halo_wait_us";
+  if (open_system_) os << ",arrivals,departures,net_load";
+  os << '\n';
   for (const RoundRecord& r : records_) {
     os << r.round << ',' << r.potential << ',' << r.discrepancy << ','
        << r.transferred << ',' << r.active_edges << ',' << r.step_us << ','
        << r.metrics_us << ',' << r.messages << ',' << r.boundary_bytes << ','
-       << r.halo_wait_us << '\n';
+       << r.halo_wait_us;
+    if (open_system_) {
+      os << ',' << r.arrivals << ',' << r.departures << ',' << r.net_load;
+    }
+    os << '\n';
   }
   return os.str();
 }

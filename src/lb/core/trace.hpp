@@ -23,6 +23,13 @@ struct RoundRecord {
   std::uint64_t messages = 0;        ///< halo messages this round
   std::uint64_t boundary_bytes = 0;  ///< boundary payload bytes this round
   double halo_wait_us = 0.0;         ///< modeled critical-path halo wait
+  // Open-system traffic (lb/workload/stream.hpp): APPLIED totals, i.e.
+  // post departure clamping.  Zero for closed-system rounds; the CSV
+  // columns appear only when the trace is marked open-system, so
+  // zero-stream runs keep byte-identical output.
+  double arrivals = 0.0;    ///< Σ applied arrivals this round
+  double departures = 0.0;  ///< Σ applied departures this round
+  double net_load = 0.0;    ///< cumulative Σ(arrivals − departures) so far
 };
 
 class Trace {
@@ -41,12 +48,21 @@ class Trace {
   /// First round whose potential is <= target; 0 if never reached.
   std::size_t first_round_at_or_below(double target_potential) const;
 
+  /// Mark this trace as recording an open-system run: to_csv appends
+  /// the arrivals,departures,net_load columns.  Off by default so
+  /// closed-system CSVs stay byte-identical to pre-stream output
+  /// (golden comparisons, bench ablation CSVs).
+  void set_open_system(bool open) { open_system_ = open; }
+  bool open_system() const { return open_system_; }
+
   /// CSV with header round,potential,discrepancy,transferred,
-  /// active_edges,step_us,metrics_us,messages,boundary_bytes,halo_wait_us.
+  /// active_edges,step_us,metrics_us,messages,boundary_bytes,halo_wait_us
+  /// (plus ,arrivals,departures,net_load when open_system()).
   std::string to_csv() const;
 
  private:
   std::vector<RoundRecord> records_;
+  bool open_system_ = false;
 };
 
 }  // namespace lb::core

@@ -24,6 +24,7 @@
 #include "lb/util/thread_pool.hpp"
 #include "lb/util/timer.hpp"
 #include "lb/workload/initial.hpp"
+#include "lb/workload/stream.hpp"
 
 namespace lb::exp {
 
@@ -174,6 +175,14 @@ CellResult run_cell_impl(const ExperimentPlan& plan, const Cell& cell,
   core::EngineConfig config = plan.engine;
   config.pool = pool;
   config.seed = engine_seed(plan, cell);
+  // Open-system cells attach their traffic stream; the stream seed is
+  // derived like the workload seed (balancer/scalar excluded), so cells
+  // differing only in balancer face identical traffic.  kNone cells
+  // leave config.stream null and run the exact closed-system path.
+  std::unique_ptr<workload::Stream<T>> stream =
+      workload::make_stream<T>(plan.streams[cell.stream], n,
+                               stream_seed(plan, cell));
+  config.stream = stream.get();
   // kCached passes the base's cache (Tier-1 exact on the schedule paths,
   // so the trajectory matches the nullptr cold oracle bit for bit); the
   // fresh/cold paths pass nullptr.  Safe under sharded execution too:

@@ -122,6 +122,15 @@ bool supports_scalar(BalancerKind kind, Scalar scalar) {
   }
 }
 
+bool supports_stream(const BalancerSpec& spec, workload::StreamKind stream) {
+  if (stream == workload::StreamKind::kNone) return true;
+  // OPS's finite polynomial schedule drives a FIXED load vector to the
+  // balanced point; traffic mid-schedule invalidates the optimality
+  // argument (and the schedule-position assert), so OPS cells stay
+  // closed-system.
+  return spec.kind != BalancerKind::kOps;
+}
+
 bool supports_scenario(const BalancerSpec& spec, ScenarioKind scenario) {
   // OPS's schedule is bound to one spectrum; a topology change mid-run
   // would trip its mid-schedule assert by design.  Auto-β SOS likewise
@@ -137,22 +146,25 @@ bool supports_scenario(const BalancerSpec& spec, ScenarioKind scenario) {
 std::vector<Cell> ExperimentPlan::cells() const {
   LB_ASSERT_MSG(!graphs.empty(), "plan has no graphs");
   LB_ASSERT_MSG(!balancers.empty(), "plan has no balancers");
-  LB_ASSERT_MSG(!scenarios.empty() && !workloads.empty() && !scalars.empty() &&
-                    !shards.empty() && !seeds.empty(),
+  LB_ASSERT_MSG(!scenarios.empty() && !workloads.empty() && !streams.empty() &&
+                    !scalars.empty() && !shards.empty() && !seeds.empty(),
                 "plan has an empty axis");
   std::vector<Cell> out;
   for (std::size_t g = 0; g < graphs.size(); ++g) {
     for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
       for (std::size_t w = 0; w < workloads.size(); ++w) {
-        for (std::size_t b = 0; b < balancers.size(); ++b) {
-          if (!supports_scenario(balancers[b], scenarios[sc].kind)) continue;
-          for (Scalar s : scalars) {
-            if (!supports_scalar(balancers[b].kind, s)) continue;
-            // The seed axis stays innermost (aggregation groups are
-            // contiguous replicate runs), so shards sits just outside it.
-            for (std::size_t k = 0; k < shards.size(); ++k) {
-              for (std::size_t r = 0; r < seeds.size(); ++r) {
-                out.push_back(Cell{g, sc, w, b, s, k, r});
+        for (std::size_t st = 0; st < streams.size(); ++st) {
+          for (std::size_t b = 0; b < balancers.size(); ++b) {
+            if (!supports_scenario(balancers[b], scenarios[sc].kind)) continue;
+            if (!supports_stream(balancers[b], streams[st].kind)) continue;
+            for (Scalar s : scalars) {
+              if (!supports_scalar(balancers[b].kind, s)) continue;
+              // The seed axis stays innermost (aggregation groups are
+              // contiguous replicate runs), so shards sits just outside it.
+              for (std::size_t k = 0; k < shards.size(); ++k) {
+                for (std::size_t r = 0; r < seeds.size(); ++r) {
+                  out.push_back(Cell{g, sc, w, st, b, s, k, r});
+                }
               }
             }
           }
@@ -164,8 +176,14 @@ std::vector<Cell> ExperimentPlan::cells() const {
 }
 
 std::string ExperimentPlan::cell_label(const Cell& c) const {
+  std::string workload_label = workloads[c.workload].label();
+  // Open-system cells tag the workload segment ("spike+poisson") so
+  // closed-system plans keep their historical labels and segment count.
+  if (streams[c.stream].kind != workload::StreamKind::kNone) {
+    workload_label += "+" + streams[c.stream].label();
+  }
   std::string label = graphs[c.graph].label() + "/" + scenarios[c.scenario].label() +
-                      "/" + workloads[c.workload].label() + "/" +
+                      "/" + workload_label + "/" +
                       balancers[c.balancer].label() + "/" + to_string(c.scalar);
   // Only non-default domain counts mark the label, so single-K plans keep
   // their historical cell names.
@@ -193,6 +211,7 @@ constexpr std::uint64_t kGraphSalt = 0x6772617068ULL;     // "graph"
 constexpr std::uint64_t kScenarioSalt = 0x7363656eULL;    // "scen"
 constexpr std::uint64_t kWorkloadSalt = 0x776f726bULL;    // "work"
 constexpr std::uint64_t kEngineSalt = 0x656e67ULL;        // "eng"
+constexpr std::uint64_t kStreamSalt = 0x7374726dULL;      // "strm"
 
 }  // namespace
 
@@ -220,6 +239,11 @@ std::uint64_t engine_seed(const ExperimentPlan& plan, const Cell& c) {
   return mix(plan.master_seed, {kEngineSalt, c.graph, c.scenario, c.workload,
                                 c.balancer, static_cast<std::uint64_t>(c.scalar),
                                 plan.seeds[c.seed_index]});
+}
+
+std::uint64_t stream_seed(const ExperimentPlan& plan, const Cell& c) {
+  return mix(plan.master_seed, {kStreamSalt, c.graph, c.scenario, c.workload,
+                                c.stream, plan.seeds[c.seed_index]});
 }
 
 }  // namespace lb::exp

@@ -1,5 +1,5 @@
 // ExperimentPlan: the declarative (graph × scenario × workload ×
-// balancer × scalar × seed) grid the campaign layer executes.
+// stream × balancer × scalar × seed) grid the campaign layer executes.
 //
 // The ROADMAP north-star is many cells per process — every topology
 // family, every dynamic scenario, every balancer, both scalar domains,
@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "lb/core/engine.hpp"
+#include "lb/workload/stream.hpp"
 
 namespace lb::exp {
 
@@ -106,6 +107,11 @@ bool supports_scalar(BalancerKind kind, Scalar scalar);
 /// topology (their schedules are bound to one spectrum), everything else
 /// accepts any sequence.
 bool supports_scenario(const BalancerSpec& spec, ScenarioKind scenario);
+/// Which traffic streams a spec accepts: OPS requires the closed system
+/// (its finite polynomial schedule drives Φ to a fixed target; traffic
+/// mid-schedule would invalidate the optimality argument), everything
+/// else composes with any stream.
+bool supports_stream(const BalancerSpec& spec, workload::StreamKind stream);
 
 /// Initial load shape, named by workload::make_named.  The total scales
 /// with the cell's node count (total = total_per_node · n) so grids over
@@ -122,6 +128,7 @@ struct Cell {
   std::size_t graph = 0;
   std::size_t scenario = 0;
   std::size_t workload = 0;
+  std::size_t stream = 0;  ///< index into ExperimentPlan::streams
   std::size_t balancer = 0;
   Scalar scalar = Scalar::kReal;
   std::size_t shard = 0;  ///< index into ExperimentPlan::shards
@@ -132,6 +139,13 @@ struct ExperimentPlan {
   std::vector<GraphSpec> graphs;
   std::vector<ScenarioSpec> scenarios{ScenarioSpec{}};
   std::vector<WorkloadSpec> workloads{WorkloadSpec{}};
+  /// Open-system traffic axis (lb/workload/stream.hpp).  The default
+  /// single kNone entry is the closed system: existing plans expand to
+  /// exactly their historical cells, and because the graph/scenario/
+  /// workload/engine seed derivations deliberately exclude this
+  /// coordinate (only stream_seed consumes it), those cells keep their
+  /// historical bits too.
+  std::vector<workload::StreamSpec> streams{workload::StreamSpec{}};
   std::vector<BalancerSpec> balancers;
   std::vector<Scalar> scalars{Scalar::kReal, Scalar::kTokens};
   /// Ownership-domain counts (lb/shard/).  K = 1 runs the shared-memory
@@ -177,5 +191,11 @@ std::uint64_t graph_build_seed(const ExperimentPlan& plan, std::size_t graph_ind
 std::uint64_t scenario_seed(const ExperimentPlan& plan, const Cell& c);
 std::uint64_t workload_seed(const ExperimentPlan& plan, const Cell& c);
 std::uint64_t engine_seed(const ExperimentPlan& plan, const Cell& c);
+/// Traffic-stream seed.  Like the scenario/workload seeds it excludes
+/// the balancer and scalar coordinates (cells differing only in those
+/// face the SAME traffic — paired comparisons), and it is the only
+/// derivation that consumes the stream coordinate, so closed-system
+/// cells keep their pre-stream bits.
+std::uint64_t stream_seed(const ExperimentPlan& plan, const Cell& c);
 
 }  // namespace lb::exp

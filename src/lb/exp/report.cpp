@@ -11,14 +11,21 @@ namespace {
 
 bool same_group(const Cell& a, const Cell& b) {
   return a.graph == b.graph && a.scenario == b.scenario &&
-         a.workload == b.workload && a.balancer == b.balancer &&
-         a.scalar == b.scalar && a.shard == b.shard;
+         a.workload == b.workload && a.stream == b.stream &&
+         a.balancer == b.balancer && a.scalar == b.scalar && a.shard == b.shard;
 }
 
 std::string group_label(const ExperimentPlan& plan, const Cell& c) {
+  std::string workload_label = plan.workloads[c.workload].label();
+  // Open-system groups tag the workload segment exactly like cell_label,
+  // so closed-system plans keep their historical group names.
+  if (c.stream < plan.streams.size() &&
+      plan.streams[c.stream].kind != workload::StreamKind::kNone) {
+    workload_label += "+" + plan.streams[c.stream].label();
+  }
   std::string label =
       plan.graphs[c.graph].label() + "/" + plan.scenarios[c.scenario].label() +
-      "/" + plan.workloads[c.workload].label() + "/" +
+      "/" + workload_label + "/" +
       plan.balancers[c.balancer].label() + "/" + to_string(c.scalar);
   if (c.shard < plan.shards.size() && plan.shards[c.shard] > 1) {
     label += "/k" + std::to_string(plan.shards[c.shard]);
@@ -89,18 +96,34 @@ std::vector<AggregateRow> CampaignReport::aggregate(const ExperimentPlan& plan) 
 }
 
 std::string CampaignReport::cells_csv(const ExperimentPlan& plan) const {
-  util::Table table({"graph", "scenario", "workload", "balancer", "scalar",
-                     "domains", "seed", "rounds", "reached", "phi_initial",
-                     "phi_final", "discrepancy", "messages", "boundary_bytes",
-                     "setup_us", "run_us"});
+  // Open-system columns appear only when the plan carries a live stream
+  // axis, so closed-system campaign CSVs stay byte-identical to
+  // pre-stream output (golden comparisons, bench ablation CSVs).
+  bool open = false;
+  for (const workload::StreamSpec& s : plan.streams) {
+    if (s.kind != workload::StreamKind::kNone) open = true;
+  }
+  std::vector<std::string> columns{
+      "graph",      "scenario",   "workload",       "balancer", "scalar",
+      "domains",    "seed",       "rounds",         "reached",  "phi_initial",
+      "phi_final",  "discrepancy", "messages",      "boundary_bytes",
+      "setup_us",   "run_us"};
+  if (open) {
+    columns.insert(columns.begin() + 3, "stream");
+    columns.push_back("arrivals");
+    columns.push_back("departures");
+    columns.push_back("net_load");
+  }
+  util::Table table(columns);
   for (const CellResult& c : cells) {
     const std::size_t domains =
         c.cell.shard < plan.shards.size() ? plan.shards[c.cell.shard] : 1;
-    table.row()
-        .add(plan.graphs[c.cell.graph].label())
+    util::Table& row = table.row();
+    row.add(plan.graphs[c.cell.graph].label())
         .add(plan.scenarios[c.cell.scenario].label())
-        .add(plan.workloads[c.cell.workload].label())
-        .add(plan.balancers[c.cell.balancer].label())
+        .add(plan.workloads[c.cell.workload].label());
+    if (open) row.add(plan.streams[c.cell.stream].label());
+    row.add(plan.balancers[c.cell.balancer].label())
         .add(to_string(c.cell.scalar))
         .add(static_cast<std::int64_t>(domains))
         .add(static_cast<std::int64_t>(c.cell.seed_index))
@@ -113,6 +136,11 @@ std::string CampaignReport::cells_csv(const ExperimentPlan& plan) const {
         .add(static_cast<std::int64_t>(c.run.comm.boundary_bytes))
         .add(c.setup_seconds * 1e6, 6)
         .add(c.run_seconds * 1e6, 6);
+    if (open) {
+      row.add(c.run.stream_arrivals)
+          .add(c.run.stream_departures)
+          .add(c.run.stream_arrivals - c.run.stream_departures);
+    }
   }
   return table.to_csv();
 }

@@ -14,6 +14,7 @@
 #include "lb/util/assert.hpp"
 #include "lb/util/thread_pool.hpp"
 #include "lb/util/timer.hpp"
+#include "lb/workload/stream.hpp"
 
 namespace lb::shard {
 
@@ -354,6 +355,17 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
 
   balancer.on_run_begin();
 
+  // Open-system traffic (DESIGN.md §11): same retyping and replay as
+  // core::run — the stream is re-derived per round from the seed chain,
+  // so shared-memory and sharded runs see identical deltas.
+  workload::Stream<T>* stream = nullptr;
+  if (config.stream != nullptr) {
+    stream = dynamic_cast<workload::Stream<T>*>(config.stream);
+    LB_ASSERT_MSG(stream != nullptr,
+                  "EngineConfig::stream scalar type does not match the run");
+    stream->reset();
+  }
+
   const bool fused = config.metrics == MetricsPath::kFusedParallel;
   util::ThreadPool* pool =
       config.pool != nullptr ? config.pool : &util::ThreadPool::global();
@@ -376,6 +388,7 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
 
   RunResult result;
   result.domains = shard.domains;
+  result.open_system = stream != nullptr;
 
   const auto fill_comm = [&](RunResult& r) {
     r.domain_comm.resize(shard.domains);
@@ -393,10 +406,12 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
   // with only the step body swapped for the domain protocol.
   const LoadSummary<T> initial =
       fused ? core::summarize_parallel(load, pool) : core::summarize(load);
-  const double run_average = initial.average;
+  double run_average = initial.average;
+  T running_total = initial.total;
+  T net_stream{};
   result.initial_potential = initial.potential;
 
-  if (result.initial_potential <= config.target_potential) {
+  if (stream == nullptr && result.initial_potential <= config.target_potential) {
     result.reached_target = true;
     result.final_potential = result.initial_potential;
     result.final_discrepancy = initial.discrepancy;
@@ -405,18 +420,25 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
     return result;
   }
 
-  if (config.record_trace) result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
-  const SummaryMode mode =
-      config.record_trace ? SummaryMode::kFull : SummaryMode::kPotentialOnly;
+  if (config.record_trace) {
+    result.trace.reserve(std::min<std::size_t>(config.max_rounds, 4096));
+    result.trace.set_open_system(stream != nullptr);
+  }
+  const SummaryMode mode = (config.record_trace || stream != nullptr)
+                               ? SummaryMode::kFull
+                               : SummaryMode::kPotentialOnly;
+
+  core::metrics::SteadyState steady;
 
   const auto finish = [&](RunResult& r) {
-    if (fused && !config.record_trace) {
+    if (fused && !config.record_trace && stream == nullptr) {
       r.final_discrepancy =
           core::summarize_deterministic(load, run_average, pool,
                                         SummaryMode::kExtremaOnly,
                                         arena.summary_parts())
               .discrepancy;
     }
+    if (stream != nullptr) r.steady = steady.finalize();
     fill_comm(r);
     r.total_seconds = run_watch.elapsed_seconds();
   };
@@ -441,6 +463,38 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
       check::check_halo_mirrors(rt.halo);
       for (std::size_t d = 0; d < shard.domains; ++d) {
         check::check_domain_plan(frame.base(), rt.map.owners(), d, rt.halo.plan(d));
+      }
+    }
+
+    // Stream delta, owner domains only: each domain applies exactly its
+    // owned slice of the (sorted, duplicate-free) delta, which composes
+    // to one apply_stream_delta over the whole vector — nodes are
+    // disjoint across domains and the arithmetic is per-node.  The
+    // ledger totals come from the central sequential tally *before* the
+    // apply, the same pass core::run uses, so the running baseline and
+    // the conservation ledger are bit-identical to the oracle.
+    workload::AppliedStream<T> applied{};
+    bool delta_applied = false;
+    if (stream != nullptr) {
+      const workload::StreamDelta<T>& delta = stream->delta_at(round);
+      if (!delta.empty()) {
+        applied = workload::tally_stream_delta(delta, load);
+        const auto& owner = rt.map.owners();
+        for_each_domain(pool, shard.domains, [&](std::size_t d) {
+          workload::apply_stream_delta_owned(delta, load, owner,
+                                             static_cast<std::uint32_t>(d));
+        });
+        arena.invalidate_snapshot();  // blocked-round load cache is stale
+        delta_applied = true;
+        const T net = applied.net();
+        if (net != T{}) {
+          running_total += net;
+          run_average = static_cast<double>(running_total) /
+                        static_cast<double>(load.size());
+        }
+        net_stream += net;
+        result.stream_arrivals += static_cast<double>(applied.arrivals);
+        result.stream_departures += static_cast<double>(applied.departures);
       }
     }
 
@@ -502,7 +556,15 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
     result.metrics_seconds += metrics_us * 1e-6;
 
     if (checking) {
-      check::check_conservation(baseline, load, round, stats.links, "shard");
+      check::check_conservation(baseline, load, round, stats.links, "shard",
+                                net_stream);
+    }
+
+    if (stream != nullptr) {
+      steady.observe(round, summary.potential, summary.discrepancy,
+                     static_cast<double>(summary.max),
+                     static_cast<double>(applied.arrivals),
+                     static_cast<double>(applied.departures));
     }
 
     if (config.record_trace) {
@@ -516,9 +578,14 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
         rec.halo_wait_us += t.wait_us - rt.prev[d].wait_us;
         rt.prev[d] = t;
       }
+      if (stream != nullptr) {
+        rec.arrivals = static_cast<double>(applied.arrivals);
+        rec.departures = static_cast<double>(applied.departures);
+        rec.net_load = static_cast<double>(net_stream);
+      }
       result.trace.add(rec);
       result.final_discrepancy = summary.discrepancy;
-    } else if (!fused) {
+    } else if (!fused || stream != nullptr) {
       result.final_discrepancy = summary.discrepancy;
     }
     result.final_potential = summary.potential;
@@ -528,7 +595,7 @@ core::RunResult run(core::Balancer<T>& balancer, graph::GraphSequence& seq,
       finish(result);
       return result;
     }
-    if (stats.transferred == 0.0) {
+    if (stats.transferred == 0.0 && !delta_applied) {
       ++consecutive_idle;
       if (config.stall_rounds > 0 && consecutive_idle >= config.stall_rounds) {
         result.stalled = true;

@@ -136,6 +136,28 @@ std::int64_t Rng::next_geometric(double p) {
   return static_cast<std::int64_t>(std::floor(std::log(u) / std::log1p(-p)));
 }
 
+std::int64_t Rng::next_poisson(double mean) {
+  LB_ASSERT_MSG(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below exp(-mean).
+    // Expected draws = mean + 1, fine for per-round event rates.
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; same split as
+  // next_binomial, accurate to well under Monte-Carlo noise at mean >= 30.
+  double x = std::floor(mean + std::sqrt(mean) * next_gaussian() + 0.5);
+  if (x < 0.0) x = 0.0;
+  return static_cast<std::int64_t>(x);
+}
+
 std::int64_t Rng::next_zipf(std::int64_t n, double s) {
   LB_ASSERT_MSG(n >= 1, "zipf n must be >= 1");
   LB_ASSERT_MSG(s >= 0.0, "zipf exponent must be non-negative");

@@ -82,6 +82,13 @@ class Rng {
   /// Geometric: number of failures before first success, p in (0, 1].
   std::int64_t next_geometric(double p);
 
+  /// Poisson(mean) sample.  Knuth's product-of-uniforms inversion for
+  /// small means, otherwise a normal approximation with continuity
+  /// correction clamped at 0 (the same split next_binomial uses) —
+  /// adequate for the open-system traffic streams where the mean is the
+  /// per-round event rate.
+  std::int64_t next_poisson(double mean);
+
   /// Zipf-distributed integer in [1, n] with exponent s >= 0, via inverse
   /// CDF on a precomputable harmonic table-free rejection scheme.
   std::int64_t next_zipf(std::int64_t n, double s);

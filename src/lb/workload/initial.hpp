@@ -8,6 +8,18 @@
 //
 // Discrete generators always hit the requested total exactly; continuous
 // ones match it to floating-point accuracy.
+//
+// Draw-order contract (the closed-system half of the determinism story;
+// the open-system half is workload::Stream's per-round derivation in
+// stream.hpp): every generator consumes the caller's Rng in a fixed,
+// documented sequence, so a (name, n, total, seed) tuple names one load
+// vector forever.  For the discrete total correction specifically
+// (fix_total in initial.cpp): the bulk phase — a uniform per-node share
+// added or cut, clamped at zero — consumes NO draws; only the sub-n
+// remainder placement draws, one next_below(n) per leftover token, plus
+// re-draws when a removal lands on an already-empty node.  Tests pin
+// this budget (StreamSatellites.FixTotalDrawOrderContract), so a change
+// here is a deliberate, seed-breaking event, not an accident.
 #pragma once
 
 #include <cstdint>

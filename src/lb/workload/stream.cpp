@@ -1,0 +1,296 @@
+#include "lb/workload/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+#include "lb/util/assert.hpp"
+
+namespace lb::workload {
+
+std::uint64_t stream_round_seed(std::uint64_t seed, std::size_t round) {
+  // Same chained-SplitMix64 recipe as the campaign's cell-seed
+  // derivation (exp/plan.cpp); the salt keeps stream draws disjoint from
+  // every other consumer of the run seed.
+  constexpr std::uint64_t kStreamSalt = 0x73747265616dULL;  // "stream"
+  util::SplitMix64 sm(seed);
+  std::uint64_t h = sm.next();
+  for (std::uint64_t p : {kStreamSalt, static_cast<std::uint64_t>(round)}) {
+    util::SplitMix64 step(h ^ p);
+    h = step.next();
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Applied-delta accounting
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The per-node departure arithmetic shared by tally and apply: given
+/// the node's level after arrivals, how much a departure of `amount`
+/// actually takes.  Clamped at zero; for Real a dry node goes to
+/// exactly 0.0 (level - level), never negative.
+template <class T>
+T clamped_take(T level, T amount) {
+  if (level <= T{}) return T{};
+  return amount < level ? amount : level;
+}
+
+}  // namespace
+
+template <class T>
+AppliedStream<T> tally_stream_delta(const StreamDelta<T>& delta,
+                                    const std::vector<T>& load) {
+  AppliedStream<T> applied;
+  for (const auto& [node, amount] : delta.arrivals) {
+    LB_ASSERT_MSG(node < load.size(), "stream arrival node out of range");
+    applied.arrivals += amount;
+  }
+  // Two-pointer walk over the two sorted lists so a node's arrival (if
+  // any) is credited before its departure is clamped — the same order
+  // apply_stream_delta mutates in.
+  std::size_t ai = 0;
+  for (const auto& [node, amount] : delta.departures) {
+    LB_ASSERT_MSG(node < load.size(), "stream departure node out of range");
+    while (ai < delta.arrivals.size() && delta.arrivals[ai].first < node) ++ai;
+    T level = load[node];
+    if (ai < delta.arrivals.size() && delta.arrivals[ai].first == node) {
+      level += delta.arrivals[ai].second;
+    }
+    applied.departures += clamped_take(level, amount);
+  }
+  return applied;
+}
+
+template <class T>
+void apply_stream_delta(const StreamDelta<T>& delta, std::vector<T>& load) {
+  for (const auto& [node, amount] : delta.arrivals) {
+    LB_ASSERT_MSG(node < load.size(), "stream arrival node out of range");
+    load[node] += amount;
+  }
+  for (const auto& [node, amount] : delta.departures) {
+    LB_ASSERT_MSG(node < load.size(), "stream departure node out of range");
+    const T level = load[node];
+    load[node] = level - clamped_take(level, amount);
+  }
+}
+
+template <class T>
+void apply_stream_delta_owned(const StreamDelta<T>& delta, std::vector<T>& load,
+                              const std::vector<std::uint32_t>& owner,
+                              std::uint32_t domain) {
+  for (const auto& [node, amount] : delta.arrivals) {
+    if (owner[node] != domain) continue;
+    load[node] += amount;
+  }
+  for (const auto& [node, amount] : delta.departures) {
+    if (owner[node] != domain) continue;
+    const T level = load[node];
+    load[node] = level - clamped_take(level, amount);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-event load in units of T: at least one token for discrete.
+template <class T>
+T quantum_amount(double q) {
+  if constexpr (std::is_integral_v<T>) {
+    return std::max<T>(T{1}, static_cast<T>(std::llround(q)));
+  } else {
+    return static_cast<T>(q);
+  }
+}
+
+/// One stream class for all four families: the per-round draw switches
+/// on the kind, everything else (seed chain, aggregation, caching) is
+/// shared.  delta_at derives a fresh Rng from stream_round_seed(seed,
+/// round) per call, so deltas are pure in (spec, n, seed, round).
+template <class T>
+class GeneratedStream final : public Stream<T> {
+ public:
+  GeneratedStream(StreamSpec spec, std::size_t n, std::uint64_t seed)
+      : spec_(spec), n_(n), seed_(seed) {
+    LB_ASSERT_MSG(n > 0, "stream needs at least one node");
+    LB_ASSERT_MSG(spec.kind != StreamKind::kNone, "kNone has no generator");
+  }
+
+  void reset() override {
+    cached_round_ = 0;
+    delta_.arrivals.clear();
+    delta_.departures.clear();
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << spec_.label() << "(arr=" << spec_.arrival_rate
+       << ",dep=" << spec_.departure_rate << ",q=" << spec_.quantum;
+    switch (spec_.kind) {
+      case StreamKind::kBursty:
+        os << ",p=" << spec_.burst_prob << ",alpha=" << spec_.burst_alpha;
+        break;
+      case StreamKind::kDiurnal:
+        os << ",amp=" << spec_.amplitude << ",period=" << spec_.period;
+        break;
+      case StreamKind::kHotspot:
+        os << ",rot=" << spec_.rotate_period << ",stride=" << spec_.stride;
+        break;
+      default:
+        break;
+    }
+    os << ')';
+    return os.str();
+  }
+
+  const StreamDelta<T>& delta_at(std::size_t round) override {
+    LB_ASSERT_MSG(round >= 1, "rounds are 1-indexed");
+    if (round != cached_round_) {
+      generate(round);
+      cached_round_ = round;
+    }
+    return delta_;
+  }
+
+ private:
+  using Entry = std::pair<graph::NodeId, T>;
+
+  graph::NodeId uniform_node(util::Rng& rng) {
+    return static_cast<graph::NodeId>(rng.next_below(n_));
+  }
+
+  /// Sort raw event draws by (node, amount) — a total order, so the
+  /// merge below sums equal-node amounts in one deterministic sequence
+  /// regardless of draw order — then aggregate duplicates.
+  static void aggregate(std::vector<Entry>& events, std::vector<Entry>& out) {
+    std::sort(events.begin(), events.end());
+    out.clear();
+    for (const Entry& e : events) {
+      if (!out.empty() && out.back().first == e.first) {
+        out.back().second += e.second;
+      } else {
+        out.push_back(e);
+      }
+    }
+  }
+
+  void generate(std::size_t round) {
+    // Per-round derivation, not a carried generator: random access,
+    // reset() replay and sharded re-derivation all see the same bytes.
+    util::Rng rng(stream_round_seed(seed_, round));
+    const T q = quantum_amount<T>(spec_.quantum);
+    arrival_events_.clear();
+    departure_events_.clear();
+
+    // Draw order is part of the contract (pinned by StreamDeterminism
+    // tests): arrival count, arrival nodes, burst draws (bursty only),
+    // departure count, departure nodes.
+    double rate = spec_.arrival_rate;
+    if (spec_.kind == StreamKind::kDiurnal) {
+      const double phase = 6.283185307179586476925 *
+                           static_cast<double>(round % spec_.period) /
+                           static_cast<double>(spec_.period);
+      rate *= std::max(0.0, 1.0 + spec_.amplitude * std::sin(phase));
+    }
+    const std::int64_t n_arrivals = rng.next_poisson(rate);
+    arrival_events_.reserve(static_cast<std::size_t>(n_arrivals) + 1);
+    if (spec_.kind == StreamKind::kHotspot) {
+      // The hot node is a pure function of the round — no RNG — so the
+      // adversary's schedule is reproducible in closed form.
+      const std::size_t hot =
+          ((round / std::max<std::size_t>(1, spec_.rotate_period)) * spec_.stride) % n_;
+      for (std::int64_t i = 0; i < n_arrivals; ++i) {
+        arrival_events_.push_back({static_cast<graph::NodeId>(hot), q});
+      }
+    } else {
+      for (std::int64_t i = 0; i < n_arrivals; ++i) {
+        arrival_events_.push_back({uniform_node(rng), q});
+      }
+    }
+    if (spec_.kind == StreamKind::kBursty && rng.next_bool(spec_.burst_prob)) {
+      // Pareto(alpha) burst size in quanta: min_burst / U^{1/alpha},
+      // capped so one draw cannot dwarf the whole experiment.
+      double u = rng.next_double();
+      while (u <= 0.0) u = rng.next_double();
+      const double quanta = std::min(
+          spec_.max_burst, spec_.min_burst / std::pow(u, 1.0 / spec_.burst_alpha));
+      const T amount = static_cast<T>(static_cast<double>(q) * quanta);
+      if (amount > T{}) arrival_events_.push_back({uniform_node(rng), amount});
+    }
+    const std::int64_t n_departures = rng.next_poisson(spec_.departure_rate);
+    departure_events_.reserve(static_cast<std::size_t>(n_departures));
+    for (std::int64_t i = 0; i < n_departures; ++i) {
+      departure_events_.push_back({uniform_node(rng), q});
+    }
+
+    aggregate(arrival_events_, delta_.arrivals);
+    aggregate(departure_events_, delta_.departures);
+  }
+
+  StreamSpec spec_;
+  std::size_t n_;
+  std::uint64_t seed_;
+  std::size_t cached_round_ = 0;  // 0 = nothing cached (rounds are 1-indexed)
+  StreamDelta<T> delta_;
+  std::vector<Entry> arrival_events_;
+  std::vector<Entry> departure_events_;
+};
+
+}  // namespace
+
+std::string StreamSpec::label() const {
+  switch (kind) {
+    case StreamKind::kNone: return "none";
+    case StreamKind::kPoisson: return "poisson";
+    case StreamKind::kBursty: return "bursty";
+    case StreamKind::kDiurnal: return "diurnal";
+    case StreamKind::kHotspot: return "hotspot";
+  }
+  return "none";
+}
+
+StreamKind parse_stream_kind(const std::string& name) {
+  if (name == "none") return StreamKind::kNone;
+  if (name == "poisson") return StreamKind::kPoisson;
+  if (name == "bursty") return StreamKind::kBursty;
+  if (name == "diurnal") return StreamKind::kDiurnal;
+  if (name == "hotspot") return StreamKind::kHotspot;
+  throw std::invalid_argument("unknown stream kind: " + name);
+}
+
+std::vector<std::string> named_streams() {
+  return {"none", "poisson", "bursty", "diurnal", "hotspot"};
+}
+
+template <class T>
+std::unique_ptr<Stream<T>> make_stream(const StreamSpec& spec, std::size_t n,
+                                       std::uint64_t seed) {
+  if (spec.kind == StreamKind::kNone) return nullptr;
+  return std::make_unique<GeneratedStream<T>>(spec, n, seed);
+}
+
+#define LB_INSTANTIATE(T)                                                      \
+  template struct StreamDelta<T>;                                              \
+  template AppliedStream<T> tally_stream_delta<T>(const StreamDelta<T>&,       \
+                                                  const std::vector<T>&);      \
+  template void apply_stream_delta<T>(const StreamDelta<T>&, std::vector<T>&); \
+  template void apply_stream_delta_owned<T>(const StreamDelta<T>&,             \
+                                            std::vector<T>&,                   \
+                                            const std::vector<std::uint32_t>&, \
+                                            std::uint32_t);                    \
+  template std::unique_ptr<Stream<T>> make_stream<T>(const StreamSpec&,        \
+                                                     std::size_t,              \
+                                                     std::uint64_t);
+
+LB_INSTANTIATE(double)
+LB_INSTANTIATE(std::int64_t)
+#undef LB_INSTANTIATE
+
+}  // namespace lb::workload

@@ -1,0 +1,199 @@
+// Open-system traffic streams: per-round arrival/departure deltas.
+//
+// A Stream is the open-system counterpart of the initial-load generators
+// in initial.hpp: instead of fixing the total up front, it emits one
+// StreamDelta per round — load that arrives at and departs from named
+// nodes while the balancer runs.  The engine applies the delta at a
+// fixed point in the round (before flows are planned; see DESIGN.md
+// §11), so the balancer always reacts to traffic one round after it
+// lands, exactly like the Repeated Balls-into-Bins process of
+// Cancrini–Posta composes arrivals with a rebalancing step.
+//
+// Determinism contract (the part every layer leans on):
+//   * delta_at(round) is a pure function of (stream config, seed, round).
+//     Each round draws from a private Rng seeded by a SplitMix64 chain
+//     over (seed, round) — no state is carried between rounds, so random
+//     access, reset()/replay, and sharded re-derivation all yield the
+//     same bytes.  This is the same chained-derivation recipe the
+//     campaign layer uses for cell seeds (exp/plan.hpp).
+//   * Arrivals and departures are each sorted ascending by node with
+//     unique nodes (generators aggregate duplicate draws), so a single
+//     sequential pass over a delta is a canonical order shared by the
+//     shared-memory engine and every sharded decomposition.
+//   * Application semantics per node: arrivals add first, then
+//     departures drain, clamped at zero (a departure can only take what
+//     is there).  tally_stream_delta() simulates exactly this arithmetic
+//     centrally so applied totals are bit-identical no matter which
+//     domain performed the mutation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lb/graph/graph.hpp"
+#include "lb/util/rng.hpp"
+
+namespace lb::workload {
+
+/// One round's worth of open-system traffic.  Both lists are sorted
+/// ascending by node and duplicate-free (the generators aggregate
+/// repeated draws onto one entry).  Amounts are strictly positive.
+template <class T>
+struct StreamDelta {
+  std::vector<std::pair<graph::NodeId, T>> arrivals;
+  std::vector<std::pair<graph::NodeId, T>> departures;
+
+  bool empty() const { return arrivals.empty() && departures.empty(); }
+};
+
+/// Non-templated base so a stream can ride the non-templated
+/// EngineConfig; the engine dynamic_casts to Stream<T> and asserts on a
+/// scalar-type mismatch.
+class StreamBase {
+ public:
+  virtual ~StreamBase() = default;
+
+  /// Restart the stream from round 1.  Because deltas are derived per
+  /// round from the seed chain, this only clears cached state; a reset
+  /// stream replays byte-identical deltas.
+  virtual void reset() = 0;
+
+  /// Human-readable label ("poisson(rate=2)", ...), used in traces,
+  /// campaign cell labels and bench tables.
+  virtual std::string name() const = 0;
+};
+
+/// Typed stream protocol.  delta_at(round) must be pure in (config,
+/// seed, round) — see the determinism contract above.  The reference to
+/// the returned delta is valid until the next delta_at call.
+template <class T>
+class Stream : public StreamBase {
+ public:
+  /// The traffic for 1-indexed `round` (matching the engine's round
+  /// numbering).  Node ids are validated against the n the stream was
+  /// built for.
+  virtual const StreamDelta<T>& delta_at(std::size_t round) = 0;
+};
+
+/// Per-round RNG derivation: the SplitMix64 chain shared by every
+/// generator, exposed so tests and fixtures can pin the idiom.
+std::uint64_t stream_round_seed(std::uint64_t seed, std::size_t round);
+
+// ---------------------------------------------------------------------------
+// Applied-delta accounting
+// ---------------------------------------------------------------------------
+
+/// What a delta actually did to a load vector, with departure clamping
+/// accounted for: applied departures can be smaller than requested when
+/// a node ran dry.  Computed by a single central sequential pass
+/// (tally_stream_delta) so the totals that enter the ledgered
+/// conservation check and the running Φ baseline are bit-identical
+/// between the shared-memory engine and every sharded decomposition.
+template <class T>
+struct AppliedStream {
+  T arrivals{};    ///< Σ applied arrivals (always the requested sum)
+  T departures{};  ///< Σ applied departures after clamping
+  T net() const { return arrivals - departures; }
+};
+
+/// Pure central tally: simulate the per-node arithmetic (arrivals add
+/// first, departures clamp at zero) against `load` WITHOUT mutating it,
+/// returning the applied totals.  Sequential by design — this is the
+/// canonical order of the stream contract.
+template <class T>
+AppliedStream<T> tally_stream_delta(const StreamDelta<T>& delta,
+                                    const std::vector<T>& load);
+
+/// Mutating apply over the whole load vector: per node, arrivals add
+/// first, then departures drain clamped at zero.  Uses the exact same
+/// arithmetic as tally_stream_delta, so tally-then-apply agree.
+template <class T>
+void apply_stream_delta(const StreamDelta<T>& delta, std::vector<T>& load);
+
+/// Owner-filtered apply for the sharded engine: only entries whose node
+/// is owned by `domain` (owner[node] == domain) are applied.  Every
+/// domain applying its owned slice is equivalent, entry for entry, to
+/// one apply_stream_delta over the whole vector — nodes are disjoint
+/// across domains, and the per-node arithmetic is local.
+template <class T>
+void apply_stream_delta_owned(const StreamDelta<T>& delta, std::vector<T>& load,
+                              const std::vector<std::uint32_t>& owner,
+                              std::uint32_t domain);
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Which traffic family a stream draws from.  kNone is the closed
+/// system: no stream attached, the campaign grid's compatibility-filter
+/// default (exp/plan.hpp).
+enum class StreamKind : std::uint8_t {
+  kNone = 0,
+  /// Memoryless churn: Poisson(arrival_rate) arrival events and
+  /// Poisson(departure_rate) departure events per round, each landing on
+  /// an independently uniform node with a fixed per-event quantum.
+  kPoisson,
+  /// Poisson baseline plus heavy-tailed bursts: with probability
+  /// burst_prob per round, a Pareto(alpha)-sized burst (>= min_burst
+  /// quanta, capped at max_burst) lands on one uniform node.
+  kBursty,
+  /// Diurnal ramp: the Poisson arrival rate is modulated by
+  /// max(0, 1 + amplitude·sin(2π·round/period)) while departures hold
+  /// the base rate — sustained overload halves alternating with
+  /// underload halves.
+  kDiurnal,
+  /// Adversarial hot spot: arrivals concentrate on a deterministically
+  /// rotating hot node ((round/rotate_period)·stride mod n) while
+  /// departures drain uniform nodes — the worst case for any balancer
+  /// whose schedule assumes stationary traffic.
+  kHotspot,
+};
+
+/// Value-semantic stream description: the fourth campaign plan-grid axis
+/// (exp/plan.hpp) and the bench CLI surface.  One parameter struct for
+/// all kinds; each generator reads the fields it documents.
+struct StreamSpec {
+  StreamKind kind = StreamKind::kNone;
+  /// Mean arrival events per round (Poisson/bursty baseline; diurnal
+  /// base rate; hotspot events per round).
+  double arrival_rate = 4.0;
+  /// Mean departure events per round.
+  double departure_rate = 4.0;
+  /// Load per event, in units of T (rounded to >= 1 token for discrete).
+  double quantum = 1.0;
+  // Bursty knobs.
+  double burst_prob = 0.05;   ///< per-round burst probability
+  double burst_alpha = 1.5;   ///< Pareto tail exponent (heavier when smaller)
+  double min_burst = 32.0;    ///< burst floor, in quanta
+  double max_burst = 4096.0;  ///< burst cap, in quanta
+  // Diurnal knobs.
+  double amplitude = 1.0;       ///< rate modulation depth
+  std::size_t period = 64;      ///< rounds per diurnal cycle
+  // Hotspot knobs.
+  std::size_t rotate_period = 16;  ///< rounds before the hot node moves
+  std::size_t stride = 7;          ///< hot-node jump per rotation
+
+  /// Canonical short label: "none", "poisson", "bursty", "diurnal",
+  /// "hotspot" — stable across parameter changes so campaign group
+  /// labels stay readable; parameters ride the stream's name().
+  std::string label() const;
+};
+
+/// Parse a StreamKind from its label ("none" | "poisson" | "bursty" |
+/// "diurnal" | "hotspot"); throws std::invalid_argument otherwise.
+StreamKind parse_stream_kind(const std::string& name);
+
+/// Labels accepted by parse_stream_kind, for bench CLIs.
+std::vector<std::string> named_streams();
+
+/// Build a generator for `spec` over n nodes.  Returns nullptr for
+/// kNone (the closed system).  The seed feeds the per-round SplitMix64
+/// chain; two streams with the same (spec, n, seed) are byte-identical.
+template <class T>
+std::unique_ptr<Stream<T>> make_stream(const StreamSpec& spec, std::size_t n,
+                                       std::uint64_t seed);
+
+}  // namespace lb::workload

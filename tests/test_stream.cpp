@@ -1,0 +1,645 @@
+// Tests for the open-system traffic layer (DESIGN.md §11).
+//
+// Four contracts.  (1) Stream determinism: delta_at is pure in (spec,
+// seed, round) — random access, reset()/replay and a second stream with
+// the same coordinates all yield the same bytes, and every delta obeys
+// the sorted/unique/positive shape the engines rely on.  (2) Closed-
+// system equivalence: a null stream — or one that never emits traffic —
+// leaves the deterministic result surface bit-identical to a run with no
+// stream attached, across every balancer family.  (3) Open-system
+// substrate independence: with live Poisson/hotspot traffic the sharded
+// engine is bit-identical to the shared-memory oracle over pools
+// {1, 2, hw} × K {1, 2, 4}, with the invariant layer armed.  (4) The
+// ledgered conservation check catches the two canonical bookkeeping
+// bugs: an arrival credited to the ledger but never applied, and a
+// departure applied twice.
+#include "lb/workload/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/check/invariants.hpp"
+#include "lb/core/async.hpp"
+#include "lb/core/diffusion.hpp"
+#include "lb/core/dimension_exchange.hpp"
+#include "lb/core/engine.hpp"
+#include "lb/core/fos.hpp"
+#include "lb/core/heterogeneous.hpp"
+#include "lb/core/ops.hpp"
+#include "lb/core/random_partner.hpp"
+#include "lb/core/sos.hpp"
+#include "lb/core/steady_state.hpp"
+#include "lb/graph/generators.hpp"
+#include "lb/shard/ownership.hpp"
+#include "lb/shard/sharded_engine.hpp"
+#include "lb/util/rng.hpp"
+#include "lb/util/thread_pool.hpp"
+#include "lb/workload/initial.hpp"
+
+namespace {
+
+using lb::core::EngineConfig;
+using lb::core::RunResult;
+using lb::graph::Graph;
+using lb::workload::AppliedStream;
+using lb::workload::Stream;
+using lb::workload::StreamDelta;
+using lb::workload::StreamKind;
+using lb::workload::StreamSpec;
+
+template <class T>
+StreamDelta<T> copy_delta(const StreamDelta<T>& d) {
+  return {d.arrivals, d.departures};
+}
+
+template <class T>
+void expect_same_delta(const StreamDelta<T>& a, const StreamDelta<T>& b,
+                       std::size_t round) {
+  EXPECT_EQ(a.arrivals, b.arrivals) << "round " << round;
+  EXPECT_EQ(a.departures, b.departures) << "round " << round;
+}
+
+std::vector<StreamSpec> live_specs() {
+  StreamSpec poisson;
+  poisson.kind = StreamKind::kPoisson;
+  StreamSpec bursty;
+  bursty.kind = StreamKind::kBursty;
+  bursty.burst_prob = 0.3;  // make bursts likely inside short test runs
+  StreamSpec diurnal;
+  diurnal.kind = StreamKind::kDiurnal;
+  diurnal.period = 16;
+  StreamSpec hotspot;
+  hotspot.kind = StreamKind::kHotspot;
+  return {poisson, bursty, diurnal, hotspot};
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(StreamDeterminism, DeltaAtIsPureInSpecSeedRound) {
+  for (const StreamSpec& spec : live_specs()) {
+    SCOPED_TRACE(spec.label());
+    auto forward = lb::workload::make_stream<double>(spec, 64, 2024);
+    auto random_access = lb::workload::make_stream<double>(spec, 64, 2024);
+    ASSERT_NE(forward, nullptr);
+    // Walk one stream forward and the other backwards: with per-round
+    // derivation the access order cannot matter.
+    std::vector<StreamDelta<double>> forward_deltas;
+    for (std::size_t r = 1; r <= 32; ++r) {
+      forward_deltas.push_back(copy_delta(forward->delta_at(r)));
+    }
+    for (std::size_t r = 32; r >= 1; --r) {
+      expect_same_delta(forward_deltas[r - 1], random_access->delta_at(r), r);
+    }
+  }
+}
+
+TEST(StreamDeterminism, ResetReplaysByteIdenticalDeltas) {
+  for (const StreamSpec& spec : live_specs()) {
+    SCOPED_TRACE(spec.label());
+    auto stream = lb::workload::make_stream<std::int64_t>(spec, 48, 7);
+    std::vector<StreamDelta<std::int64_t>> first;
+    for (std::size_t r = 1; r <= 20; ++r) {
+      first.push_back(copy_delta(stream->delta_at(r)));
+    }
+    stream->reset();
+    for (std::size_t r = 1; r <= 20; ++r) {
+      expect_same_delta(first[r - 1], stream->delta_at(r), r);
+    }
+  }
+}
+
+TEST(StreamDeterminism, DeltasAreSortedUniquePositiveAndInRange) {
+  const std::size_t n = 40;
+  for (const StreamSpec& spec : live_specs()) {
+    SCOPED_TRACE(spec.label());
+    auto stream = lb::workload::make_stream<std::int64_t>(spec, n, 99);
+    for (std::size_t r = 1; r <= 64; ++r) {
+      const StreamDelta<std::int64_t>& d = stream->delta_at(r);
+      for (const auto* list : {&d.arrivals, &d.departures}) {
+        for (std::size_t i = 0; i < list->size(); ++i) {
+          EXPECT_LT((*list)[i].first, n) << "round " << r;
+          EXPECT_GT((*list)[i].second, 0) << "round " << r;
+          if (i > 0) {
+            EXPECT_LT((*list)[i - 1].first, (*list)[i].first)
+                << "round " << r << " entry " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamDeterminism, SeedsAndRoundsDecorrelate) {
+  // Different seeds must give different traffic, and the per-round seed
+  // chain must not collide between adjacent rounds.
+  EXPECT_NE(lb::workload::stream_round_seed(1, 1),
+            lb::workload::stream_round_seed(1, 2));
+  EXPECT_NE(lb::workload::stream_round_seed(1, 1),
+            lb::workload::stream_round_seed(2, 1));
+  StreamSpec spec;
+  spec.kind = StreamKind::kPoisson;
+  auto a = lb::workload::make_stream<double>(spec, 64, 1);
+  auto b = lb::workload::make_stream<double>(spec, 64, 2);
+  bool any_difference = false;
+  for (std::size_t r = 1; r <= 16 && !any_difference; ++r) {
+    any_difference = a->delta_at(r).arrivals != b->delta_at(r).arrivals;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(StreamDeterminism, HotspotArrivalsConcentrateOnClosedFormNode) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kHotspot;
+  spec.rotate_period = 4;
+  spec.stride = 7;
+  const std::size_t n = 30;
+  auto stream = lb::workload::make_stream<std::int64_t>(spec, n, 5);
+  for (std::size_t r = 1; r <= 40; ++r) {
+    const std::size_t hot = ((r / 4) * 7) % n;
+    for (const auto& [node, amount] : stream->delta_at(r).arrivals) {
+      EXPECT_EQ(node, static_cast<lb::graph::NodeId>(hot)) << "round " << r;
+    }
+  }
+}
+
+// ------------------------------------------------------------- application
+
+TEST(StreamApply, TallyMatchesApplyAndClampsAtZero) {
+  // One node of each interesting shape: plain arrival, plain departure,
+  // arrival-then-overdraw (clamped to arrival + stock), dry overdraw.
+  std::vector<std::int64_t> load{5, 0, 3, 0};
+  StreamDelta<std::int64_t> delta;
+  delta.arrivals = {{0, 2}, {1, 2}};
+  delta.departures = {{1, 5}, {2, 1}, {3, 4}};
+  const AppliedStream<std::int64_t> applied =
+      lb::workload::tally_stream_delta(delta, load);
+  EXPECT_EQ(applied.arrivals, 4);
+  // Node 1: arrival of 2 credited before the clamp, so the departure
+  // takes 2, not 0.  Node 3 is dry: takes nothing.
+  EXPECT_EQ(applied.departures, 2 + 1 + 0);
+  EXPECT_EQ(applied.net(), 1);
+
+  std::int64_t before = 0;
+  for (std::int64_t v : load) before += v;
+  lb::workload::apply_stream_delta(delta, load);
+  std::int64_t after = 0;
+  for (std::int64_t v : load) {
+    EXPECT_GE(v, 0);
+    after += v;
+  }
+  EXPECT_EQ(after, before + applied.net());
+  EXPECT_EQ(load, (std::vector<std::int64_t>{7, 0, 2, 0}));
+}
+
+TEST(StreamApply, OwnedAppliesComposeToTheWholeVectorApply) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  StreamSpec spec;
+  spec.kind = StreamKind::kBursty;
+  spec.burst_prob = 0.5;
+  auto stream = lb::workload::make_stream<double>(spec, g.num_nodes(), 31);
+  lb::util::Rng wrng(3);
+  const auto load0 =
+      lb::workload::uniform_random<double>(g.num_nodes(), 640.0, wrng);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const auto map = lb::shard::OwnershipMap::build(
+        g, k, lb::shard::PartitionPolicy::kGreedyEdgeCut);
+    std::vector<double> whole = load0;
+    std::vector<double> sharded = load0;
+    for (std::size_t r = 1; r <= 12; ++r) {
+      const StreamDelta<double>& d = stream->delta_at(r);
+      lb::workload::apply_stream_delta(d, whole);
+      for (std::size_t dom = 0; dom < k; ++dom) {
+        lb::workload::apply_stream_delta_owned(d, sharded, map.owners(),
+                                               static_cast<std::uint32_t>(dom));
+      }
+      ASSERT_EQ(whole, sharded) << "K=" << k << " round " << r;
+    }
+  }
+}
+
+// -------------------------------------------------- closed-system identity
+
+/// A live Stream<T> that never emits traffic: attaching it exercises the
+/// engine's open-system plumbing with a net ledger of zero.
+template <class T>
+class SilentStream final : public Stream<T> {
+ public:
+  void reset() override {}
+  std::string name() const override { return "silent"; }
+  const StreamDelta<T>& delta_at(std::size_t) override { return empty_; }
+
+ private:
+  StreamDelta<T> empty_;
+};
+
+/// The deterministic numeric surface two runs must share bit for bit.
+void expect_same_numbers(const RunResult& a, const RunResult& b,
+                         const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.reached_target, b.reached_target);
+  EXPECT_EQ(a.stalled, b.stalled);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.initial_potential, b.initial_potential);
+  EXPECT_EQ(a.final_potential, b.final_potential);
+  EXPECT_EQ(a.final_discrepancy, b.final_discrepancy);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].potential, b.trace[i].potential) << i;
+    EXPECT_EQ(a.trace[i].discrepancy, b.trace[i].discrepancy) << i;
+    EXPECT_EQ(a.trace[i].transferred, b.trace[i].transferred) << i;
+    EXPECT_EQ(a.trace[i].active_edges, b.trace[i].active_edges) << i;
+  }
+}
+
+TEST(StreamZeroEquivalence, MakeStreamNoneIsTheClosedSystem) {
+  StreamSpec spec;  // kind defaults to kNone
+  EXPECT_EQ(lb::workload::make_stream<double>(spec, 64, 1), nullptr);
+  EXPECT_EQ(lb::workload::make_stream<std::int64_t>(spec, 64, 1), nullptr);
+}
+
+/// Per-node speeds for the heterogeneous balancer: alternating 1×/4×.
+std::vector<double> hetero_speeds(std::size_t n) {
+  std::vector<double> speed(n, 1.0);
+  for (std::size_t i = 1; i < n; i += 2) speed[i] = 4.0;
+  return speed;
+}
+
+template <class T>
+struct BalancerCase {
+  std::string name;
+  std::function<std::unique_ptr<lb::core::Balancer<T>>()> make;
+};
+
+template <class T>
+void run_zero_stream_matrix(const std::vector<BalancerCase<T>>& cases,
+                            const std::vector<T>& load0, const Graph& g) {
+  EngineConfig cfg;
+  cfg.max_rounds = 40;
+  cfg.target_potential = 0.0;
+  cfg.record_trace = true;
+  cfg.check_invariants = true;
+  for (const BalancerCase<T>& c : cases) {
+    auto detached_alg = c.make();
+    std::vector<T> detached_load = load0;
+    const RunResult detached =
+        lb::core::run_static(*detached_alg, g, detached_load, cfg);
+    EXPECT_FALSE(detached.open_system);
+    EXPECT_FALSE(detached.steady.valid);
+
+    SilentStream<T> silent;
+    EngineConfig open_cfg = cfg;
+    open_cfg.stream = &silent;
+    auto attached_alg = c.make();
+    std::vector<T> attached_load = load0;
+    const RunResult attached =
+        lb::core::run_static(*attached_alg, g, attached_load, open_cfg);
+    EXPECT_TRUE(attached.open_system);
+    EXPECT_EQ(attached.stream_arrivals, 0.0);
+    EXPECT_EQ(attached.stream_departures, 0.0);
+    expect_same_numbers(detached, attached, c.name);
+    EXPECT_EQ(detached_load, attached_load) << c.name;
+  }
+}
+
+TEST(StreamZeroEquivalence, SilentStreamMatchesDetachedRunEveryBalancer) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  lb::util::Rng wrng(11);
+  const auto cont0 = lb::workload::bimodal<double>(64, 6400.0, wrng);
+  using lb::core::MatchingStrategy;
+  // All eight balancer families on the continuous scalar...
+  run_zero_stream_matrix<double>(
+      {
+          {"diffusion", [] { return lb::core::make_diffusion_continuous(); }},
+          {"fos", [] { return lb::core::make_fos_continuous(); }},
+          {"sos", [] { return lb::core::make_sos(); }},
+          {"ops", [] { return lb::core::make_ops(); }},
+          {"dimexch",
+           [] {
+             return lb::core::make_dimension_exchange_continuous(
+                 MatchingStrategy::kGhoshMuthukrishnan);
+           }},
+          {"randpartner",
+           [] { return lb::core::make_random_partner_continuous(); }},
+          {"async", [] { return lb::core::make_async_continuous(0.5); }},
+          {"hetero",
+           [] {
+             return lb::core::make_heterogeneous_continuous(hetero_speeds(64));
+           }},
+      },
+      cont0, g);
+  // ...and the token-conserving families on the discrete scalar.
+  const auto disc0 = lb::workload::uniform_random<std::int64_t>(64, 64000, wrng);
+  run_zero_stream_matrix<std::int64_t>(
+      {
+          {"diffusion", [] { return lb::core::make_diffusion_discrete(); }},
+          {"dimexch",
+           [] {
+             return lb::core::make_dimension_exchange_discrete(
+                 MatchingStrategy::kRandomMaximal);
+           }},
+          {"randpartner",
+           [] { return lb::core::make_random_partner_discrete(); }},
+          {"async", [] { return lb::core::make_async_discrete(0.5); }},
+          {"hetero",
+           [] {
+             return lb::core::make_heterogeneous_discrete(hetero_speeds(64));
+           }},
+      },
+      disc0, g);
+}
+
+// --------------------------------------------- open-system shard identity
+
+template <class T>
+void run_open_oracle_matrix(
+    const std::function<std::unique_ptr<lb::core::Balancer<T>>()>& make,
+    const StreamSpec& spec, const std::vector<T>& load0, const Graph& g,
+    const std::string& label) {
+  EngineConfig cfg;
+  cfg.max_rounds = 30;
+  cfg.target_potential = 0.0;
+  cfg.record_trace = true;
+  cfg.check_invariants = true;  // ledgered conservation armed on every leg
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    lb::util::ThreadPool pool(threads);
+    cfg.pool = &pool;
+
+    auto oracle_stream = lb::workload::make_stream<T>(spec, g.num_nodes(), 77);
+    cfg.stream = oracle_stream.get();
+    auto oracle_alg = make();
+    std::vector<T> oracle_load = load0;
+    const RunResult oracle =
+        lb::core::run_static(*oracle_alg, g, oracle_load, cfg);
+    EXPECT_TRUE(oracle.open_system);
+    EXPECT_GT(oracle.stream_arrivals, 0.0);
+
+    for (const std::size_t k :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      lb::shard::ShardConfig shard;
+      shard.domains = k;
+      auto stream = lb::workload::make_stream<T>(spec, g.num_nodes(), 77);
+      EngineConfig leg_cfg = cfg;
+      leg_cfg.stream = stream.get();
+      auto alg = make();
+      std::vector<T> load = load0;
+      const RunResult run = lb::shard::run_static(*alg, g, load, leg_cfg, shard);
+      const std::string leg = label + "/pool" + std::to_string(pool.size()) +
+                              "/k" + std::to_string(k);
+      expect_same_numbers(oracle, run, leg);
+      SCOPED_TRACE(leg);
+      EXPECT_EQ(oracle.stream_arrivals, run.stream_arrivals);
+      EXPECT_EQ(oracle.stream_departures, run.stream_departures);
+      ASSERT_EQ(oracle.trace.size(), run.trace.size());
+      for (std::size_t i = 0; i < oracle.trace.size(); ++i) {
+        EXPECT_EQ(oracle.trace[i].arrivals, run.trace[i].arrivals) << i;
+        EXPECT_EQ(oracle.trace[i].departures, run.trace[i].departures) << i;
+        EXPECT_EQ(oracle.trace[i].net_load, run.trace[i].net_load) << i;
+      }
+      ASSERT_EQ(load.size(), oracle_load.size());
+      for (std::size_t i = 0; i < load.size(); ++i) {
+        EXPECT_EQ(load[i], oracle_load[i]) << "node " << i;
+      }
+    }
+  }
+}
+
+TEST(StreamShardOracle, PoissonContinuousBitIdenticalAcrossPoolsAndK) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  StreamSpec spec;
+  spec.kind = StreamKind::kPoisson;
+  spec.quantum = 25.0;
+  lb::util::Rng wrng(23);
+  const auto load0 =
+      lb::workload::uniform_random<double>(g.num_nodes(), 6400.0, wrng);
+  run_open_oracle_matrix<double>(
+      [] { return lb::core::make_diffusion_continuous(); }, spec, load0, g,
+      "poisson/diffusion");
+}
+
+TEST(StreamShardOracle, HotspotDiscreteBitIdenticalAcrossPoolsAndK) {
+  const Graph g = lb::graph::make_hypercube(6);
+  StreamSpec spec;
+  spec.kind = StreamKind::kHotspot;
+  spec.quantum = 50.0;
+  const auto load0 = lb::workload::spike<std::int64_t>(g.num_nodes(), 64000);
+  run_open_oracle_matrix<std::int64_t>(
+      [] { return lb::core::make_diffusion_discrete(); }, spec, load0, g,
+      "hotspot/diffusion-disc");
+}
+
+TEST(StreamShardOracle, BurstyDiscreteBitIdenticalAcrossPoolsAndK) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  StreamSpec spec;
+  spec.kind = StreamKind::kBursty;
+  spec.burst_prob = 0.4;
+  const auto load0 = lb::workload::two_spikes<std::int64_t>(64, 64000);
+  using lb::core::MatchingStrategy;
+  run_open_oracle_matrix<std::int64_t>(
+      [] {
+        return lb::core::make_dimension_exchange_discrete(
+            MatchingStrategy::kRandomMaximal);
+      },
+      spec, load0, g, "bursty/dimexch-disc");
+}
+
+// ------------------------------------------------- ledgered conservation
+
+TEST(StreamConservation, LeakedArrivalIsCaughtDiscrete) {
+  // The ledger credits an arrival of 3 that was never applied to the
+  // load vector: the books no longer balance, 0 ULP.
+  std::vector<std::int64_t> load{5, 5, 5, 5};
+  const auto baseline = lb::check::conservation_baseline(load);
+  EXPECT_THROW(lb::check::check_conservation(baseline, load, 1, 4, "test",
+                                             std::int64_t{3}),
+               lb::check::InvariantViolation);
+  load[0] += 3;  // actually apply it and the ledgered check passes
+  EXPECT_NO_THROW(lb::check::check_conservation(baseline, load, 1, 4, "test",
+                                                std::int64_t{3}));
+}
+
+TEST(StreamConservation, DoubleAppliedDepartureIsCaughtDiscrete) {
+  std::vector<std::int64_t> load{8, 8, 8, 8};
+  const auto baseline = lb::check::conservation_baseline(load);
+  load[1] -= 2;  // the single legitimate departure
+  EXPECT_NO_THROW(lb::check::check_conservation(baseline, load, 1, 4, "test",
+                                                std::int64_t{-2}));
+  load[1] -= 2;  // ...applied a second time, with the same ledger entry
+  EXPECT_THROW(lb::check::check_conservation(baseline, load, 1, 4, "test",
+                                             std::int64_t{-2}),
+               lb::check::InvariantViolation);
+}
+
+TEST(StreamConservation, LedgeredChecksTrackContinuousNet) {
+  std::vector<double> load{100.0, 100.0, 100.0, 100.0};
+  const auto baseline = lb::check::conservation_baseline(load);
+  load[2] += 37.5;
+  EXPECT_NO_THROW(
+      lb::check::check_conservation(baseline, load, 1, 4, "test", 37.5));
+  // Leaked arrival (ledger says 75, only 37.5 landed) is far beyond the
+  // eps-scaled drift bound.
+  EXPECT_THROW(
+      lb::check::check_conservation(baseline, load, 1, 4, "test", 75.0),
+      lb::check::InvariantViolation);
+}
+
+TEST(StreamConservation, ZeroNetLedgerIsTheClosedSystemCheck) {
+  std::vector<std::int64_t> load{4, 4, 4, 4};
+  const auto baseline = lb::check::conservation_baseline(load);
+  EXPECT_NO_THROW(lb::check::check_conservation(baseline, load, 1, 4, "test",
+                                                std::int64_t{0}));
+  EXPECT_NO_THROW(lb::check::check_conservation(baseline, load, 1, 4, "test"));
+}
+
+// ----------------------------------------------------------- steady state
+
+TEST(StreamSteadyState, ReducerShapesMatchASyntheticBurst) {
+  lb::core::metrics::SteadyState steady;
+  // Quiet rounds, a burst at round 3, then Φ decays back under
+  // settle_ratio × pre-burst by round 6 (default settle_ratio = 2).
+  const double phis[] = {10.0, 10.0, 400.0, 100.0, 40.0, 15.0};
+  const double arr[] = {1.0, 1.0, 50.0, 1.0, 1.0, 1.0};
+  for (std::size_t r = 1; r <= 6; ++r) {
+    steady.observe(r, phis[r - 1], 2.0, 12.0, arr[r - 1], 0.5);
+  }
+  const auto rep = steady.finalize();
+  EXPECT_TRUE(rep.valid);
+  EXPECT_EQ(rep.rounds, 6u);
+  EXPECT_EQ(rep.burst_round, 3u);
+  EXPECT_EQ(rep.burst_arrivals, 50.0);
+  EXPECT_EQ(rep.pre_burst_potential, 10.0);
+  EXPECT_TRUE(rep.settled);
+  // Φ first drops to <= 2 × 10 at round 6: three rounds after the burst.
+  EXPECT_EQ(rep.settling_rounds, 3u);
+  EXPECT_EQ(rep.total_arrivals, 55.0);
+  EXPECT_EQ(rep.total_departures, 3.0);
+  EXPECT_EQ(rep.peak_max, 12.0);
+  EXPECT_LE(rep.peak_p50, rep.peak_p90);
+  EXPECT_LE(rep.peak_p90, rep.peak_p99);
+  EXPECT_LE(rep.peak_p99, rep.peak_max);
+}
+
+TEST(StreamSteadyState, CensoredSettlingIsFlagged) {
+  lb::core::metrics::SteadyState steady;
+  steady.observe(1, 10.0, 1.0, 5.0, 0.0, 0.0);
+  steady.observe(2, 500.0, 9.0, 50.0, 80.0, 0.0);
+  steady.observe(3, 400.0, 8.0, 45.0, 0.0, 0.0);  // never re-settles
+  const auto rep = steady.finalize();
+  EXPECT_TRUE(rep.valid);
+  EXPECT_EQ(rep.burst_round, 2u);
+  EXPECT_FALSE(rep.settled);
+  EXPECT_EQ(rep.settling_rounds, 2u);  // censored at run end
+}
+
+TEST(StreamSteadyState, EngineRunPopulatesTheReport) {
+  const Graph g = lb::graph::make_torus2d(8, 8);
+  StreamSpec spec;
+  spec.kind = StreamKind::kBursty;
+  spec.burst_prob = 0.5;
+  spec.quantum = 20.0;
+  auto stream = lb::workload::make_stream<double>(spec, g.num_nodes(), 17);
+  EngineConfig cfg;
+  cfg.max_rounds = 40;
+  cfg.target_potential = 0.0;
+  cfg.record_trace = false;  // the reducer must not depend on the trace
+  cfg.stream = stream.get();
+  auto alg = lb::core::make_diffusion_continuous();
+  lb::util::Rng wrng(29);
+  auto load = lb::workload::uniform_random<double>(g.num_nodes(), 6400.0, wrng);
+  const RunResult r = lb::core::run_static(*alg, g, load, cfg);
+  EXPECT_TRUE(r.open_system);
+  ASSERT_TRUE(r.steady.valid);
+  EXPECT_EQ(r.steady.rounds, r.rounds);
+  EXPECT_EQ(r.steady.total_arrivals, r.stream_arrivals);
+  EXPECT_EQ(r.steady.total_departures, r.stream_departures);
+  EXPECT_GE(r.steady.burst_round, 1u);
+  EXPECT_LE(r.steady.burst_round, r.rounds);
+  EXPECT_GE(r.steady.fraction_above_epsilon, 0.0);
+  EXPECT_LE(r.steady.fraction_above_epsilon, 1.0);
+  EXPECT_LE(r.steady.peak_p50, r.steady.peak_max);
+}
+
+// ------------------------------------------------------------- satellites
+
+TEST(StreamSatellites, ClosedRunTraceCsvKeepsItsColumns) {
+  const Graph g = lb::graph::make_torus2d(4, 4);
+  auto load = lb::workload::spike<double>(16, 160.0);
+  EngineConfig cfg;
+  cfg.max_rounds = 5;
+  cfg.target_potential = 0.0;
+  auto alg = lb::core::make_diffusion_continuous();
+  const RunResult closed = lb::core::run_static(*alg, g, load, cfg);
+  const std::string csv = closed.trace.to_csv();
+  EXPECT_EQ(csv.find("arrivals"), std::string::npos);
+
+  StreamSpec spec;
+  spec.kind = StreamKind::kPoisson;
+  auto stream = lb::workload::make_stream<double>(spec, 16, 3);
+  cfg.stream = stream.get();
+  auto alg2 = lb::core::make_diffusion_continuous();
+  auto load2 = lb::workload::spike<double>(16, 160.0);
+  const RunResult open = lb::core::run_static(*alg2, g, load2, cfg);
+  const std::string open_csv = open.trace.to_csv();
+  EXPECT_NE(open_csv.find("arrivals,departures,net_load"), std::string::npos);
+}
+
+TEST(StreamSatellites, FixTotalDrawOrderContract) {
+  // Pin the draw budget documented in initial.hpp: uniform_random draws
+  // exactly one next_double(0, cap) per node, the bulk total-correction
+  // phase draws NOTHING, and the sub-n remainder places one
+  // next_below(n) per leftover token (re-drawing when a removal lands on
+  // an empty node).  A replica that replays that exact sequence must
+  // produce the same vector AND leave its generator in the same state.
+  const std::size_t n = 37;
+  const std::int64_t total = 12345;  // far from n·mean, exercises the bulk phase
+  lb::util::Rng rng(4242);
+  const auto load = lb::workload::uniform_random<std::int64_t>(n, total, rng);
+
+  lb::util::Rng replica(4242);
+  std::vector<std::int64_t> mine(n);
+  const double cap = 2.0 * static_cast<double>(total) / static_cast<double>(n);
+  for (std::int64_t& v : mine) {
+    v = std::llround(replica.next_double(0.0, cap));
+  }
+  std::int64_t sum = 0;
+  for (std::int64_t v : mine) sum += v;
+  if (sum < total && total - sum >= static_cast<std::int64_t>(n)) {
+    const std::int64_t share =
+        (total - sum) / static_cast<std::int64_t>(n);  // bulk add: no draws
+    for (std::int64_t& v : mine) v += share;
+    sum += share * static_cast<std::int64_t>(n);
+  }
+  while (sum > total) {  // bulk cut: no draws
+    const std::int64_t share = (sum - total) / static_cast<std::int64_t>(n);
+    if (share == 0) break;
+    for (std::int64_t& v : mine) {
+      const std::int64_t cut = std::min(v, share);
+      v -= cut;
+      sum -= cut;
+    }
+  }
+  while (sum < total) {  // remainder: one draw per token
+    ++mine[static_cast<std::size_t>(replica.next_below(n))];
+    ++sum;
+  }
+  while (sum > total) {  // removal: re-draw on empty nodes
+    const std::size_t i = static_cast<std::size_t>(replica.next_below(n));
+    if (mine[i] > 0) {
+      --mine[i];
+      --sum;
+    }
+  }
+  EXPECT_EQ(load, mine);
+  // The generators are in lockstep afterwards — the strongest statement
+  // that not one extra or missing draw hid inside the generator.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rng.next_u64(), replica.next_u64()) << "post-draw " << i;
+  }
+}
+
+}  // namespace
